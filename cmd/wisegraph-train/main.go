@@ -1,0 +1,157 @@
+// Command wisegraph-train trains a GNN on a synthetic dataset replica
+// with optional joint-optimization reporting.
+//
+// Usage:
+//
+//	wisegraph-train -dataset AR -model SAGE -epochs 30
+//	wisegraph-train -dataset AR -model RGCN -hidden 64 -tune
+//	wisegraph-train -dataset PA -model SAGE -sampled -fanout 10,10 -batch 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wisegraph"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("dataset", "AR", "dataset name (see wgbench -list or README)")
+		model     = flag.String("model", "SAGE", "model: GCN, SAGE, SAGE-LSTM, GAT, RGCN")
+		hidden    = flag.Int("hidden", 64, "hidden dimension")
+		layers    = flag.Int("layers", 3, "model layers")
+		epochs    = flag.Int("epochs", 30, "training epochs")
+		lr        = flag.Float64("lr", 0.01, "learning rate")
+		scale     = flag.Int("scale", 0, "dataset scale divisor override")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		tune      = flag.Bool("tune", false, "run joint optimization and report the chosen plan")
+		sampled   = flag.Bool("sampled", false, "use sampled-graph (mini-batch) training")
+		fanout    = flag.String("fanout", "10,10", "sampling fan-outs (comma-separated)")
+		batch     = flag.Int("batch", 256, "mini-batch seed count")
+		noise     = flag.Float64("noise", 0.8, "feature noise (lower = easier task)")
+		savePlan  = flag.String("save-plan", "", "write the tuned execution plan as JSON (implies -tune)")
+		saveModel = flag.String("save-model", "", "write a parameter checkpoint after training")
+		loadModel = flag.String("load-model", "", "restore a parameter checkpoint before training")
+	)
+	flag.Parse()
+	if *savePlan != "" {
+		*tune = true
+	}
+
+	kind, err := wisegraph.ParseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := wisegraph.LoadDataset(*dsName, wisegraph.DatasetOptions{
+		Scale: *scale, Seed: *seed, Homophily: 0.85, FeatureNoise: *noise,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %v (scale 1/%d), %d classes, dim %d\n",
+		*dsName, ds.Graph, ds.Scale, ds.Classes(), ds.Dim())
+
+	cfg := wisegraph.ModelConfig{Kind: kind, Hidden: *hidden, Layers: *layers, Seed: *seed}
+
+	if *sampled {
+		fans, err := parseFanouts(*fanout)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := wisegraph.NewSampledTrainer(ds, cfg, *lr, fans, *batch, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for ep := 0; ep < *epochs; ep++ {
+			loss := tr.Iteration()
+			fmt.Printf("iter %3d  loss %.4f\n", ep, loss)
+		}
+		if *tune {
+			res := tr.TunePlans(wisegraph.A100(), 2)
+			fmt.Printf("tuned plan: %v + %v (reused across subgraphs)\n", res.GraphPlan, res.OpPlan)
+		}
+		return
+	}
+
+	tr, err := wisegraph.NewTrainer(ds, cfg, *lr)
+	if err != nil {
+		fatal(err)
+	}
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Model.LoadCheckpoint(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("restored checkpoint %s\n", *loadModel)
+	}
+	if *tune {
+		res := tr.Tune(wisegraph.A100())
+		fmt.Printf("joint optimization: %d plans tried, %d pruned, %d cache hits\n",
+			res.PlansTried, res.PlansPruned, res.CacheHits)
+		fmt.Printf("selected: %v + %v, differentiated=%v, modeled layer time %.3f ms\n",
+			res.GraphPlan, res.OpPlan, res.Differentiated, res.Seconds*1e3)
+		fmt.Printf("outliers: %d of %d tasks\n", res.Classification.Outliers(), res.Partition.NumTasks())
+		if *savePlan != "" {
+			data, err := res.MarshalPlan()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*savePlan, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote plan to %s\n", *savePlan)
+		}
+	}
+	for _, st := range tr.Run(*epochs) {
+		fmt.Printf("epoch %3d  loss %.4f  val %.3f  test %.3f  (%v)\n",
+			st.Epoch, st.Loss, st.ValAcc, st.TestAcc, st.Duration.Round(1e6))
+	}
+	if m, err := tr.Metrics(ds.TestMask); err == nil {
+		fmt.Printf("test metrics: %v\n", m)
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Model.SaveCheckpoint(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote checkpoint %s\n", *saveModel)
+	}
+	if *tune {
+		res := tr.Tune(wisegraph.A100())
+		acc, err := tr.GTaskTestAccuracy(res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gTask-execution test accuracy: %.3f (parity check)\n", acc)
+	}
+}
+
+func parseFanouts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad fanout %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package wisegraph_test
+
+import (
+	"fmt"
+
+	"wisegraph"
+	"wisegraph/internal/graph"
+)
+
+// ExamplePartition shows the paper's worked example (Figure 5/7): the
+// 5-vertex typed graph partitioned vertex-centrically yields one gTask per
+// destination with in-edges.
+func ExamplePartition() {
+	g := &graph.Graph{
+		NumVertices: 5,
+		NumTypes:    2,
+		Dst:         []int32{0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 4},
+		Src:         []int32{0, 1, 0, 1, 2, 2, 3, 4, 3, 4, 0},
+		Type:        []int32{0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0},
+	}
+	part := wisegraph.Partition(g, wisegraph.VertexCentricPlan())
+	fmt.Printf("plan: %v\n", part.Plan)
+	fmt.Printf("tasks: %d\n", part.NumTasks())
+	for ti := 0; ti < part.NumTasks(); ti++ {
+		fmt.Printf("  task %d: %d edges\n", ti, part.TaskLen(ti))
+	}
+	// Output:
+	// plan: vertex-centric{uniq(dst-id)=1}
+	// tasks: 5
+	//   task 0: 2 edges
+	//   task 1: 3 edges
+	//   task 2: 3 edges
+	//   task 3: 2 edges
+	//   task 4: 1 edges
+}
+
+// ExampleEdgeCentricPlan shows the classic partitions as gTask special
+// cases.
+func ExampleEdgeCentricPlan() {
+	fmt.Println(wisegraph.EdgeCentricPlan())
+	fmt.Println(wisegraph.VertexCentricPlan())
+	// Output:
+	// edge-centric{uniq(edge-id)=1}
+	// vertex-centric{uniq(dst-id)=1}
+}
+
+// ExampleOptimize runs the joint search on a small typed graph and prints
+// what kind of plan it selects for RGCN (the paper's running example).
+func ExampleOptimize() {
+	ds, err := wisegraph.LoadDataset("AR", wisegraph.DatasetOptions{Scale: 400, Seed: 6})
+	if err != nil {
+		panic(err)
+	}
+	res := wisegraph.Optimize(ds.Graph, wisegraph.RGCN, 32, ds.Graph.NumTypes, wisegraph.A100())
+	fmt.Printf("dedup kernels selected: %v\n", res.OpPlan.Dedup)
+	fmt.Printf("edge-type restricted: %v\n", restricted(res.GraphPlan))
+	// Output:
+	// dedup kernels selected: true
+	// edge-type restricted: true
+}
+
+func restricted(p wisegraph.GraphPlan) bool {
+	for _, r := range p.Restrictions {
+		if r.Attr.String() == "edge-type" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module wisegraph
+
+go 1.22

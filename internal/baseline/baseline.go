@@ -1,0 +1,233 @@
+// Package baseline implements the partition strategies of the systems the
+// paper compares against (Figure 13): the tensor-centric family (PyG,
+// DGL-T) that runs one GPU kernel per operation over whole-graph tensors,
+// and the graph-centric family (Seastar, GNNAdvisor, TC-GNN) that fuses
+// all operations into one kernel over fine-grained graph parts.
+//
+// Every strategy computes numerically identical results — partition choice
+// never changes semantics — so executors take the numeric output from the
+// reference layer and differ in the kernels they account on the simulated
+// device: kernel count, FLOPs, memory traffic, parallelism, tensor-core
+// eligibility, load balance, and workspace (the OOM driver).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+)
+
+// ErrUnsupported marks model/system combinations the original system does
+// not implement (blank cells in Figure 13).
+var ErrUnsupported = errors.New("baseline: model not supported by this system")
+
+// Strategy is the partition family.
+type Strategy int
+
+const (
+	// TensorCentric partitions operations into separate kernels over
+	// whole-graph tensors.
+	TensorCentric Strategy = iota
+	// VertexCentric fuses all operations into one kernel partitioned by
+	// destination vertex.
+	VertexCentric
+	// EdgeCentric fuses with one task per edge.
+	EdgeCentric
+	// TensorCoreTile is TC-GNN's dense-tile condensation.
+	TensorCoreTile
+)
+
+// System is a named baseline with its strategy and scheduling behaviour.
+type System struct {
+	Name string
+	// StrategyFor returns the strategy the system uses for a model (DGL
+	// switches family by model class).
+	StrategyFor func(k nn.ModelKind) Strategy
+	// Supports reports whether the system implements the model.
+	Supports func(k nn.ModelKind) bool
+	// Balanced schedules vertex tasks longest-first (GNNAdvisor's
+	// neighbor grouping); unbalanced systems run in natural order.
+	Balanced bool
+}
+
+// PyG is tensor-centric for every model.
+func PyG() System {
+	return System{
+		Name:        "PyG-T",
+		StrategyFor: func(nn.ModelKind) Strategy { return TensorCentric },
+		Supports:    func(nn.ModelKind) bool { return true },
+	}
+}
+
+// DGL uses tensor-centric kernels for complex models and graph-centric
+// fused SpMM for the simple ones (paper §7.1).
+func DGL() System {
+	return System{
+		Name: "DGL",
+		StrategyFor: func(k nn.ModelKind) Strategy {
+			if k.Complex() {
+				return TensorCentric
+			}
+			return VertexCentric
+		},
+		Supports: func(nn.ModelKind) bool { return true },
+	}
+}
+
+// Seastar is vertex-centric for everything except LSTM aggregation.
+func Seastar() System {
+	return System{
+		Name:        "Seastar-G",
+		StrategyFor: func(nn.ModelKind) Strategy { return VertexCentric },
+		Supports:    func(k nn.ModelKind) bool { return k != nn.SAGELSTM },
+	}
+}
+
+// GNNAdvisor is vertex-centric with neighbor-grouped load balancing; it
+// targets the simple models.
+func GNNAdvisor() System {
+	return System{
+		Name:        "GNNA-G",
+		StrategyFor: func(nn.ModelKind) Strategy { return VertexCentric },
+		Supports:    func(k nn.ModelKind) bool { return k == nn.GCN || k == nn.SAGE },
+		Balanced:    true,
+	}
+}
+
+// TCGNN condenses the adjacency into dense tiles for tensor cores; it
+// supports the simple models.
+func TCGNN() System {
+	return System{
+		Name:        "TCGNN-G",
+		StrategyFor: func(nn.ModelKind) Strategy { return TensorCoreTile },
+		Supports:    func(k nn.ModelKind) bool { return k == nn.GCN || k == nn.SAGE },
+	}
+}
+
+// Systems lists all single-GPU baselines.
+func Systems() []System {
+	return []System{PyG(), DGL(), Seastar(), GNNAdvisor(), TCGNN()}
+}
+
+// LayerWork captures the quantities the accounting needs for one layer.
+type LayerWork struct {
+	Kind  nn.ModelKind
+	V, E  int
+	F, Fp int
+	Types int
+	// EdgesPerType[t] counts type-t edges (RGCN grouping).
+	EdgesPerType []int
+	// InDeg is the per-vertex in-degree (vertex-centric task sizes).
+	InDeg []int32
+	// MaxDeg is the largest in-degree (LSTM padding).
+	MaxDeg int
+	// Tiles counts non-empty 16×16 adjacency tiles (TC-GNN workload).
+	Tiles int
+}
+
+// NewLayerWork derives the workload description of layer over gc.
+func NewLayerWork(gc *nn.GraphCtx, layer nn.Layer, kind nn.ModelKind) LayerWork {
+	w := LayerWork{
+		Kind:  kind,
+		V:     gc.NumVertices(),
+		E:     gc.NumEdges(),
+		F:     layer.InDim(),
+		Fp:    layer.OutDim(),
+		InDeg: gc.G.InDegrees(),
+	}
+	w.MaxDeg = int(gc.G.MaxInDegree())
+	if gc.TypeOffsets != nil {
+		w.Types = gc.G.NumTypes
+		for t := 0; t < w.Types; t++ {
+			w.EdgesPerType = append(w.EdgesPerType, int(gc.TypeOffsets[t+1]-gc.TypeOffsets[t]))
+		}
+	}
+	w.Tiles = countTiles(gc)
+	return w
+}
+
+// countTiles counts the non-empty 16×16 adjacency tiles — the work TC-GNN
+// actually schedules onto tensor cores. Sparse graphs have nearly one
+// edge per tile, so the dense-tile padding wastes most of the MMA slots.
+func countTiles(gc *nn.GraphCtx) int {
+	seen := make(map[int64]struct{}, gc.NumEdges()/2)
+	for s := range gc.SrcByDst {
+		key := int64(gc.DstByDst[s]/16)<<32 | int64(gc.SrcByDst[s]/16)
+		seen[key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// RunModel runs a full forward pass of m under the system's strategy:
+// numeric output from the reference layers (when ctx.Compute), kernels
+// accounted per strategy. It returns ErrOOM/ErrUnsupported as appropriate.
+func (s System) RunModel(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !s.Supports(m.Cfg.Kind) {
+		return nil, fmt.Errorf("%w: %s on %v", ErrUnsupported, s.Name, m.Cfg.Kind)
+	}
+	cur := x
+	for li, layer := range m.Layers() {
+		lw := NewLayerWork(gc, layer, m.Cfg.Kind)
+		if err := s.accountLayer(ctx, lw); err != nil {
+			return nil, err
+		}
+		if ctx.Compute {
+			out := layer.Forward(gc, cur)
+			if li < len(m.Layers())-1 {
+				cur = tensor.ReLU(nil, out)
+			} else {
+				cur = out
+			}
+		}
+	}
+	if !ctx.Compute {
+		return nil, nil
+	}
+	return cur, nil
+}
+
+// AccountStrategy prices one layer under an explicit strategy (used by
+// the bench harness for the Figure 3 motivation experiments).
+func AccountStrategy(ctx *exec.Ctx, lw LayerWork, strat Strategy, balanced bool) error {
+	switch strat {
+	case TensorCentric:
+		return accountTensorCentric(ctx, lw)
+	case VertexCentric:
+		return accountVertexCentric(ctx, lw, balanced)
+	case EdgeCentric:
+		return accountEdgeCentric(ctx, lw)
+	case TensorCoreTile:
+		return accountTensorCoreTile(ctx, lw)
+	}
+	return fmt.Errorf("baseline: unknown strategy")
+}
+
+// accountLayer dispatches to the strategy's accounting.
+func (s System) accountLayer(ctx *exec.Ctx, lw LayerWork) error {
+	switch s.StrategyFor(lw.Kind) {
+	case TensorCentric:
+		return accountTensorCentric(ctx, lw)
+	case VertexCentric:
+		return accountVertexCentric(ctx, lw, s.Balanced)
+	case EdgeCentric:
+		return accountEdgeCentric(ctx, lw)
+	case TensorCoreTile:
+		return accountTensorCoreTile(ctx, lw)
+	}
+	return fmt.Errorf("baseline: unknown strategy")
+}
+
+// perUnit returns the time of a single work item on one execution unit.
+func perUnit(spec device.Spec, flops, bytes float64) float64 {
+	units := float64(spec.NumUnits)
+	tc := flops / (spec.SIMTFLOPS / units)
+	tm := bytes / (spec.MemBandwidth / units)
+	if tm > tc {
+		return tm
+	}
+	return tc
+}

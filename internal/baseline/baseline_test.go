@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/graph/gen"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+)
+
+func testSetup(t *testing.T, kind nn.ModelKind) (*nn.GraphCtx, *nn.Model, *tensor.Tensor) {
+	t.Helper()
+	res := gen.Generate(gen.Config{NumVertices: 200, NumEdges: 1500, Kind: gen.PowerLaw, Skew: 1.0, NumTypes: 4, Seed: 3})
+	gc := nn.NewGraphCtx(res.Graph)
+	m, err := nn.NewModel(nn.Config{Kind: kind, InDim: 8, Hidden: 12, OutDim: 5, Layers: 2, Heads: 2, NumTypes: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(200, 8)
+	tensor.Uniform(x, tensor.NewRNG(7), -1, 1)
+	return gc, m, x
+}
+
+func TestRunModelMatchesReferenceAllSystems(t *testing.T) {
+	for kind := nn.ModelKind(0); kind < nn.NumModels; kind++ {
+		gc, m, x := testSetup(t, kind)
+		want := forwardReference(gc, m, x)
+		for _, sys := range Systems() {
+			if !sys.Supports(kind) {
+				continue
+			}
+			ctx := exec.NewCtx(device.New(device.A100()))
+			got, err := sys.RunModel(ctx, gc, m, x)
+			if err != nil {
+				t.Fatalf("%s on %v: %v", sys.Name, kind, err)
+			}
+			for i := range got.Data() {
+				if math.Abs(float64(got.Data()[i]-want.Data()[i])) > 1e-4 {
+					t.Fatalf("%s on %v: output differs at %d", sys.Name, kind, i)
+				}
+			}
+		}
+	}
+}
+
+// forwardReference runs the plain model forward.
+func forwardReference(gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor) *tensor.Tensor {
+	return m.Forward(gc, x)
+}
+
+func TestUnsupportedCombos(t *testing.T) {
+	cases := []struct {
+		sys  System
+		kind nn.ModelKind
+	}{
+		{Seastar(), nn.SAGELSTM},
+		{GNNAdvisor(), nn.RGCN},
+		{GNNAdvisor(), nn.GAT},
+		{TCGNN(), nn.RGCN},
+		{TCGNN(), nn.SAGELSTM},
+	}
+	for _, c := range cases {
+		gc, m, x := testSetup(t, c.kind)
+		ctx := exec.NewCtx(device.New(device.A100()))
+		_, err := c.sys.RunModel(ctx, gc, m, x)
+		if !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("%s on %v: err = %v, want ErrUnsupported", c.sys.Name, c.kind, err)
+		}
+	}
+}
+
+func TestTensorCentricLaunchesManyKernels(t *testing.T) {
+	gc, m, x := testSetup(t, nn.RGCN)
+	ctxT := exec.NewCtx(device.New(device.A100()))
+	ctxT.Compute = false
+	if _, err := PyG().RunModel(ctxT, gc, m, x); err != nil {
+		t.Fatal(err)
+	}
+	ctxG := exec.NewCtx(device.New(device.A100()))
+	ctxG.Compute = false
+	if _, err := Seastar().RunModel(ctxG, gc, m, x); err != nil {
+		t.Fatal(err)
+	}
+	kt := ctxT.Dev.Stats().Kernels
+	kg := ctxG.Dev.Stats().Kernels
+	if kt <= kg {
+		t.Fatalf("tensor-centric launched %d kernels vs graph-centric %d", kt, kg)
+	}
+	// graph-centric fuses to one kernel per layer
+	if kg != int64(len(m.Layers())) {
+		t.Fatalf("graph-centric kernels = %d, want %d", kg, len(m.Layers()))
+	}
+}
+
+func TestTensorCentricOOMAtPaperScale(t *testing.T) {
+	gc, m, x := testSetup(t, nn.GAT)
+	ctx := exec.NewCtx(device.New(device.A100()))
+	ctx.Compute = false
+	ctx.PaperScale = 1e6 // model a billion-edge graph
+	_, err := PyG().RunModel(ctx, gc, m, x)
+	if !errors.Is(err, exec.ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+	// graph-centric survives the same scale (no per-edge materialization)
+	ctx2 := exec.NewCtx(device.New(device.A100()))
+	ctx2.Compute = false
+	ctx2.PaperScale = 1e6
+	if _, err := Seastar().RunModel(ctx2, gc, m, x); err != nil {
+		t.Fatalf("graph-centric must not OOM: %v", err)
+	}
+}
+
+func TestBalancedSchedulingHelpsOnSkew(t *testing.T) {
+	gc, m, x := testSetup(t, nn.SAGE)
+	run := func(sys System) float64 {
+		ctx := exec.NewCtx(device.New(device.A100()))
+		ctx.Compute = false
+		if _, err := sys.RunModel(ctx, gc, m, x); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Dev.Stats().SimSeconds
+	}
+	seastar := run(Seastar())
+	gnna := run(GNNAdvisor())
+	if gnna > seastar+1e-12 {
+		t.Fatalf("balanced scheduling slower: GNNA %.3g vs Seastar %.3g", gnna, seastar)
+	}
+}
+
+func TestComputeMemoryRatioShape(t *testing.T) {
+	// Paper Figure 3(a): graph-centric compute/memory ratio is near the
+	// roofline for Addition models and far below it for MLP-class models
+	// relative to what batching achieves.
+	ratioFor := func(kind nn.ModelKind) float64 {
+		gc, m, x := testSetup(t, kind)
+		ctx := exec.NewCtx(device.New(device.A100()))
+		ctx.Compute = false
+		if _, err := Seastar().RunModel(ctx, gc, m, x); err != nil {
+			t.Fatal(err)
+		}
+		_ = gc
+		_ = x
+		_ = m
+		return ctx.Dev.ComputeMemoryRatio()
+	}
+	add := ratioFor(nn.GCN)
+	mlp := ratioFor(nn.RGCN)
+	if add <= 0 || mlp <= 0 {
+		t.Fatalf("ratios: add=%v mlp=%v", add, mlp)
+	}
+	// The per-edge MLP re-fetches its F×F' weight per edge, pinning the
+	// ratio near 2 regardless of dimensions — the Figure 3a gap.
+	if mlp > 3 {
+		t.Fatalf("graph-centric MLP ratio %v, want ≈2 (no reuse)", mlp)
+	}
+}
+
+func TestTensorCentricBreakdownIndexingDominates(t *testing.T) {
+	// Paper Figure 3(b): tensor-centric neural time < 40%, the rest is
+	// data movement.
+	gc, m, x := testSetup(t, nn.SAGE)
+	ctx := exec.NewCtx(device.New(device.A100()))
+	ctx.Compute = false
+	if _, err := PyG().RunModel(ctx, gc, m, x); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.Dev.Stats()
+	neural := st.ByCategory["neural"]
+	frac := neural / st.SimSeconds
+	if frac >= 0.5 {
+		t.Fatalf("neural fraction = %.2f, want < 0.5 (indexing should dominate)", frac)
+	}
+}
+
+func TestTrainingAccountingIncreasesTime(t *testing.T) {
+	gc, m, x := testSetup(t, nn.GCN)
+	run := func(training bool) float64 {
+		ctx := exec.NewCtx(device.New(device.A100()))
+		ctx.Compute = false
+		ctx.Training = training
+		if _, err := PyG().RunModel(ctx, gc, m, x); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Dev.Stats().SimSeconds
+	}
+	fwd := run(false)
+	train := run(true)
+	if train <= fwd {
+		t.Fatalf("training time %v must exceed inference %v", train, fwd)
+	}
+}
+
+func TestDGLSwitchesStrategyByModelClass(t *testing.T) {
+	d := DGL()
+	if d.StrategyFor(nn.RGCN) != TensorCentric || d.StrategyFor(nn.GAT) != TensorCentric {
+		t.Fatal("DGL must be tensor-centric for complex models")
+	}
+	if d.StrategyFor(nn.GCN) != VertexCentric || d.StrategyFor(nn.SAGE) != VertexCentric {
+		t.Fatal("DGL must be graph-centric for simple models")
+	}
+}
+
+func TestEdgeCentricAccounting(t *testing.T) {
+	gc, m, x := testSetup(t, nn.GCN)
+	lw := NewLayerWork(gc, m.Layers()[0], nn.GCN)
+	ctx := exec.NewCtx(device.New(device.A100()))
+	ctx.Compute = false
+	if err := accountEdgeCentric(ctx, lw); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.Dev.Stats()
+	// one dense-transform kernel (GCN's X·W) plus the fused edge kernel
+	if st.Kernels != 2 || st.SimSeconds <= 0 {
+		t.Fatalf("edge-centric stats: %+v", st)
+	}
+	_ = x
+}

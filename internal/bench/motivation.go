@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+
+	"wisegraph/internal/baseline"
+	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/nn"
+)
+
+// fig3Models maps the paper's neural-operation classes to models:
+// Addition → GCN, MHA → GAT, MLP → RGCN.
+func fig3Models() []struct {
+	op   string
+	kind nn.ModelKind
+} {
+	return []struct {
+		op   string
+		kind nn.ModelKind
+	}{
+		{"Addition", nn.GCN},
+		{"MHA", nn.GAT},
+		{"MLP", nn.RGCN},
+	}
+}
+
+// Table1 prints the evaluated datasets: paper-scale statistics and the
+// materialized scaled replicas.
+func Table1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "evaluated graph datasets (paper scale → materialized replica)",
+		Header: []string{"dataset", "paperV", "paperE", "dim", "classes", "scale", "V", "E", "avgdeg", "maxdeg"},
+	}
+	for _, s := range dsSpecs() {
+		ds, err := cfg.loadDataset(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.Name,
+			fmt.Sprintf("%d", s.Vertices), fmt.Sprintf("%d", s.Edges),
+			fmt.Sprintf("%d", s.Dim), fmt.Sprintf("%d", s.Classes),
+			fmt.Sprintf("1/%d", ds.Scale),
+			fmt.Sprintf("%d", ds.Graph.NumVertices), fmt.Sprintf("%d", ds.Graph.NumEdges()),
+			f2(ds.Graph.AvgDegree()), fmt.Sprintf("%d", ds.Graph.MaxInDegree()))
+	}
+	return t, nil
+}
+
+// Fig3a reproduces the compute/memory ratio of the vertex- and
+// edge-centric approaches against the optimal (full-reuse) ratio for the
+// three neural-operation classes.
+func Fig3a(cfg Config) (*Table, error) {
+	ds, err := cfg.loadDataset("AR")
+	if err != nil {
+		return nil, err
+	}
+	gc := nn.NewGraphCtx(ds.Graph)
+	t := &Table{
+		ID:     "fig3a",
+		Title:  "compute/memory ratio (FLOP/B) of graph-centric approaches vs optimal",
+		Header: []string{"neural-op", "vertex-centric", "edge-centric", "optimal"},
+	}
+	h := cfg.hidden()
+	for _, mc := range fig3Models() {
+		m, err := nn.NewModel(nn.Config{
+			Kind: mc.kind, InDim: h, Hidden: h, OutDim: h, Layers: 1,
+			NumTypes: ds.Graph.NumTypes, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lw := baseline.NewLayerWork(gc, m.Layers()[0], mc.kind)
+		ratio := func(strat baseline.Strategy) float64 {
+			ctx := exec.NewCtx(device.New(spec()))
+			ctx.Compute = false
+			if err := baseline.AccountStrategy(ctx, lw, strat, false); err != nil {
+				return 0
+			}
+			return ctx.Dev.ComputeMemoryRatio()
+		}
+		opt := optimalRatio(lw)
+		t.AddRow(mc.op, f2(ratio(baseline.VertexCentric)), f2(ratio(baseline.EdgeCentric)), f2(opt))
+	}
+	t.Notes = append(t.Notes, "paper: Addition near optimal; the gap grows for MHA and MLP (graph-centric MLP ≈1% of peak)")
+	return t, nil
+}
+
+// optimalRatio is necessary FLOPs over necessary bytes. "Necessary"
+// counts what any execution must touch: the dense transforms, one read
+// per unique weight, and — for addition-class aggregation — the per-edge
+// source-row stream (there is no computation to amortize it against).
+// What is NOT necessary is re-reading weight matrices per edge, which is
+// exactly the traffic the graph-centric MLP/MHA kernels pay.
+func optimalRatio(lw baseline.LayerWork) float64 {
+	v := float64(lw.V)
+	e := float64(lw.E)
+	f := float64(lw.F)
+	fp := float64(lw.Fp)
+	var flops, bytes float64
+	switch lw.Kind {
+	case nn.GCN:
+		flops = e*fp + 2*v*f*fp
+		bytes = (e*fp + v*f + f*fp + v*fp) * 4
+	case nn.SAGE:
+		flops = e*f + 4*v*f*fp
+		bytes = (e*f + v*f + 2*f*fp + v*fp) * 4
+	case nn.GAT:
+		flops = 2*v*f*fp + 4*e*fp
+		bytes = (v*f + f*fp + 4*e + v*fp) * 4
+	case nn.RGCN:
+		flops = 2 * e * f * fp
+		bytes = (v*f + float64(lw.Types)*f*fp + v*fp + e) * 4
+	case nn.SAGELSTM:
+		flops = 2 * e * (f + fp) * 4 * fp
+		bytes = (e*f + (f+fp)*4*fp + v*fp) * 4
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return flops / bytes
+}
+
+// Fig3b reproduces the tensor-centric execution-time breakdown: the
+// fraction spent in neural kernels vs indexing/data movement.
+func Fig3b(cfg Config) (*Table, error) {
+	ds, err := cfg.loadDataset("AR")
+	if err != nil {
+		return nil, err
+	}
+	gc := nn.NewGraphCtx(ds.Graph)
+	t := &Table{
+		ID:     "fig3b",
+		Title:  "tensor-centric time breakdown (% of iteration)",
+		Header: []string{"neural-op", "neural%", "other%"},
+	}
+	h := cfg.hidden()
+	for _, mc := range fig3Models() {
+		m, err := nn.NewModel(nn.Config{
+			Kind: mc.kind, InDim: h, Hidden: h, OutDim: h, Layers: cfg.layers(),
+			NumTypes: ds.Graph.NumTypes, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctx := exec.NewCtx(device.New(spec()))
+		ctx.Compute = false
+		if _, err := baseline.PyG().RunModel(ctx, gc, m, nil); err != nil {
+			return nil, err
+		}
+		st := ctx.Dev.Stats()
+		neural := st.ByCategory["neural"] / st.SimSeconds * 100
+		t.AddRow(mc.op, f2(neural), f2(100-neural))
+	}
+	t.Notes = append(t.Notes, "paper: neural time < 40% across models; the rest is global-memory data movement")
+	return t, nil
+}
+
+// dsSpecs re-exports dataset specs for the harness.
+func dsSpecs() []specAlias { return specAliases() }

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"wisegraph/internal/baseline"
+	"wisegraph/internal/core"
+	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/nn"
+)
+
+// Fig16 reproduces the throughput-vs-search-step curves: the three search
+// stages (graph partition → operation partition → joint optimization)
+// with best-so-far throughput, plus the DGL reference line.
+func Fig16(cfg Config) (*Table, error) {
+	ds, err := cfg.loadDataset("AR")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig16",
+		Title:  "throughput (M edges/s) vs search stage and step on AR",
+		Header: []string{"model", "step", "stage", "candidate", "throughput", "DGL"},
+	}
+	h := cfg.hidden()
+	gc := nn.NewGraphCtx(ds.Graph)
+	for _, kind := range []nn.ModelKind{nn.RGCN, nn.GAT, nn.SAGELSTM, nn.GCN} {
+		// DGL reference throughput for this model (one layer equivalent:
+		// iteration time over layers).
+		dglThroughput := 0.0
+		m, err := nn.NewModel(nn.Config{
+			Kind: kind, InDim: h, Hidden: h, OutDim: h, Layers: cfg.layers(),
+			NumTypes: ds.Graph.NumTypes, Seed: 1,
+		})
+		if err == nil {
+			ctx := exec.NewCtx(device.New(spec()))
+			ctx.Compute = false
+			if _, err := baseline.DGL().RunModel(ctx, gc, m, nil); err == nil {
+				perLayer := ctx.Dev.Stats().SimSeconds / float64(cfg.layers())
+				dglThroughput = float64(ds.Graph.NumEdges()) / perLayer / 1e6
+			}
+		}
+		res := joint.Search(ds.Graph, kind, h, h, ds.Graph.NumTypes, joint.Options{Spec: spec()})
+		for i, s := range res.Trace {
+			t.AddRow(kind.String(), fmt.Sprintf("%d", i), s.Stage, s.Desc,
+				f2(s.Throughput/1e6), f2(dglThroughput))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: graph partition helps LSTM/GCN most; operation partition helps RGCN up to 15x; joint optimization improves all")
+	return t, nil
+}
+
+// Fig15 emits the partition visualizations: per-edge task assignments for
+// vertex-centric and the per-model searched plans, over a window of the
+// AR graph (CSV-friendly: src, dst, task).
+func Fig15(cfg Config) (*Table, error) {
+	ds, err := cfg.loadDataset("AR")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig15",
+		Title:  "graph partition plans found per model (tasks over the AR graph)",
+		Header: []string{"partition", "plan", "tasks", "median-edges", "max-edges"},
+	}
+	h := cfg.hidden()
+	summarize := func(label string, plan core.GraphPlan) {
+		part := core.PartitionGraph(ds.Graph, plan, searchAttrs)
+		med, max := taskSizeStats(part)
+		t.AddRow(label, plan.String(), fmt.Sprintf("%d", part.NumTasks()),
+			fmt.Sprintf("%d", med), fmt.Sprintf("%d", max))
+	}
+	summarize("vertex-centric", core.VertexCentric())
+	for _, kind := range []nn.ModelKind{nn.RGCN, nn.GAT, nn.SAGELSTM, nn.SAGE, nn.GCN} {
+		res := joint.Search(ds.Graph, kind, h, h, ds.Graph.NumTypes, joint.Options{Spec: spec()})
+		summarize("gTask/"+kind.String(), res.GraphPlan)
+	}
+	t.Notes = append(t.Notes,
+		"paper Figure 15: RGCN groups by edge-type, GAT by shared sources, SAGE-LSTM by destination degree, SAGE/GCN by bounded edges per task",
+		"per-edge task ids for scatter plots: wgpartition -dataset AR -model <M> -csv")
+	return t, nil
+}
+
+func taskSizeStats(p *core.Partition) (median, max int) {
+	n := p.NumTasks()
+	if n == 0 {
+		return 0, 0
+	}
+	lens := make([]int, n)
+	for i := range lens {
+		lens[i] = p.TaskLen(i)
+		if lens[i] > max {
+			max = lens[i]
+		}
+	}
+	sort.Ints(lens)
+	return lens[n/2], max
+}

@@ -1,0 +1,170 @@
+// Package core implements WiseGraph's central abstraction, the gTask
+// (paper §3–§4): a subset of edges produced by applying *restrictions* on
+// edge attributes from the graph partition table, later paired with an
+// operation partition plan. The package provides
+//
+//   - the graph partition table: edge attributes with their location
+//     (src / dst / edge) and class (indexing / inherent / unused),
+//   - restrictions (uniq(attr)=k, uniq(attr)=min, unrestricted),
+//   - the greedy O(E log E) partitioner that sorts edges by the restricted
+//     attributes and scans them into gTasks,
+//   - enumeration of candidate graph partition plans for a model's
+//     indexing attributes, covering vertex-centric, edge-centric, 2-D and
+//     the new type/degree/min-restricted plans of Figure 7.
+package core
+
+import (
+	"fmt"
+
+	"wisegraph/internal/graph"
+)
+
+// Attr identifies a row of the graph partition table.
+type Attr int
+
+const (
+	// AttrEdgeID is the edge's own id (unique per edge).
+	AttrEdgeID Attr = iota
+	// AttrSrcID is the source vertex id.
+	AttrSrcID
+	// AttrDstID is the destination vertex id.
+	AttrDstID
+	// AttrEdgeType is the relation type (RGCN's W index).
+	AttrEdgeType
+	// AttrSrcDegree is the out-degree of the source vertex (inherent).
+	AttrSrcDegree
+	// AttrDstDegree is the in-degree of the destination vertex (inherent).
+	AttrDstDegree
+	// NumAttrs is the number of table rows.
+	NumAttrs
+)
+
+// String names the attribute as in the paper's figures.
+func (a Attr) String() string {
+	switch a {
+	case AttrEdgeID:
+		return "edge-id"
+	case AttrSrcID:
+		return "src-id"
+	case AttrDstID:
+		return "dst-id"
+	case AttrEdgeType:
+		return "edge-type"
+	case AttrSrcDegree:
+		return "src-degree"
+	case AttrDstDegree:
+		return "dst-degree"
+	default:
+		return fmt.Sprintf("attr(%d)", int(a))
+	}
+}
+
+// Location is the graph-partition-table column an attribute lives in.
+type Location int
+
+const (
+	// LocEdge marks attributes stored on the edge itself.
+	LocEdge Location = iota
+	// LocSrc marks attributes of the source vertex.
+	LocSrc
+	// LocDst marks attributes of the destination vertex.
+	LocDst
+)
+
+// Location returns where the attribute lives.
+func (a Attr) Location() Location {
+	switch a {
+	case AttrSrcID, AttrSrcDegree:
+		return LocSrc
+	case AttrDstID, AttrDstDegree:
+		return LocDst
+	default:
+		return LocEdge
+	}
+}
+
+// Class categorizes table rows (paper Figure 6).
+type Class int
+
+const (
+	// ClassIndexing attributes are used by the model's indexing
+	// operations; restrictions on them shape operation efficiency.
+	ClassIndexing Class = iota
+	// ClassInherent attributes (degrees) are not indexed by the model but
+	// still matter for performance.
+	ClassInherent
+	// ClassUnused attributes are ignored by graph partition.
+	ClassUnused
+)
+
+// Classify returns the class of attribute a for a model whose indexing
+// operations consume indexAttrs.
+func Classify(a Attr, indexAttrs []Attr) Class {
+	for _, x := range indexAttrs {
+		if x == a {
+			return ClassIndexing
+		}
+	}
+	if a == AttrSrcDegree || a == AttrDstDegree || a == AttrEdgeID {
+		return ClassInherent
+	}
+	return ClassUnused
+}
+
+// AttrReader resolves attribute values for edges of a graph. Degree
+// attributes are cached from the graph on construction.
+type AttrReader struct {
+	g      *graph.Graph
+	inDeg  []int32
+	outDeg []int32
+}
+
+// NewAttrReader builds a reader over g.
+func NewAttrReader(g *graph.Graph) *AttrReader {
+	return &AttrReader{g: g, inDeg: g.InDegrees(), outDeg: g.OutDegrees()}
+}
+
+// Value returns attribute a of edge e.
+func (r *AttrReader) Value(a Attr, e int) int32 {
+	switch a {
+	case AttrEdgeID:
+		return int32(e)
+	case AttrSrcID:
+		return r.g.Src[e]
+	case AttrDstID:
+		return r.g.Dst[e]
+	case AttrEdgeType:
+		return r.g.EdgeType(e)
+	case AttrSrcDegree:
+		return r.outDeg[r.g.Src[e]]
+	case AttrDstDegree:
+		return r.inDeg[r.g.Dst[e]]
+	default:
+		panic(fmt.Sprintf("core: unknown attribute %d", int(a)))
+	}
+}
+
+// Cardinality returns the number of distinct values attribute a can take
+// on this graph (used by the cost model to bound uniqueness).
+func (r *AttrReader) Cardinality(a Attr) int {
+	switch a {
+	case AttrEdgeID:
+		return r.g.NumEdges()
+	case AttrSrcID, AttrDstID:
+		return r.g.NumVertices
+	case AttrEdgeType:
+		return r.g.NumTypes
+	default:
+		return r.g.NumVertices // degree values are bounded by V
+	}
+}
+
+// ParseAttr resolves an attribute name (as produced by Attr.String).
+func ParseAttr(name string) (Attr, error) {
+	for a := Attr(0); a < NumAttrs; a++ {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown attribute %q", name)
+}

@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// PlanSpace controls plan enumeration.
+type PlanSpace struct {
+	// BatchSizes are the K values tried for Exact restrictions with K > 1
+	// (paper Figure 18 sweeps these).
+	BatchSizes []int
+	// HasTypes enables edge-type restricted plans (RGCN-style models).
+	HasTypes bool
+	// UseDegree enables inherent-attribute (degree) plans.
+	UseDegree bool
+}
+
+// DefaultPlanSpace returns the space used by the end-to-end search.
+func DefaultPlanSpace(hasTypes bool) PlanSpace {
+	return PlanSpace{BatchSizes: []int{32, 128}, HasTypes: hasTypes, UseDegree: true}
+}
+
+// EnumeratePlans generates candidate graph partition plans for a model
+// whose indexing operations consume indexAttrs. The space covers the
+// existing partitions (vertex-centric, edge-centric, 2-D) as special cases
+// plus the new plans of paper Figure 7: type-restricted, degree-restricted
+// and min-restricted padding plans.
+func EnumeratePlans(indexAttrs []Attr, space PlanSpace) []GraphPlan {
+	uses := func(a Attr) bool {
+		for _, x := range indexAttrs {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	var plans []GraphPlan
+	add := func(name string, rs ...Restriction) {
+		plans = append(plans, GraphPlan{Name: name, Restrictions: rs})
+	}
+
+	// (b) vertex-centric: uniq(dst-id)=1.
+	if uses(AttrDstID) {
+		add("vertex-centric", Restriction{Attr: AttrDstID, Kind: Exact, Limit: 1})
+	}
+	// (e) edge-centric: uniq(edge-id)=1.
+	add("edge-centric", Restriction{Attr: AttrEdgeID, Kind: Exact, Limit: 1})
+
+	for _, k := range space.BatchSizes {
+		// edge-batched: uniq(edge-id)=K, balanced fixed-size tasks.
+		add(fmt.Sprintf("edge-batch-%d", k), Restriction{Attr: AttrEdgeID, Kind: Exact, Limit: k})
+		if uses(AttrDstID) {
+			// (c) dst-batched: uniq(dst-id)=K.
+			add(fmt.Sprintf("dst-batch-%d", k), Restriction{Attr: AttrDstID, Kind: Exact, Limit: k})
+			// vertex-centric with bounded edges: uniq(dst-id)=1 & uniq(edge-id)=K.
+			add(fmt.Sprintf("dst1-edge-%d", k),
+				Restriction{Attr: AttrDstID, Kind: Exact, Limit: 1},
+				Restriction{Attr: AttrEdgeID, Kind: Exact, Limit: k})
+		}
+		if uses(AttrSrcID) && uses(AttrDstID) {
+			// (f) 2-D partition: uniq(dst-id)=K & uniq(src-id)=K.
+			add(fmt.Sprintf("2d-%d", k),
+				Restriction{Attr: AttrDstID, Kind: Exact, Limit: k},
+				Restriction{Attr: AttrSrcID, Kind: Exact, Limit: k})
+		}
+		if space.HasTypes && uses(AttrEdgeType) && uses(AttrSrcID) {
+			// src-batched single-type (the RGCN winner in Figure 18a):
+			// uniq(src-id)=K & uniq(edge-type)=1.
+			add(fmt.Sprintf("src-%d-type-1", k),
+				Restriction{Attr: AttrSrcID, Kind: Exact, Limit: k},
+				Restriction{Attr: AttrEdgeType, Kind: Exact, Limit: 1})
+		}
+		if space.UseDegree && uses(AttrDstID) {
+			// (h) degree-padded: uniq(dst-id)=K & uniq(dst-degree)=min
+			// (the SAGE-LSTM winner in Figure 18b).
+			add(fmt.Sprintf("dst-%d-degmin", k),
+				Restriction{Attr: AttrDstID, Kind: Exact, Limit: k},
+				Restriction{Attr: AttrDstDegree, Kind: Min})
+		}
+	}
+	if space.HasTypes && uses(AttrEdgeType) {
+		if uses(AttrDstID) {
+			// (d) vertex+type: uniq(dst-id)=1 & uniq(edge-type)=1.
+			add("dst1-type1",
+				Restriction{Attr: AttrDstID, Kind: Exact, Limit: 1},
+				Restriction{Attr: AttrEdgeType, Kind: Exact, Limit: 1})
+		}
+		// type-only: uniq(edge-type)=1 (tensor-centric per relation).
+		add("type1", Restriction{Attr: AttrEdgeType, Kind: Exact, Limit: 1})
+	}
+	if space.UseDegree && uses(AttrDstID) {
+		// (g) same-degree grouping: uniq(dst-degree)=1.
+		add("deg1", Restriction{Attr: AttrDstDegree, Kind: Exact, Limit: 1})
+	}
+	return plans
+}
+
+// Restricted reports whether plan has an Exact restriction on a, returning
+// its limit.
+func (p GraphPlan) Restricted(a Attr) (limit int, ok bool) {
+	for _, r := range p.Restrictions {
+		if r.Attr == a && r.Kind == Exact {
+			return r.Limit, true
+		}
+	}
+	return 0, false
+}
+
+// HasMin reports whether plan has a Min restriction on a.
+func (p GraphPlan) HasMin(a Attr) bool {
+	for _, r := range p.Restrictions {
+		if r.Attr == a && r.Kind == Min {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestSpecsMatchPaperTable1(t *testing.T) {
+	// Spot-check the paper's Table 1 metadata.
+	cases := []struct {
+		name    string
+		dim     int
+		classes int
+	}{
+		{"AR", 128, 40},
+		{"PR", 100, 47},
+		{"RE", 602, 41},
+		{"PA-S", 128, 172},
+		{"FS-S", 384, 64},
+		{"PA", 128, 172},
+		{"FS", 384, 64},
+	}
+	for _, c := range cases {
+		s, err := SpecByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Dim != c.dim || s.Classes != c.classes {
+			t.Fatalf("%s: dim=%d classes=%d, want %d/%d", c.name, s.Dim, s.Classes, c.dim, c.classes)
+		}
+	}
+	if _, err := SpecByName("NOPE"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestMultiGPUGrouping(t *testing.T) {
+	for _, name := range []string{"PA", "FS"} {
+		s, _ := SpecByName(name)
+		if !s.MultiGPU {
+			t.Fatalf("%s must be in the multi-GPU group", name)
+		}
+	}
+	for _, name := range []string{"AR", "PR", "RE"} {
+		s, _ := SpecByName(name)
+		if s.MultiGPU {
+			t.Fatalf("%s must be in the single-GPU group", name)
+		}
+	}
+}
+
+func TestLoadProducesConsistentDataset(t *testing.T) {
+	ds, err := Load("AR", Options{Scale: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ds.Graph.NumVertices
+	if v < 64 {
+		t.Fatalf("too few vertices: %d", v)
+	}
+	if err := ds.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Features.Dim(0) != v || ds.Features.Dim(1) != 128 {
+		t.Fatalf("feature shape %v", ds.Features.Shape())
+	}
+	if len(ds.Labels) != v {
+		t.Fatalf("labels length %d", len(ds.Labels))
+	}
+	for _, l := range ds.Labels {
+		if l < 0 || int(l) >= ds.Classes() {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	// splits are disjoint and cover all vertices
+	seen := make([]int, v)
+	for _, m := range [][]int32{ds.TrainMask, ds.ValMask, ds.TestMask} {
+		for _, x := range m {
+			seen[x]++
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("vertex %d appears %d times across splits", i, c)
+		}
+	}
+	if len(ds.TrainMask) <= len(ds.ValMask) {
+		t.Fatalf("train split should dominate: %d vs %d", len(ds.TrainMask), len(ds.ValMask))
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, _ := Load("PA-S", Options{Scale: 500, Seed: 7})
+	b, _ := Load("PA-S", Options{Scale: 500, Seed: 7})
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("edge counts differ for identical options")
+	}
+	for e := range a.Graph.Src {
+		if a.Graph.Src[e] != b.Graph.Src[e] {
+			t.Fatal("graphs differ for identical options")
+		}
+	}
+	for i := range a.Features.Data() {
+		if a.Features.Data()[i] != b.Features.Data()[i] {
+			t.Fatal("features differ for identical options")
+		}
+	}
+}
+
+func TestFeatureDimOverride(t *testing.T) {
+	ds, _ := Load("RE", Options{Scale: 2000, FeatureDim: 16, Seed: 1})
+	if ds.Dim() != 16 {
+		t.Fatalf("dim = %d, want 16", ds.Dim())
+	}
+}
+
+func TestDefaultScaleBounded(t *testing.T) {
+	for _, s := range Specs {
+		sc := DefaultScale(s)
+		if sc < 1 {
+			t.Fatalf("%s: scale %d", s.Name, sc)
+		}
+		edges := s.Edges / sc
+		if edges > 200_000 {
+			t.Fatalf("%s: default scale leaves %d edges (too many for CPU benches)", s.Name, edges)
+		}
+	}
+}
+
+func TestFeaturesAreClassSeparable(t *testing.T) {
+	// Features are planted as class centers + noise: the mean intra-class
+	// feature distance must be smaller than the inter-class distance.
+	ds, _ := Load("AR", Options{Scale: 500, FeatureDim: 32, Seed: 3})
+	v := ds.Graph.NumVertices
+	dim := ds.Dim()
+	classes := ds.Classes()
+	mean := make([][]float64, classes)
+	count := make([]int, classes)
+	for c := range mean {
+		mean[c] = make([]float64, dim)
+	}
+	for i := 0; i < v; i++ {
+		c := ds.Labels[i]
+		count[c]++
+		row := ds.Features.Row(i)
+		for j, x := range row {
+			mean[c][j] += float64(x)
+		}
+	}
+	nonEmpty := 0
+	for c := range mean {
+		if count[c] == 0 {
+			continue
+		}
+		nonEmpty++
+		for j := range mean[c] {
+			mean[c][j] /= float64(count[c])
+		}
+	}
+	if nonEmpty < 2 {
+		t.Skip("degenerate class distribution at this scale")
+	}
+	// distance between two non-empty class means must exceed zero clearly
+	var c1, c2 = -1, -1
+	for c := range mean {
+		if count[c] > 0 {
+			if c1 < 0 {
+				c1 = c
+			} else {
+				c2 = c
+				break
+			}
+		}
+	}
+	var dist float64
+	for j := 0; j < dim; j++ {
+		d := mean[c1][j] - mean[c2][j]
+		dist += d * d
+	}
+	if dist < 1e-3 {
+		t.Fatalf("class means indistinguishable (d²=%v)", dist)
+	}
+}

@@ -1,0 +1,279 @@
+// Package device simulates the accelerator the paper runs on. The paper's
+// numbers come from NVIDIA A100 GPUs; this environment has no GPU, so every
+// kernel executes its numeric work for real on CPU workers while an analytic
+// timing model accounts what the same kernel would cost on the modeled
+// device: launch overhead, compute time on the SIMT or tensor-core path,
+// memory traffic against HBM bandwidth, and parallelism efficiency across
+// execution units.
+//
+// The model is deliberately simple — per kernel,
+//
+//	t = launch + max(FLOPs / (peak·eff), Bytes / bandwidth)
+//
+// with eff = min(1, parallelism/units) — because every effect the paper
+// measures (compute/memory ratio, kernel-count overhead, batching, load
+// imbalance, communication volume) is a first-order function of exactly
+// these quantities. Absolute times are not meaningful; ratios are.
+package device
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Spec describes a simulated accelerator.
+type Spec struct {
+	Name string
+	// TensorCoreFLOPS is the dense-matmul (TF32 tensor core) peak, FLOP/s.
+	TensorCoreFLOPS float64
+	// SIMTFLOPS is the scalar-path peak, FLOP/s.
+	SIMTFLOPS float64
+	// MemBandwidth is device-memory bandwidth, bytes/s.
+	MemBandwidth float64
+	// LaunchOverhead is fixed per-kernel launch latency, seconds.
+	LaunchOverhead float64
+	// NumUnits is the number of execution units (SMs).
+	NumUnits int
+}
+
+// A100 returns the spec of the paper's evaluation GPU (A100-PCIe-40GB).
+func A100() Spec {
+	return Spec{
+		Name:            "A100-PCIe",
+		TensorCoreFLOPS: 156e12,
+		SIMTFLOPS:       19.5e12,
+		MemBandwidth:    1555e9,
+		LaunchOverhead:  5e-6,
+		NumUnits:        108,
+	}
+}
+
+// Category classifies kernels for time-breakdown reporting (Figure 3b and
+// Figure 17 split execution into indexing vs neural time).
+type Category int
+
+const (
+	CatIndexing Category = iota
+	CatNeural
+	CatComm
+	CatOther
+	numCategories
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatIndexing:
+		return "indexing"
+	case CatNeural:
+		return "neural"
+	case CatComm:
+		return "comm"
+	default:
+		return "other"
+	}
+}
+
+// Kernel describes one launch for the timing model.
+type Kernel struct {
+	Name string
+	Cat  Category
+	// FLOPs is the floating-point work of the kernel.
+	FLOPs float64
+	// Bytes is total device-memory traffic (reads + writes).
+	Bytes float64
+	// Parallelism is the number of independent work items the kernel can
+	// spread across execution units (e.g. number of gTasks, rows, edges).
+	// Zero means fully parallel.
+	Parallelism float64
+	// TensorCore selects the dense-matmul peak instead of the SIMT peak.
+	// Only batched matrix work qualifies (paper §5.3: batching enables
+	// tensor cores).
+	TensorCore bool
+	// UnitTimes, if non-nil, gives per-work-item times; the kernel's
+	// duration is then the makespan of list-scheduling those items onto
+	// NumUnits units (models the long-tail effect of outlier gTasks).
+	UnitTimes []float64
+}
+
+// Time returns the modeled duration of k on spec (excluding launch).
+func (s Spec) Time(k Kernel) float64 {
+	if k.UnitTimes != nil {
+		return Makespan(k.UnitTimes, s.NumUnits)
+	}
+	peak := s.SIMTFLOPS
+	if k.TensorCore {
+		peak = s.TensorCoreFLOPS
+	}
+	eff := 1.0
+	if k.Parallelism > 0 && k.Parallelism < float64(s.NumUnits) {
+		eff = k.Parallelism / float64(s.NumUnits)
+	}
+	tc := 0.0
+	if k.FLOPs > 0 {
+		tc = k.FLOPs / (peak * eff)
+	}
+	tm := 0.0
+	if k.Bytes > 0 {
+		tm = k.Bytes / s.MemBandwidth
+	}
+	if tm > tc {
+		return tm
+	}
+	return tc
+}
+
+// Makespan list-schedules per-item times onto units in the given order
+// (each item goes to the earliest-free unit) and returns the finish time.
+// Order matters: scheduling long items late produces the long-tail effect
+// the paper's differentiated execution removes.
+func Makespan(times []float64, units int) float64 {
+	if units < 1 {
+		units = 1
+	}
+	if len(times) == 0 {
+		return 0
+	}
+	// Earliest-free-unit scheduling with a small binary heap.
+	h := make([]float64, units)
+	for _, t := range times {
+		// pop min (h[0]), add t, push back
+		h[0] += t
+		siftDown(h)
+	}
+	var max float64
+	for _, v := range h {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func siftDown(h []float64) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// LPTMakespan schedules items longest-processing-time-first, the balanced
+// order differentiated scheduling approximates by raising overfill-gTask
+// priority.
+func LPTMakespan(times []float64, units int) float64 {
+	s := append([]float64(nil), times...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	return Makespan(s, units)
+}
+
+// Device accumulates simulated time and traffic across kernel launches.
+// It is safe for concurrent use.
+type Device struct {
+	Spec Spec
+
+	mu      sync.Mutex
+	simTime float64
+	kernels int64
+	flops   float64
+	bytes   float64
+	byCat   [numCategories]float64
+}
+
+// New returns a device with the given spec.
+func New(spec Spec) *Device { return &Device{Spec: spec} }
+
+// Launch accounts kernel k and, if body is non-nil, executes it for real.
+// The modeled time includes the fixed launch overhead — the cost the
+// tensor-centric approach pays once per operation and fused gTask kernels
+// pay once per partition.
+func (d *Device) Launch(k Kernel, body func()) {
+	if body != nil {
+		body()
+	}
+	t := d.Spec.LaunchOverhead + d.Spec.Time(k)
+	d.mu.Lock()
+	d.simTime += t
+	d.kernels++
+	d.flops += k.FLOPs
+	d.bytes += k.Bytes
+	if k.Cat >= 0 && k.Cat < numCategories {
+		d.byCat[k.Cat] += t
+	}
+	d.mu.Unlock()
+}
+
+// AddTime adds raw modeled seconds in a category without a kernel launch
+// (used by the communication model).
+func (d *Device) AddTime(cat Category, seconds float64) {
+	d.mu.Lock()
+	d.simTime += seconds
+	if cat >= 0 && cat < numCategories {
+		d.byCat[cat] += seconds
+	}
+	d.mu.Unlock()
+}
+
+// Stats is a snapshot of accumulated accounting.
+type Stats struct {
+	SimSeconds float64
+	Kernels    int64
+	FLOPs      float64
+	Bytes      float64
+	ByCategory map[string]float64
+}
+
+// Stats returns a snapshot.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	by := make(map[string]float64, int(numCategories))
+	for c := Category(0); c < numCategories; c++ {
+		if d.byCat[c] != 0 {
+			by[c.String()] = d.byCat[c]
+		}
+	}
+	return Stats{SimSeconds: d.simTime, Kernels: d.kernels, FLOPs: d.flops, Bytes: d.bytes, ByCategory: by}
+}
+
+// Reset zeroes all counters.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	d.simTime, d.kernels, d.flops, d.bytes = 0, 0, 0, 0
+	d.byCat = [numCategories]float64{}
+	d.mu.Unlock()
+}
+
+// ComputeMemoryRatio returns accumulated FLOPs per byte, the metric of the
+// paper's Figure 3(a).
+func (d *Device) ComputeMemoryRatio() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.bytes == 0 {
+		return 0
+	}
+	return d.flops / d.bytes
+}
+
+// RooflineRatio returns the spec's balance point (FLOPs per byte at which
+// compute and memory time are equal on the SIMT path) — the "optimal"
+// line in Figure 3(a).
+func (s Spec) RooflineRatio() float64 { return s.SIMTFLOPS / s.MemBandwidth }
+
+// String describes the spec.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s{%.0fTF simt, %.0fTF tc, %.0fGB/s, %d units}",
+		s.Name, s.SIMTFLOPS/1e12, s.TensorCoreFLOPS/1e12, s.MemBandwidth/1e9, s.NumUnits)
+}

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+)
+
+// Trainer trains a multi-layer GCN across the engine's devices with data
+// parallelism: features and labels are sharded by vertex block, weights
+// are replicated (gradients all-reduced), and every layer runs the
+// distributed forward/backward with the placement chosen per layer. It is
+// the executable counterpart of Table 2's full-graph multi-GPU training —
+// tests verify loss and parameters track single-device training exactly.
+type Trainer struct {
+	E     *Engine
+	Model *nn.Model
+	Opt   *nn.Adam
+	// Placement per layer (chosen once from the volume model).
+	Placements []Strategy
+
+	xParts []*tensor.Tensor // sharded input features
+	labels []int32
+	masks  [][]int32 // per-device local training indices
+
+	// caches per layer for backward
+	layerIn  [][]*tensor.Tensor
+	layerOut [][]*tensor.Tensor
+}
+
+// NewTrainer shards the dataset across the engine's devices and picks a
+// placement per layer from the changing-data-volume model.
+func NewTrainer(e *Engine, m *nn.Model, features *tensor.Tensor, labels []int32, trainMask []int32, lr float64) (*Trainer, error) {
+	for _, l := range m.Layers() {
+		switch l.(type) {
+		case *nn.GCNLayer, *nn.SAGELayer:
+		default:
+			return nil, fmt.Errorf("dist: distributed training supports GCN and SAGE layers, got %T", l)
+		}
+	}
+	t := &Trainer{
+		E:      e,
+		Model:  m,
+		Opt:    nn.NewAdam(lr, m.Params()),
+		xParts: e.Shard(features),
+		labels: labels,
+	}
+	gs := Analyze(e.G, e.C.N)
+	for _, l := range m.Layers() {
+		p := PlaceLayer(e.C, gs, nn.GCN, l.InDim(), l.OutDim(), DPPre, true, true)
+		if q := PlaceLayer(e.C, gs, nn.GCN, l.InDim(), l.OutDim(), DPPost, true, true); q.Total() < p.Total() {
+			p = q
+		}
+		t.Placements = append(t.Placements, p.Strategy)
+	}
+	// per-device training vertices (local indices)
+	t.masks = make([][]int32, e.C.N)
+	for _, v := range trainMask {
+		d := e.Owner(v)
+		lo, _ := e.Block(d)
+		t.masks[d] = append(t.masks[d], v-lo)
+	}
+	return t, nil
+}
+
+// forward runs the distributed forward pass, caching per-layer activations.
+func (t *Trainer) forward() []*tensor.Tensor {
+	cur := t.xParts
+	t.layerIn = t.layerIn[:0]
+	t.layerOut = t.layerOut[:0]
+	layers := t.Model.Layers()
+	for li, l := range layers {
+		t.layerIn = append(t.layerIn, cur)
+		var out []*tensor.Tensor
+		switch lt := l.(type) {
+		case *nn.GCNLayer:
+			var err error
+			out, err = t.E.GCNForward(lt, cur, t.Placements[li])
+			if err != nil {
+				panic(err) // placements are restricted to executable strategies
+			}
+		case *nn.SAGELayer:
+			out = t.E.SAGEForward(lt, cur)
+		}
+		t.layerOut = append(t.layerOut, out)
+		if li < len(layers)-1 {
+			next := make([]*tensor.Tensor, len(out))
+			for d, o := range out {
+				next[d] = tensor.ReLU(nil, o)
+			}
+			cur = next
+		} else {
+			cur = out
+		}
+	}
+	return cur
+}
+
+// Step runs one distributed training iteration and returns the global
+// training loss (identical to the single-device loss: the masked mean is
+// weighted by per-device counts).
+func (t *Trainer) Step() float64 {
+	t.Opt.ZeroGrads()
+	logits := t.forward()
+	// per-device masked cross-entropy with a global mean
+	n := t.E.C.N
+	grads := make([]*tensor.Tensor, n)
+	lossSum := 0.0
+	total := 0
+	for d := 0; d < n; d++ {
+		total += len(t.masks[d])
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for d := 0; d < n; d++ {
+		go func(d int) {
+			defer wg.Done()
+			lo, hi := t.E.Block(d)
+			localLabels := t.labels[lo:hi]
+			grad := tensor.New(logits[d].Shape()...)
+			// per-device loss over its local mask, weighted to the
+			// global mean
+			l := tensor.CrossEntropy(logits[d], localLabels, t.masks[d], grad)
+			w := float64(len(t.masks[d])) / float64(total)
+			tensor.Scale(grad, grad, float32(w))
+			mu.Lock()
+			lossSum += l * w
+			mu.Unlock()
+			grads[d] = grad
+		}(d)
+	}
+	wg.Wait()
+	// distributed backward through the stack
+	layers := t.Model.Layers()
+	cur := grads
+	for li := len(layers) - 1; li >= 0; li-- {
+		if li < len(layers)-1 {
+			for d := range cur {
+				cur[d] = tensor.ReLUGrad(nil, cur[d], t.layerOut[li][d])
+			}
+		}
+		switch lt := layers[li].(type) {
+		case *nn.GCNLayer:
+			cur = t.E.GCNBackward(lt, t.layerIn[li], cur)
+		case *nn.SAGELayer:
+			cur = t.E.SAGEBackward(lt, t.layerIn[li], cur)
+		}
+	}
+	t.Opt.Step()
+	return lossSum
+}
+
+// Accuracy evaluates classification accuracy over the given global vertex
+// ids using the distributed forward pass.
+func (t *Trainer) Accuracy(mask []int32) float64 {
+	logits := t.E.Unshard(t.forward())
+	pred := tensor.ArgMaxRows(logits)
+	if len(mask) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, v := range mask {
+		if pred[v] == t.labels[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(mask))
+}

@@ -1,0 +1,105 @@
+// Package exec defines the shared execution context for conv executors:
+// kernel accounting against the simulated device, training-mode backward
+// accounting, and device-memory (OOM) tracking at paper scale.
+//
+// Executors come in three families, mirroring the paper's taxonomy:
+// tensor-centric (internal/baseline), graph-centric (internal/baseline)
+// and gTask-based (internal/kernels). All families produce numerically
+// identical results — the strategies differ only in how the workload is
+// partitioned — so executors obtain the numeric output from the reference
+// layer implementation and differ in the kernels they account.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"wisegraph/internal/device"
+)
+
+// ErrOOM is returned when an executor's modeled workspace exceeds the
+// device memory at paper scale (the white blocks of paper Figure 13).
+var ErrOOM = errors.New("exec: device out of memory at paper scale")
+
+// Ctx carries the device, the execution mode, and the memory model.
+type Ctx struct {
+	Dev *device.Device
+	// Training accounts the backward pass too: a neural kernel's
+	// gradient needs two extra matmuls (3× FLOPs total) and an indexing
+	// kernel's transpose doubles its traffic (2×) — the standard
+	// fwd+bwd accounting.
+	Training bool
+	// Compute controls whether executors produce real numeric outputs
+	// (tests, training) or only account kernels (search, large benches).
+	Compute bool
+	// PaperScale multiplies workspace sizes to model the paper-scale
+	// dataset on the 40 GB device; 0 or 1 means no scaling.
+	PaperScale float64
+	// MemCap is the device memory in bytes (default A100 40 GB).
+	MemCap float64
+
+	peakWorkspace float64
+}
+
+// NewCtx returns a context over dev with the A100's 40 GB capacity.
+func NewCtx(dev *device.Device) *Ctx {
+	return &Ctx{Dev: dev, Compute: true, PaperScale: 1, MemCap: 40e9}
+}
+
+// Launch accounts kernel k (with training multipliers applied) and runs
+// body when computing.
+func (c *Ctx) Launch(k device.Kernel, body func()) {
+	if c.Training {
+		switch k.Cat {
+		case device.CatNeural:
+			k.FLOPs *= 3
+			k.Bytes *= 3
+		case device.CatIndexing:
+			k.FLOPs *= 2
+			k.Bytes *= 2
+		}
+		if k.UnitTimes != nil {
+			scaled := make([]float64, len(k.UnitTimes))
+			mult := 2.0
+			if k.Cat == device.CatNeural {
+				mult = 3.0
+			}
+			for i, t := range k.UnitTimes {
+				scaled[i] = t * mult
+			}
+			k.UnitTimes = scaled
+		}
+	}
+	if !c.Compute {
+		body = nil
+	}
+	c.Dev.Launch(k, body)
+}
+
+// Alloc models allocating a workspace of the given size (in bytes at the
+// *current* dataset scale); it scales to paper size and fails with ErrOOM
+// past the capacity. Workspaces within one executor call are treated as
+// live simultaneously (peak = running max of cumulative allocations is
+// approximated by the largest single allocation plus persistent state,
+// which is what matters for the [E,F] materializations that dominate).
+func (c *Ctx) Alloc(bytes float64) error {
+	scale := c.PaperScale
+	if scale <= 0 {
+		scale = 1
+	}
+	scaled := bytes * scale
+	if scaled > c.peakWorkspace {
+		c.peakWorkspace = scaled
+	}
+	if c.peakWorkspace > c.MemCap && c.MemCap > 0 {
+		return fmt.Errorf("%w: workspace %.1f GB > %.1f GB", ErrOOM, c.peakWorkspace/1e9, c.MemCap/1e9)
+	}
+	return nil
+}
+
+// ResetWorkspace clears the workspace high-water mark (between layers or
+// iterations).
+func (c *Ctx) ResetWorkspace() { c.peakWorkspace = 0 }
+
+// PeakWorkspace reports the scaled high-water mark.
+func (c *Ctx) PeakWorkspace() float64 { return c.peakWorkspace }

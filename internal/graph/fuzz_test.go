@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"wisegraph/internal/tensor"
+)
+
+// FuzzReadCSV hammers the edge-list parser: any input must either parse
+// into a graph that validates, or fail cleanly with an error — never
+// panic or produce an inconsistent graph.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("src,dst,type\n0,1,0\n1,2,1\n")
+	f.Add("# vertices=5 edges=2 types=2\n0,4,1\n3,3,0\n")
+	f.Add("0,1\n")
+	f.Add("")
+	f.Add("#\n#vertices=x\n")
+	f.Add("a,b,c\n0,0,0\n")
+	f.Add("0,1,2\n-1,0,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph fails validation: %v\ninput: %q", err, input)
+		}
+		// derived structures must also be safe to build (skip declared
+		// vertex counts that would legitimately allocate gigabytes)
+		if g.NumVertices <= 1_000_000 {
+			g.BuildCSRByDst()
+			g.InDegrees()
+			g.OutDegrees()
+		}
+	})
+}
+
+// FuzzNeighborSampleBounds checks the sampler against arbitrary small
+// graphs: all outputs must reference valid local/parent ids.
+func FuzzNeighborSampleBounds(f *testing.F) {
+	f.Add(uint8(5), uint8(10), uint8(2), uint16(3))
+	f.Fuzz(func(t *testing.T, vRaw, eRaw, fanRaw uint8, seedRaw uint16) {
+		v := int(vRaw%30) + 2
+		e := int(eRaw % 60)
+		fan := int(fanRaw%5) + 1
+		g := &Graph{NumVertices: v, NumTypes: 1}
+		s := uint64(seedRaw)*2654435761 + 1
+		for i := 0; i < e; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			g.Src = append(g.Src, int32((s>>33)%uint64(v)))
+			s = s*6364136223846793005 + 1442695040888963407
+			g.Dst = append(g.Dst, int32((s>>33)%uint64(v)))
+		}
+		csr := g.BuildCSRByDst()
+		sub := NeighborSample(g, csr, []int32{0}, []int{fan, fan}, rngFor(uint64(seedRaw)))
+		if err := sub.Graph.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range sub.Vertices {
+			if p < 0 || int(p) >= v {
+				t.Fatalf("parent vertex %d out of range", p)
+			}
+		}
+		for _, ep := range sub.EdgeParent {
+			if ep < 0 || int(ep) >= e {
+				t.Fatalf("parent edge %d out of range", ep)
+			}
+		}
+	})
+}
+
+// rngFor builds a deterministic RNG for fuzz inputs.
+func rngFor(seed uint64) *tensor.RNG { return tensor.NewRNG(seed + 1) }

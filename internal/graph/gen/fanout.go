@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"wisegraph/internal/graph"
+	"wisegraph/internal/tensor"
+)
+
+// generateFanout builds a graph shaped like the union of neighbor-sampled
+// subgraphs: a seed layer, then hop layers where each vertex of layer l
+// draws up to Fanouts[l] in-neighbors from the (larger) next layer, with
+// branch sharing so that popular sources are reused across destinations —
+// reproducing PA-S/FS-S's key property that destinations are far fewer
+// than sources.
+func generateFanout(cfg Config, rng *tensor.RNG) *Result {
+	fanouts := cfg.Fanouts
+	if len(fanouts) == 0 {
+		fanouts = []int{20, 15, 10}
+	}
+	// Solve layer widths against the vertex budget: layer 0 (seeds) gets
+	// w0 vertices; each deeper layer grows by a sharing-damped fan
+	// factor. Sharing keeps layer growth below the raw fan-out product,
+	// like real sampled unions where branches collide.
+	const share = 0.45 // fraction of distinct new vertices per drawn edge
+	widths := make([]float64, len(fanouts)+1)
+	widths[0] = 1
+	totalW := 1.0
+	for i, f := range fanouts {
+		widths[i+1] = widths[i] * float64(f) * share
+		totalW += widths[i+1]
+	}
+	scale := float64(cfg.NumVertices) / totalW
+	layerStart := make([]int, len(widths)+1)
+	for i := range widths {
+		size := int(widths[i] * scale)
+		if size < 1 {
+			size = 1
+		}
+		layerStart[i+1] = layerStart[i] + size
+	}
+	v := layerStart[len(widths)]
+	g := &graph.Graph{NumVertices: v, NumTypes: 1}
+
+	// Edge budget split across layers proportional to dst-layer size ×
+	// fan-out.
+	var totalEdgesW float64
+	edgeW := make([]float64, len(fanouts))
+	for i, f := range fanouts {
+		edgeW[i] = (widths[i] * scale) * float64(f)
+		totalEdgesW += edgeW[i]
+	}
+	for i := range fanouts {
+		dstLo, dstHi := layerStart[i], layerStart[i+1]
+		srcLo, srcHi := layerStart[i+1], layerStart[i+2]
+		n := int(float64(cfg.NumEdges) * edgeW[i] / totalEdgesW)
+		span := srcHi - srcLo
+		dspan := dstHi - dstLo
+		if span <= 0 || dspan <= 0 {
+			continue
+		}
+		for e := 0; e < n; e++ {
+			dst := dstLo + rng.Intn(dspan)
+			src := srcLo + rng.Intn(span)
+			g.Src = append(g.Src, int32(src))
+			g.Dst = append(g.Dst, int32(dst))
+		}
+	}
+
+	if cfg.NumTypes > 1 {
+		g.NumTypes = cfg.NumTypes
+		g.Type = make([]int32, g.NumEdges())
+		z := newZipf(cfg.NumTypes, 1.1)
+		for e := range g.Type {
+			g.Type[e] = int32(z.draw(rng))
+		}
+	}
+	var block []int32
+	if cfg.NumBlocks > 1 {
+		block = make([]int32, v)
+		for i := range block {
+			block[i] = int32(i * cfg.NumBlocks / v)
+		}
+	}
+	return &Result{Graph: g, Block: block}
+}

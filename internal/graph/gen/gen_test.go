@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"wisegraph/internal/tensor"
+)
+
+func TestGenerateBasicValidity(t *testing.T) {
+	for _, kind := range []Kind{PowerLaw, Uniform, RMAT} {
+		res := Generate(Config{NumVertices: 500, NumEdges: 3000, Kind: kind, Skew: 0.9, Seed: 1})
+		g := res.Graph
+		if g.NumVertices != 500 || g.NumEdges() != 3000 {
+			t.Fatalf("kind %d: wrong size %v", kind, g)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{NumVertices: 100, NumEdges: 400, Kind: PowerLaw, Skew: 0.8, Seed: 5}).Graph
+	b := Generate(Config{NumVertices: 100, NumEdges: 400, Kind: PowerLaw, Skew: 0.8, Seed: 5}).Graph
+	for e := range a.Src {
+		if a.Src[e] != b.Src[e] || a.Dst[e] != b.Dst[e] {
+			t.Fatal("same seed must give identical graphs")
+		}
+	}
+	c := Generate(Config{NumVertices: 100, NumEdges: 400, Kind: PowerLaw, Skew: 0.8, Seed: 6}).Graph
+	same := true
+	for e := range a.Src {
+		if a.Src[e] != c.Src[e] || a.Dst[e] != c.Dst[e] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	res := Generate(Config{NumVertices: 2000, NumEdges: 40000, Kind: PowerLaw, Skew: 1.0, Seed: 2})
+	deg := res.Graph.InDegrees()
+	sorted := append([]int32(nil), deg...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	// top 1% of vertices must hold a disproportionate share of edges
+	var top, total int64
+	for i, d := range sorted {
+		total += int64(d)
+		if i < len(sorted)/100 {
+			top += int64(d)
+		}
+	}
+	share := float64(top) / float64(total)
+	if share < 0.10 {
+		t.Fatalf("power-law top-1%% in-degree share = %.3f, want ≥ 0.10", share)
+	}
+
+	// uniform graphs must NOT be this skewed
+	res2 := Generate(Config{NumVertices: 2000, NumEdges: 40000, Kind: Uniform, Seed: 2})
+	deg2 := res2.Graph.InDegrees()
+	sorted2 := append([]int32(nil), deg2...)
+	sort.Slice(sorted2, func(i, j int) bool { return sorted2[i] > sorted2[j] })
+	var top2 int64
+	for i := 0; i < len(sorted2)/100; i++ {
+		top2 += int64(sorted2[i])
+	}
+	if float64(top2)/float64(total) > share {
+		t.Fatalf("uniform more skewed than power-law (%d vs %d)", top2, top)
+	}
+}
+
+func TestTypedEdgesZipf(t *testing.T) {
+	res := Generate(Config{NumVertices: 300, NumEdges: 10000, Kind: PowerLaw, Skew: 0.8, NumTypes: 6, Seed: 3})
+	g := res.Graph
+	if g.NumTypes != 6 || g.Type == nil {
+		t.Fatalf("types not assigned: %v", g)
+	}
+	counts := make([]int, 6)
+	for _, ty := range g.Type {
+		counts[ty]++
+	}
+	// Zipf: type 0 strictly most frequent, every type present
+	for ty, c := range counts {
+		if c == 0 {
+			t.Fatalf("type %d never drawn", ty)
+		}
+		if ty > 0 && counts[0] < c {
+			t.Fatalf("type frequencies not Zipf-ordered at head: %v", counts)
+		}
+	}
+}
+
+func TestHomophilyBlocks(t *testing.T) {
+	res := Generate(Config{
+		NumVertices: 1000, NumEdges: 20000, Kind: Uniform,
+		NumBlocks: 10, Homophily: 0.9, Seed: 4,
+	})
+	if res.Block == nil {
+		t.Fatal("blocks not planted")
+	}
+	intra := 0
+	for e := range res.Graph.Src {
+		if res.Block[res.Graph.Src[e]] == res.Block[res.Graph.Dst[e]] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(res.Graph.NumEdges())
+	// ≥ 0.9 homophilous redraws plus 1/10 chance for the rest ⇒ ≈ 0.91
+	if frac < 0.80 {
+		t.Fatalf("intra-block edge fraction = %.3f, want ≥ 0.80", frac)
+	}
+	// block ids must cover the range
+	seen := map[int32]bool{}
+	for _, b := range res.Block {
+		seen[b] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("%d distinct blocks, want 10", len(seen))
+	}
+}
+
+func TestZipfTable(t *testing.T) {
+	z := newZipf(4, 1.0)
+	rng := tensor.NewRNG(9)
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		counts[z.draw(rng)]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]) {
+		t.Fatalf("zipf counts not decreasing: %v", counts)
+	}
+}
+
+func TestSampledFanoutStructure(t *testing.T) {
+	res := Generate(Config{
+		NumVertices: 5000, NumEdges: 8000, Kind: SampledFanout,
+		Fanouts: []int{20, 15, 10}, NumTypes: 4, NumBlocks: 8, Seed: 6,
+	})
+	g := res.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices > 5000 || g.NumVertices < 4000 {
+		t.Fatalf("vertex budget off: %d", g.NumVertices)
+	}
+	// the defining property of sampled unions: destinations are a small
+	// minority of vertices (only non-leaf layers receive edges)
+	dsts := map[int32]struct{}{}
+	for _, d := range g.Dst {
+		dsts[d] = struct{}{}
+	}
+	frac := float64(len(dsts)) / float64(g.NumVertices)
+	if frac > 0.4 {
+		t.Fatalf("destination fraction %.2f, want < 0.4 (few dsts, many srcs)", frac)
+	}
+	// edges always point from a deeper layer toward the seeds: src > dst
+	for e := range g.Src {
+		if g.Src[e] <= g.Dst[e] {
+			t.Fatalf("edge %d points the wrong way: %d → %d", e, g.Src[e], g.Dst[e])
+		}
+	}
+	if res.Block == nil || len(res.Block) != g.NumVertices {
+		t.Fatal("blocks not planted")
+	}
+	if g.NumTypes != 4 {
+		t.Fatalf("types = %d", g.NumTypes)
+	}
+}
+
+func TestSampledFanoutDefaultFanouts(t *testing.T) {
+	res := Generate(Config{NumVertices: 2000, NumEdges: 3000, Kind: SampledFanout, Seed: 7})
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}

@@ -1,0 +1,208 @@
+// Package graph implements the sparse-graph substrate: COO/CSR storage,
+// edge attributes (the inputs to WiseGraph's graph partition table),
+// locality reordering, and neighbor sampling for sampled-graph training.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed multigraph in COO form. Edges point src → dst;
+// GNN layers aggregate over each destination's in-edges. Type is the
+// per-edge relation id used by heterogeneous models (RGCN); it is nil
+// for untyped graphs.
+type Graph struct {
+	NumVertices int
+	NumTypes    int // number of distinct edge types; 1 when Type == nil
+
+	Src  []int32
+	Dst  []int32
+	Type []int32 // nil ⇒ all edges have type 0
+
+	inDeg  []int32 // lazily built
+	outDeg []int32
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Src) }
+
+// EdgeType returns the type of edge e (0 for untyped graphs).
+func (g *Graph) EdgeType(e int) int32 {
+	if g.Type == nil {
+		return 0
+	}
+	return g.Type[e]
+}
+
+// Validate checks structural invariants and returns a descriptive error
+// on the first violation.
+func (g *Graph) Validate() error {
+	if len(g.Src) != len(g.Dst) {
+		return fmt.Errorf("graph: %d srcs vs %d dsts", len(g.Src), len(g.Dst))
+	}
+	if g.Type != nil && len(g.Type) != len(g.Src) {
+		return fmt.Errorf("graph: %d types vs %d edges", len(g.Type), len(g.Src))
+	}
+	nt := int32(g.NumTypes)
+	for e := range g.Src {
+		if g.Src[e] < 0 || int(g.Src[e]) >= g.NumVertices {
+			return fmt.Errorf("graph: edge %d src %d out of range [0,%d)", e, g.Src[e], g.NumVertices)
+		}
+		if g.Dst[e] < 0 || int(g.Dst[e]) >= g.NumVertices {
+			return fmt.Errorf("graph: edge %d dst %d out of range [0,%d)", e, g.Dst[e], g.NumVertices)
+		}
+		if g.Type != nil && (g.Type[e] < 0 || g.Type[e] >= nt) {
+			return fmt.Errorf("graph: edge %d type %d out of range [0,%d)", e, g.Type[e], nt)
+		}
+	}
+	return nil
+}
+
+// InDegrees returns the per-vertex in-degree array (cached).
+func (g *Graph) InDegrees() []int32 {
+	if g.inDeg == nil {
+		d := make([]int32, g.NumVertices)
+		for _, v := range g.Dst {
+			d[v]++
+		}
+		g.inDeg = d
+	}
+	return g.inDeg
+}
+
+// OutDegrees returns the per-vertex out-degree array (cached).
+func (g *Graph) OutDegrees() []int32 {
+	if g.outDeg == nil {
+		d := make([]int32, g.NumVertices)
+		for _, v := range g.Src {
+			d[v]++
+		}
+		g.outDeg = d
+	}
+	return g.outDeg
+}
+
+// invalidateCaches drops degree caches after a structural mutation.
+func (g *Graph) invalidateCaches() {
+	g.inDeg, g.outDeg = nil, nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{
+		NumVertices: g.NumVertices,
+		NumTypes:    g.NumTypes,
+		Src:         append([]int32(nil), g.Src...),
+		Dst:         append([]int32(nil), g.Dst...),
+	}
+	if g.Type != nil {
+		out.Type = append([]int32(nil), g.Type...)
+	}
+	return out
+}
+
+// CSR is a compressed-sparse-row view grouped by destination vertex:
+// the in-edges of vertex v occupy positions [RowPtr[v], RowPtr[v+1]) of
+// Col (source ids), EType and EdgeID.
+type CSR struct {
+	RowPtr []int32
+	Col    []int32
+	EType  []int32 // nil for untyped graphs
+	EdgeID []int32 // original COO edge index per CSR slot
+}
+
+// BuildCSRByDst groups edges by destination via counting sort: O(V+E),
+// stable in original edge order within each destination.
+func (g *Graph) BuildCSRByDst() *CSR {
+	deg := g.InDegrees()
+	rowPtr := make([]int32, g.NumVertices+1)
+	for v, d := range deg {
+		rowPtr[v+1] = rowPtr[v] + d
+	}
+	col := make([]int32, len(g.Src))
+	eid := make([]int32, len(g.Src))
+	var et []int32
+	if g.Type != nil {
+		et = make([]int32, len(g.Src))
+	}
+	next := append([]int32(nil), rowPtr[:g.NumVertices]...)
+	for e := range g.Src {
+		d := g.Dst[e]
+		slot := next[d]
+		next[d]++
+		col[slot] = g.Src[e]
+		eid[slot] = int32(e)
+		if et != nil {
+			et[slot] = g.Type[e]
+		}
+	}
+	return &CSR{RowPtr: rowPtr, Col: col, EType: et, EdgeID: eid}
+}
+
+// SortEdges permutes edges in place by the given less function over edge
+// indices, keeping Src/Dst/Type aligned.
+func (g *Graph) SortEdges(less func(a, b int) bool) {
+	perm := make([]int, len(g.Src))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return less(perm[i], perm[j]) })
+	g.ApplyEdgePermutation(perm)
+}
+
+// ApplyEdgePermutation reorders edges so new edge i is old edge perm[i].
+func (g *Graph) ApplyEdgePermutation(perm []int) {
+	src := make([]int32, len(g.Src))
+	dst := make([]int32, len(g.Dst))
+	var typ []int32
+	if g.Type != nil {
+		typ = make([]int32, len(g.Type))
+	}
+	for i, p := range perm {
+		src[i] = g.Src[p]
+		dst[i] = g.Dst[p]
+		if typ != nil {
+			typ[i] = g.Type[p]
+		}
+	}
+	g.Src, g.Dst, g.Type = src, dst, typ
+	g.invalidateCaches()
+}
+
+// RelabelVertices renames vertex v to newID[v] across all edges. newID
+// must be a permutation of [0, NumVertices).
+func (g *Graph) RelabelVertices(newID []int32) {
+	if len(newID) != g.NumVertices {
+		panic(fmt.Sprintf("graph: relabel map has %d entries for %d vertices", len(newID), g.NumVertices))
+	}
+	for e := range g.Src {
+		g.Src[e] = newID[g.Src[e]]
+		g.Dst[e] = newID[g.Dst[e]]
+	}
+	g.invalidateCaches()
+}
+
+// MaxInDegree returns the largest in-degree in the graph.
+func (g *Graph) MaxInDegree() int32 {
+	var m int32
+	for _, d := range g.InDegrees() {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AvgDegree returns |E| / |V|.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumVertices == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumVertices)
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{V=%d E=%d types=%d}", g.NumVertices, g.NumEdges(), g.NumTypes)
+}

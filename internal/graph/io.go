@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the graph as an edge list: a metadata comment, a header
+// line, then one `src,dst,type` row per edge — the format cmd/wggen emits
+// and ReadCSV parses.
+func (g *Graph) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices=%d edges=%d types=%d\n", g.NumVertices, g.NumEdges(), g.NumTypes)
+	fmt.Fprintln(bw, "src,dst,type")
+	for e := 0; e < g.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d,%d,%d\n", g.Src[e], g.Dst[e], g.EdgeType(e))
+	}
+	return bw.Flush()
+}
+
+// maxDeclaredVertices bounds the vertex count a CSV header may declare
+// (int32 ids cap the usable range anyway).
+const maxDeclaredVertices = 1 << 31
+
+// ReadCSV parses an edge-list CSV (as written by WriteCSV / cmd/wggen):
+// optional `#`-comment lines, an optional header, then `src,dst[,type]`
+// rows. The vertex count is the metadata value if present, else
+// max(id)+1; the type column is optional.
+func ReadCSV(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	g := &Graph{NumTypes: 1}
+	metaVertices := -1
+	lineNo := 0
+	sawType := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, field := range strings.Fields(line[1:]) {
+				if v, ok := strings.CutPrefix(field, "vertices="); ok {
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad vertices metadata %q", lineNo, v)
+					}
+					// Bound the declared size: downstream consumers
+					// allocate O(V) arrays, so an absurd header must be
+					// an error, not an out-of-memory.
+					if n < 0 || n > maxDeclaredVertices {
+						return nil, fmt.Errorf("graph: line %d: vertices metadata %d out of range [0,%d]", lineNo, n, maxDeclaredVertices)
+					}
+					metaVertices = n
+				}
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least src,dst", lineNo)
+		}
+		// header?
+		if _, err := strconv.Atoi(strings.TrimSpace(parts[0])); err != nil {
+			if g.NumEdges() == 0 {
+				continue // header line
+			}
+			return nil, fmt.Errorf("graph: line %d: bad src %q", lineNo, parts[0])
+		}
+		src, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil || src < 0 || src >= maxDeclaredVertices {
+			return nil, fmt.Errorf("graph: line %d: bad src %q", lineNo, parts[0])
+		}
+		dst, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || dst < 0 || dst >= maxDeclaredVertices {
+			return nil, fmt.Errorf("graph: line %d: bad dst %q", lineNo, parts[1])
+		}
+		ty := 0
+		if len(parts) >= 3 {
+			ty, err = strconv.Atoi(strings.TrimSpace(parts[2]))
+			if err != nil || ty < 0 || ty >= maxDeclaredVertices {
+				return nil, fmt.Errorf("graph: line %d: bad type %q", lineNo, parts[2])
+			}
+			sawType = true
+		}
+		g.Src = append(g.Src, int32(src))
+		g.Dst = append(g.Dst, int32(dst))
+		g.Type = append(g.Type, int32(ty))
+		if src >= g.NumVertices {
+			g.NumVertices = src + 1
+		}
+		if dst >= g.NumVertices {
+			g.NumVertices = dst + 1
+		}
+		if ty >= g.NumTypes {
+			g.NumTypes = ty + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading CSV: %w", err)
+	}
+	if metaVertices > g.NumVertices {
+		g.NumVertices = metaVertices
+	}
+	if !sawType {
+		g.Type = nil
+		g.NumTypes = 1
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := diamond()
+	var sb strings.Builder
+	if err := g.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices != g.NumVertices || back.NumEdges() != g.NumEdges() || back.NumTypes != g.NumTypes {
+		t.Fatalf("round trip changed sizes: %v vs %v", back, g)
+	}
+	for e := range g.Src {
+		if back.Src[e] != g.Src[e] || back.Dst[e] != g.Dst[e] || back.Type[e] != g.Type[e] {
+			t.Fatalf("edge %d changed", e)
+		}
+	}
+}
+
+func TestReadCSVUntypedAndHeaderless(t *testing.T) {
+	g, err := ReadCSV(strings.NewReader("0,1\n1,2\n2,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 3 || g.NumEdges() != 3 || g.Type != nil || g.NumTypes != 1 {
+		t.Fatalf("untyped parse wrong: %v", g)
+	}
+}
+
+func TestReadCSVMetadataVertexCount(t *testing.T) {
+	// metadata declares more vertices than appear in edges (isolated tail)
+	g, err := ReadCSV(strings.NewReader("# vertices=10 edges=1 types=1\nsrc,dst,type\n0,1,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 10 {
+		t.Fatalf("vertices = %d, want 10", g.NumVertices)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"0\n",        // too few columns
+		"0,x\n",      // bad dst
+		"0,1,-2\n",   // negative type
+		"0,1\nx,2\n", // bad src after data started
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"testing"
+
+	"wisegraph/internal/tensor"
+)
+
+// clusteredGraph builds a graph with strong community structure: k dense
+// blocks plus sparse random cross edges, with vertex ids shuffled so the
+// contiguous baseline partition cannot see the communities.
+func clusteredGraph(k, perBlock, intra, inter int, seed uint64) *Graph {
+	n := k * perBlock
+	rng := tensor.NewRNG(seed)
+	// random relabeling hides the community layout from contiguous blocks
+	shuf := make([]int32, n)
+	for i := range shuf {
+		shuf[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		shuf[i], shuf[j] = shuf[j], shuf[i]
+	}
+	g := &Graph{NumVertices: n, NumTypes: 1}
+	for b := 0; b < k; b++ {
+		for e := 0; e < intra; e++ {
+			s := b*perBlock + rng.Intn(perBlock)
+			d := b*perBlock + rng.Intn(perBlock)
+			g.Src = append(g.Src, shuf[s])
+			g.Dst = append(g.Dst, shuf[d])
+		}
+	}
+	for e := 0; e < inter; e++ {
+		g.Src = append(g.Src, shuf[rng.Intn(n)])
+		g.Dst = append(g.Dst, shuf[rng.Intn(n)])
+	}
+	return g
+}
+
+func TestLabelPropagationReducesCut(t *testing.T) {
+	g := clusteredGraph(4, 100, 1500, 300, 1)
+	contiguous := make([]int32, g.NumVertices)
+	for v := range contiguous {
+		contiguous[v] = int32(v * 4 / g.NumVertices)
+	}
+	baseCut := EdgeCut(g, contiguous)
+	lp := LabelPropagationBlocks(g, 4, 10, 1)
+	lpCut := EdgeCut(g, lp)
+	if lpCut >= baseCut {
+		t.Fatalf("label propagation did not reduce the cut: %d vs %d", lpCut, baseCut)
+	}
+	// On a strongly clustered graph the cut should drop well below the
+	// contiguous baseline — this justifies the ROC policy's modeled
+	// cross-edge factor (0.6).
+	if float64(lpCut) > 0.7*float64(baseCut) {
+		t.Fatalf("cut reduction too weak: %d vs %d (ratio %.2f)", lpCut, baseCut, float64(lpCut)/float64(baseCut))
+	}
+}
+
+func TestLabelPropagationBalance(t *testing.T) {
+	g := clusteredGraph(4, 100, 1000, 200, 2)
+	lp := LabelPropagationBlocks(g, 4, 10, 2)
+	sizes := make([]int, 4)
+	for _, b := range lp {
+		if b < 0 || b >= 4 {
+			t.Fatalf("block %d out of range", b)
+		}
+		sizes[b]++
+	}
+	capSize := g.NumVertices/4 + g.NumVertices/16 + 1
+	for b, s := range sizes {
+		if s > capSize {
+			t.Fatalf("block %d has %d vertices, cap %d", b, s, capSize)
+		}
+	}
+}
+
+func TestLabelPropagationSingleBlock(t *testing.T) {
+	g := clusteredGraph(2, 50, 100, 10, 3)
+	lp := LabelPropagationBlocks(g, 1, 5, 3)
+	for _, b := range lp {
+		if b != 0 {
+			t.Fatal("k=1 must put everything in block 0")
+		}
+	}
+	if EdgeCut(g, lp) != 0 {
+		t.Fatal("single block has no cut")
+	}
+}
+
+func TestBlocksToRelabelContiguity(t *testing.T) {
+	g := clusteredGraph(3, 40, 300, 60, 4)
+	lp := LabelPropagationBlocks(g, 3, 10, 4)
+	newID := BlocksToRelabel(lp)
+	// after relabeling, vertices of the same block occupy a contiguous
+	// id range: block of newID v must be non-decreasing in v
+	inv := make([]int32, len(newID)) // new id → old id
+	for old, nid := range newID {
+		inv[nid] = int32(old)
+	}
+	prev := int32(-1)
+	for nid := range inv {
+		b := lp[inv[nid]]
+		if b < prev {
+			t.Fatalf("blocks not contiguous after relabel at id %d", nid)
+		}
+		prev = b
+	}
+	// relabeled graph must still validate
+	g2 := g.Clone()
+	g2.RelabelVertices(newID)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// and the cut under contiguous blocks of the relabeled graph equals
+	// the LP cut of the original
+	k := 3
+	contig := make([]int32, g2.NumVertices)
+	for v := range contig {
+		contig[v] = int32(v * k / g2.NumVertices)
+	}
+	// block sizes may differ from perfectly even thirds, so compare via
+	// the block boundaries implied by lp sizes
+	sizes := make([]int, k)
+	for _, b := range lp {
+		sizes[b]++
+	}
+	bounds := make([]int, k+1)
+	for b := 0; b < k; b++ {
+		bounds[b+1] = bounds[b] + sizes[b]
+	}
+	blockOf := func(v int32) int32 {
+		for b := 0; b < k; b++ {
+			if int(v) < bounds[b+1] {
+				return int32(b)
+			}
+		}
+		return int32(k - 1)
+	}
+	cut := 0
+	for e := range g2.Src {
+		if blockOf(g2.Src[e]) != blockOf(g2.Dst[e]) {
+			cut++
+		}
+	}
+	if cut != EdgeCut(g, lp) {
+		t.Fatalf("relabel changed the cut: %d vs %d", cut, EdgeCut(g, lp))
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"wisegraph/internal/tensor"
+)
+
+// Subgraph is the result of neighbor sampling: a small graph over locally
+// renumbered vertices plus the mapping back to the parent graph.
+type Subgraph struct {
+	Graph *Graph
+	// Vertices maps local vertex id → parent vertex id. Seeds come first,
+	// so Vertices[:NumSeeds] are the training targets of this mini-batch.
+	Vertices []int32
+	NumSeeds int
+	// EdgeParent maps local edge index → parent edge index.
+	EdgeParent []int32
+}
+
+// NeighborSample draws a GraphSAGE-style fan-out sample: starting from
+// seeds, layer l samples up to fanouts[l] in-neighbors of every frontier
+// vertex (without replacement when the neighborhood is small enough).
+// The returned subgraph contains the union of sampled edges across layers,
+// matching the paper's 20-15-10 sampling used to build PA-S and FS-S.
+func NeighborSample(g *Graph, csr *CSR, seeds []int32, fanouts []int, rng *tensor.RNG) *Subgraph {
+	local := make(map[int32]int32, len(seeds)*4)
+	vertices := make([]int32, 0, len(seeds)*4)
+	intern := func(v int32) int32 {
+		if id, ok := local[v]; ok {
+			return id
+		}
+		id := int32(len(vertices))
+		local[v] = id
+		vertices = append(vertices, v)
+		return id
+	}
+	for _, s := range seeds {
+		intern(s)
+	}
+
+	sub := &Graph{NumTypes: g.NumTypes}
+	var edgeParent []int32
+	frontier := append([]int32(nil), seeds...)
+	for _, fan := range fanouts {
+		nextFrontier := make([]int32, 0, len(frontier)*fan)
+		seen := make(map[int32]struct{}, len(frontier)*fan)
+		for _, v := range frontier {
+			lo, hi := csr.RowPtr[v], csr.RowPtr[v+1]
+			deg := int(hi - lo)
+			take := fan
+			if take > deg {
+				take = deg
+			}
+			if take == 0 {
+				continue
+			}
+			pick := samplePositions(deg, take, rng)
+			for _, p := range pick {
+				slot := lo + int32(p)
+				src := csr.Col[slot]
+				ls, ld := intern(src), intern(v)
+				sub.Src = append(sub.Src, ls)
+				sub.Dst = append(sub.Dst, ld)
+				if g.Type != nil {
+					sub.Type = append(sub.Type, csr.EType[slot])
+				}
+				edgeParent = append(edgeParent, csr.EdgeID[slot])
+				if _, ok := seen[src]; !ok {
+					seen[src] = struct{}{}
+					nextFrontier = append(nextFrontier, src)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	sub.NumVertices = len(vertices)
+	if sub.Type == nil {
+		sub.NumTypes = 1
+	}
+	return &Subgraph{Graph: sub, Vertices: vertices, NumSeeds: len(seeds), EdgeParent: edgeParent}
+}
+
+// samplePositions returns take distinct positions in [0, n). For small
+// oversampling ratios it uses partial Fisher–Yates; when take == n it
+// returns everything.
+func samplePositions(n, take int, rng *tensor.RNG) []int {
+	if take >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < take; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:take]
+}
+
+// GatherFeatures copies parent-graph vertex features into a tensor aligned
+// with the subgraph's local vertex ids.
+func (s *Subgraph) GatherFeatures(parent *tensor.Tensor) *tensor.Tensor {
+	return tensor.GatherRows(nil, parent, s.Vertices)
+}
+
+// GatherLabels copies parent labels into a local label slice.
+func (s *Subgraph) GatherLabels(parent []int32) []int32 {
+	out := make([]int32, len(s.Vertices))
+	for i, v := range s.Vertices {
+		out[i] = parent[v]
+	}
+	return out
+}

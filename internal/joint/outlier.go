@@ -1,0 +1,330 @@
+// Package joint implements WiseGraph's joint optimization (paper §6):
+// identifying outlier gTasks caused by graph irregularity, rescheduling
+// them with differentiated resources and priorities, and searching the
+// combined space of graph partition plans and operation partition plans
+// for the execution plan with the least modeled time.
+package joint
+
+import (
+	"sort"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/device"
+	"wisegraph/internal/kernels"
+)
+
+// OutlierKind classifies a gTask (paper §6.1).
+type OutlierKind int
+
+const (
+	// Regular tasks follow the power-law bulk: moderate size, near the
+	// plan's batch targets.
+	Regular OutlierKind = iota
+	// Underfill tasks could not reach an Exact restriction's batch size;
+	// batched execution pads them with redundant work.
+	Underfill
+	// Overfill tasks have far more edges than the median because an
+	// unrestricted attribute exploded (high-degree hubs); they cause the
+	// long-tail effect.
+	Overfill
+	// Frequent tasks share a restricted-attribute value that appears in
+	// many tasks (a hub split across tasks); their common workload can be
+	// precomputed once.
+	Frequent
+)
+
+// String names the kind.
+func (k OutlierKind) String() string {
+	switch k {
+	case Underfill:
+		return "underfill"
+	case Overfill:
+		return "overfill"
+	case Frequent:
+		return "frequent"
+	default:
+		return "regular"
+	}
+}
+
+// Classification assigns an OutlierKind to every task of a partition.
+type Classification struct {
+	Kind   []OutlierKind
+	Counts map[OutlierKind]int
+	// MedianEdges is the regular-task size reference.
+	MedianEdges int
+}
+
+// Outliers returns the number of non-regular tasks.
+func (c Classification) Outliers() int {
+	return c.Counts[Underfill] + c.Counts[Overfill] + c.Counts[Frequent]
+}
+
+// classification thresholds
+const (
+	underfillFrac  = 0.5 // uniq < typical-batch/2 ⇒ underfill
+	overfillFactor = 4   // edges > 4× median ⇒ overfill
+	frequentTasks  = 16  // restricted id value in ≥ 16 tasks ⇒ frequent (a real hub)
+)
+
+// Classify identifies outlier gTasks for a partition under its plan.
+func Classify(part *core.Partition) Classification {
+	n := part.NumTasks()
+	c := Classification{
+		Kind:   make([]OutlierKind, n),
+		Counts: map[OutlierKind]int{},
+	}
+	if n == 0 {
+		return c
+	}
+	// median edges
+	lens := make([]int, n)
+	for ti := 0; ti < n; ti++ {
+		lens[ti] = part.TaskLen(ti)
+	}
+	c.MedianEdges = medianInt(lens)
+
+	// frequent values: for every Exact restriction with a small limit,
+	// count how many tasks contain each value.
+	type attrLimit struct {
+		attr  core.Attr
+		limit int
+	}
+	var restricted []attrLimit
+	for _, r := range part.Plan.Restrictions {
+		if r.Kind == core.Exact && r.Attr != core.AttrEdgeID {
+			restricted = append(restricted, attrLimit{r.Attr, r.Limit})
+		}
+	}
+	// Frequent-value detection only applies to identity attributes: a
+	// vertex id recurring across tasks marks a hub split by the plan,
+	// whose per-value workload can be shared. Low-cardinality attributes
+	// (edge-type, degree) naturally recur everywhere and are not hubs.
+	idOnly := restricted[:0]
+	for _, rl := range restricted {
+		if rl.attr == core.AttrSrcID || rl.attr == core.AttrDstID {
+			idOnly = append(idOnly, rl)
+		}
+	}
+	restricted = idOnly
+
+	reader := core.NewAttrReader(part.Graph)
+	taskValues := make([]map[core.Attr][]int32, n)
+	valueTasks := map[core.Attr]map[int32]int{}
+	for _, rl := range restricted {
+		valueTasks[rl.attr] = map[int32]int{}
+	}
+	for ti := 0; ti < n; ti++ {
+		if len(restricted) == 0 {
+			break
+		}
+		taskValues[ti] = map[core.Attr][]int32{}
+		for _, rl := range restricted {
+			seen := map[int32]struct{}{}
+			for _, e := range part.TaskEdges(ti) {
+				v := reader.Value(rl.attr, int(e))
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					taskValues[ti][rl.attr] = append(taskValues[ti][rl.attr], v)
+					valueTasks[rl.attr][v]++
+				}
+			}
+		}
+	}
+
+	// Underfill is judged against the *typical* batch the plan achieves:
+	// if most tasks reach only k < limit unique values, k is the real
+	// batch width and only tasks far below it are outliers. Judging
+	// against the raw limit would mark the bulk as outliers on sparse
+	// graphs, inverting the power-law regular/outlier split.
+	medianUniq := map[core.Attr]int{}
+	for _, r := range part.Plan.Restrictions {
+		if r.Kind != core.Exact || r.Limit <= 1 || part.Uniq[r.Attr] == nil {
+			continue
+		}
+		us := make([]int, n)
+		for ti := 0; ti < n; ti++ {
+			us[ti] = int(part.TaskUniq(ti, r.Attr))
+		}
+		m := medianInt(us)
+		if m > r.Limit {
+			m = r.Limit
+		}
+		medianUniq[r.Attr] = m
+	}
+
+	for ti := 0; ti < n; ti++ {
+		kind := Regular
+		// Overfill: far above the median size.
+		if lens[ti] > overfillFactor*c.MedianEdges {
+			kind = Overfill
+		}
+		// Underfill: far below the typical batch width.
+		if kind == Regular {
+			for attr, m := range medianUniq {
+				if float64(part.TaskUniq(ti, attr)) < underfillFrac*float64(m) {
+					kind = Underfill
+					break
+				}
+			}
+		}
+		// Frequent: a restricted value shared by many tasks.
+		if kind == Regular {
+			for _, rl := range restricted {
+				for _, v := range taskValues[ti][rl.attr] {
+					if valueTasks[rl.attr][v] >= frequentTasks {
+						kind = Frequent
+						break
+					}
+				}
+				if kind != Regular {
+					break
+				}
+			}
+		}
+		c.Kind[ti] = kind
+		c.Counts[kind]++
+	}
+	return c
+}
+
+// Schedule is a concrete execution order with per-item times for one fused
+// kernel launch.
+type Schedule struct {
+	Times []float64
+	// Precompute is a one-off cost paid before the fused kernel
+	// (frequent-value common-workload extraction).
+	Precompute float64
+}
+
+// Makespan returns the schedule's finish time on the given unit count.
+func (s Schedule) Makespan(units int) float64 {
+	return s.Precompute + device.Makespan(s.Times, units)
+}
+
+// UniformSchedule runs every task with the same operation plan in natural
+// order — the baseline execution of paper Figure 19 (left bars).
+func UniformSchedule(spec device.Spec, part *core.Partition, sh kernels.LayerShape, plan kernels.Plan) Schedule {
+	costs := kernels.CostPartition(spec, part, sh, plan)
+	times := make([]float64, len(costs))
+	for i, c := range costs {
+		times[i] = c.Seconds
+	}
+	return Schedule{Times: times}
+}
+
+// DifferentiatedSchedule applies §6.2's outlier handling:
+//   - underfill tasks break into edge-wise execution and run last,
+//   - overfill tasks split into median-sized chunks (more thread blocks)
+//     and run first, removing the long tail,
+//   - frequent tasks fetch precomputed common workloads: the shared work
+//     is paid once in Precompute and the tasks keep only their indexing
+//     traffic.
+func DifferentiatedSchedule(spec device.Spec, part *core.Partition, sh kernels.LayerShape, plan kernels.Plan, cls Classification) Schedule {
+	var first, middle, last []float64
+	var precompute float64
+	frequentShared := map[string]bool{}
+	for ti := 0; ti < part.NumTasks(); ti++ {
+		st := kernels.StatsOf(part, ti)
+		switch cls.Kind[ti] {
+		case Underfill:
+			// edge-wise execution removes the padding redundancy
+			c := kernels.CostTask(spec, sh, st, kernels.Plan{})
+			cb := kernels.CostTask(spec, sh, st, plan)
+			if cb.Seconds < c.Seconds {
+				c = cb
+			}
+			last = append(last, c.Seconds)
+		case Overfill:
+			c := kernels.CostTask(spec, sh, st, plan)
+			chunks := st.Edges / maxInt(cls.MedianEdges, 1)
+			if chunks < 1 {
+				chunks = 1
+			}
+			per := c.Seconds / float64(chunks)
+			for k := 0; k < chunks; k++ {
+				first = append(first, per)
+			}
+		case Frequent:
+			c := kernels.CostTask(spec, sh, st, plan)
+			// Pay the shared neural workload once per frequent-value
+			// group as a normal (parallel) work item scheduled first;
+			// afterwards the group's tasks only fetch the precomputed
+			// data (model: 30% of their cost).
+			key := frequentKey(part, ti)
+			if !frequentShared[key] {
+				frequentShared[key] = true
+				first = append(first, 0.7*c.Seconds)
+			}
+			middle = append(middle, 0.3*c.Seconds)
+		default:
+			c := kernels.CostTask(spec, sh, st, plan)
+			middle = append(middle, c.Seconds)
+		}
+	}
+	times := make([]float64, 0, len(first)+len(middle)+len(last))
+	times = append(times, first...)
+	times = append(times, middle...)
+	times = append(times, last...)
+	return Schedule{Times: times, Precompute: precompute}
+}
+
+// BestSchedule returns the better of the uniform and differentiated
+// schedules (WiseGraph measures candidates and keeps the winner), along
+// with whether the differentiated one was selected.
+func BestSchedule(spec device.Spec, part *core.Partition, sh kernels.LayerShape, plan kernels.Plan, cls Classification) (Schedule, bool) {
+	uni := UniformSchedule(spec, part, sh, plan)
+	diff := DifferentiatedSchedule(spec, part, sh, plan, cls)
+	if diff.Makespan(spec.NumUnits) < uni.Makespan(spec.NumUnits) {
+		return diff, true
+	}
+	return uni, false
+}
+
+// frequentKey identifies a frequent-task group by its first restricted
+// value (tasks sharing the hub value share the precomputed workload).
+func frequentKey(part *core.Partition, ti int) string {
+	reader := core.NewAttrReader(part.Graph)
+	for _, r := range part.Plan.Restrictions {
+		if r.Kind == core.Exact && r.Attr != core.AttrEdgeID {
+			e := part.TaskEdges(ti)[0]
+			return r.Attr.String() + ":" + itoa(int(reader.Value(r.Attr, int(e))))
+		}
+	}
+	return "task:" + itoa(ti)
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	var buf [16]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func medianInt(xs []int) int {
+	cp := append([]int(nil), xs...)
+	sort.Ints(cp)
+	return cp[len(cp)/2]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

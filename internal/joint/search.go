@@ -1,0 +1,238 @@
+package joint
+
+import (
+	"fmt"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/device"
+	"wisegraph/internal/dfg"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/kernels"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/opt"
+	"wisegraph/internal/pattern"
+)
+
+// Options configures the search.
+type Options struct {
+	Spec device.Spec
+	// PlanSpace controls graph-plan enumeration (defaults per model).
+	PlanSpace *core.PlanSpace
+	// PruneFactor rejects candidate plans whose cost-model estimate is
+	// this many times worse than the incumbent (paper §6.3 pruning).
+	PruneFactor float64
+}
+
+// Step is one tuning step of the search trace (paper Figure 16's x-axis).
+type Step struct {
+	Stage      string // "graph-partition", "operation-partition", "joint"
+	Desc       string
+	Seconds    float64 // modeled per-layer time of this candidate
+	Throughput float64 // edges/second of the best plan so far
+}
+
+// Result is the selected execution plan with search diagnostics.
+type Result struct {
+	Kind      nn.ModelKind
+	GraphPlan core.GraphPlan
+	Partition *core.Partition
+	// OpPlan executes regular gTasks; outliers are handled by the
+	// differentiated schedule.
+	OpPlan         kernels.Plan
+	Classification Classification
+	Differentiated bool
+	Seconds        float64
+	Trace          []Step
+
+	PlansTried  int
+	PlansPruned int
+	CacheHits   int
+}
+
+// statAttrs are collected for every partition the search builds.
+var statAttrs = []core.Attr{core.AttrSrcID, core.AttrDstID, core.AttrEdgeType, core.AttrDstDegree}
+
+// LayerTime models one layer's execution: the shared dense kernels plus
+// the fused gTask kernel under the given schedule.
+func LayerTime(spec device.Spec, sh kernels.LayerShape, v int, sched Schedule) float64 {
+	t := 0.0
+	for _, k := range kernels.DenseKernels(sh, v) {
+		t += spec.LaunchOverhead + spec.Time(k)
+	}
+	t += spec.LaunchOverhead + sched.Makespan(spec.NumUnits)
+	return t
+}
+
+// Search explores the joint space for one representative layer of the
+// model (F → Fp) over graph g and returns the best execution plan found,
+// with the full tuning trace.
+func Search(g *graph.Graph, kind nn.ModelKind, f, fp, numTypes int, opts Options) *Result {
+	if opts.PruneFactor == 0 {
+		opts.PruneFactor = 3
+	}
+	space := core.DefaultPlanSpace(kind == nn.RGCN)
+	if opts.PlanSpace != nil {
+		space = *opts.PlanSpace
+	}
+	sh := kernels.LayerShape{Kind: kind, F: f, Fp: fp, Types: numTypes}
+	res := &Result{Kind: kind}
+	partCache := map[string]*core.Partition{}
+	partitionOf := func(p core.GraphPlan) *core.Partition {
+		key := p.String()
+		if cached, ok := partCache[key]; ok {
+			res.CacheHits++
+			return cached
+		}
+		part := core.PartitionGraph(g, p, statAttrs)
+		partCache[key] = part
+		return part
+	}
+	e := float64(g.NumEdges())
+	record := func(stage, desc string, secs float64) {
+		best := res.Seconds
+		if best == 0 || secs < best {
+			best = secs
+		}
+		res.Trace = append(res.Trace, Step{Stage: stage, Desc: desc, Seconds: secs, Throughput: e / best})
+	}
+	consider := func(stage string, gp core.GraphPlan, part *core.Partition, op kernels.Plan, cls *Classification, differentiated bool) float64 {
+		var sched Schedule
+		if differentiated && cls != nil {
+			sched = DifferentiatedSchedule(opts.Spec, part, sh, op, *cls)
+		} else {
+			sched = UniformSchedule(opts.Spec, part, sh, op)
+		}
+		secs := LayerTime(opts.Spec, sh, g.NumVertices, sched)
+		record(stage, fmt.Sprintf("%s %s diff=%v", gp.Name, op, differentiated), secs)
+		if res.Seconds == 0 || secs < res.Seconds {
+			res.Seconds = secs
+			res.GraphPlan = gp
+			res.Partition = part
+			res.OpPlan = op
+			res.Differentiated = differentiated
+			if cls != nil {
+				res.Classification = *cls
+			}
+		}
+		res.PlansTried++
+		return secs
+	}
+
+	// ---- Stage 1: graph partition (paper §4) ----
+	// Initial point: edge-centric with naive (edge-wise) kernels.
+	init := core.EdgeCentric()
+	if !kernels.ValidPlanFor(kind, init) {
+		init = core.VertexCentric()
+	}
+	consider("graph-partition", init, partitionOf(init), kernels.Plan{}, nil, false)
+
+	var candidates []core.GraphPlan
+	for _, gp := range core.EnumeratePlans(kind.IndexAttrs(), space) {
+		if !kernels.ValidPlanFor(kind, gp) {
+			continue
+		}
+		if pruneEstimate(opts, g, gp) {
+			res.PlansPruned++
+			continue
+		}
+		candidates = append(candidates, gp)
+		// Stage 1 evaluates graph plans with the original DFG and naive
+		// (edge-wise) kernels — the paper's Figure 16 initial setting —
+		// so the operation-partition stage's contribution is visible.
+		consider("graph-partition", gp, partitionOf(gp), kernels.Plan{}, nil, false)
+	}
+
+	// ---- Stage 2: operation partition (paper §5), jointly with the
+	// graph plans ----
+	// For every surviving graph plan, let the DFG transformation engine
+	// decide — from that plan's own gTask-level data patterns — whether
+	// duplication-aware rewrites pay off, then sweep the kernel plans.
+	// Tuning per graph plan is what makes the search *joint*: the best
+	// operation plan differs across graph plans (paper §1).
+	layerDFG := nn.LayerDFG(kind, g.NumVertices, numTypes, f, fp)
+	for _, gp := range candidates {
+		part := partitionOf(gp)
+		pp := pattern.Analyze(part, statAttrs)
+		dup := map[string]bool{
+			"src-id":    pp.Duplicated(core.AttrSrcID),
+			"edge-type": pp.Duplicated(core.AttrEdgeType),
+			"dst-id":    pp.Duplicated(core.AttrDstID),
+		}
+		cands := opt.Transform(layerDFG, opt.Info{AttrOf: nn.AttrOfKeys(), Dup: dup})
+		bestDFG, _ := opt.SelectBest(cands, pp.RegularStats())
+		opPlans := []kernels.Plan{{Batched: true}}
+		if hasTransformedIndex(bestDFG) {
+			opPlans = append(opPlans, kernels.Plan{Batched: true, Dedup: true})
+		}
+		for _, op := range opPlans {
+			consider("operation-partition", gp, part, op, nil, false)
+		}
+	}
+
+	// ---- Stage 3: joint optimization (paper §6) ----
+	finalGP := res.GraphPlan
+	finalPart := partitionOf(finalGP)
+	cls := Classify(finalPart)
+	consider("joint", finalGP, finalPart, res.OpPlan, &cls, true)
+	return res
+}
+
+// pruneEstimate applies the cost model's cheap structural filter before
+// partitioning: plans with predicted parallelism too low to fill the
+// device, or with per-task batches too small for its batch width, are
+// ruled out without testing (paper §6.3 "inefficient execution plans will
+// be ruled out without testing").
+func pruneEstimate(opts Options, g *graph.Graph, gp core.GraphPlan) bool {
+	estTasks := estimateTasks(g, gp)
+	// a handful of giant tasks cannot fill the device at all; the
+	// per-unit cost model already penalizes milder underfill, so only the
+	// extreme cases are pruned without testing
+	_ = opts
+	return estTasks < 4
+}
+
+// estimateTasks predicts the task count of a plan from aggregate graph
+// statistics only (no partitioning).
+func estimateTasks(g *graph.Graph, gp core.GraphPlan) int {
+	e := g.NumEdges()
+	v := g.NumVertices
+	est := 1
+	if k, ok := gp.Restricted(core.AttrEdgeID); ok {
+		est = maxInt(est, e/maxInt(k, 1))
+	}
+	if k, ok := gp.Restricted(core.AttrDstID); ok {
+		est = maxInt(est, v/maxInt(k, 1))
+	}
+	if k, ok := gp.Restricted(core.AttrSrcID); ok {
+		est = maxInt(est, v/maxInt(k, 1))
+	}
+	if _, ok := gp.Restricted(core.AttrEdgeType); ok {
+		est = maxInt(est, g.NumTypes)
+	}
+	if _, ok := gp.Restricted(core.AttrDstDegree); ok {
+		est = maxInt(est, 8) // degree classes
+	}
+	return est
+}
+
+// hasTransformedIndex reports whether the selected DFG used unique-value
+// extraction: a ".map" key survives either as a map-gather (OpIndex) or
+// merged into an Index-2D after indexing swapping.
+func hasTransformedIndex(g *dfg.Graph) bool {
+	isMap := func(key string) bool {
+		return len(key) > 4 && key[len(key)-4:] == ".map"
+	}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case dfg.OpIndex:
+			if isMap(n.IdxKey) {
+				return true
+			}
+		case dfg.OpIndex2D:
+			if isMap(n.IdxKey) || isMap(n.IdxKey2) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package joint
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/kernels"
+	"wisegraph/internal/nn"
+)
+
+// PlanFile is the serializable form of a tuned execution plan — the
+// artifact of one-shot joint optimization that sampled-graph training
+// reuses across subgraphs (and across processes).
+type PlanFile struct {
+	Version        int               `json:"version"`
+	Model          string            `json:"model"`
+	GraphPlanName  string            `json:"graphPlan"`
+	Restrictions   []RestrictionFile `json:"restrictions"`
+	Dedup          bool              `json:"dedup"`
+	Batched        bool              `json:"batched"`
+	Differentiated bool              `json:"differentiated"`
+	ModeledSeconds float64           `json:"modeledSeconds"`
+}
+
+// RestrictionFile serializes one gTask restriction.
+type RestrictionFile struct {
+	Attr  string `json:"attr"`
+	Kind  string `json:"kind"` // "exact" or "min"
+	Limit int    `json:"limit,omitempty"`
+}
+
+// MarshalPlan serializes the search result's execution plan.
+func (r *Result) MarshalPlan() ([]byte, error) {
+	pf := PlanFile{
+		Version:        1,
+		Model:          r.Kind.String(),
+		GraphPlanName:  r.GraphPlan.Name,
+		Dedup:          r.OpPlan.Dedup,
+		Batched:        r.OpPlan.Batched,
+		Differentiated: r.Differentiated,
+		ModeledSeconds: r.Seconds,
+	}
+	for _, restr := range r.GraphPlan.Restrictions {
+		rf := RestrictionFile{Attr: restr.Attr.String(), Limit: restr.Limit}
+		if restr.Kind == core.Min {
+			rf.Kind = "min"
+			rf.Limit = 0
+		} else {
+			rf.Kind = "exact"
+		}
+		pf.Restrictions = append(pf.Restrictions, rf)
+	}
+	return json.MarshalIndent(pf, "", "  ")
+}
+
+// UnmarshalPlan reconstructs the plan triple (graph plan, operation plan,
+// differentiated flag) from serialized bytes. The caller applies the
+// graph plan with core.PartitionGraph.
+func UnmarshalPlan(data []byte) (nn.ModelKind, core.GraphPlan, kernels.Plan, bool, error) {
+	var pf PlanFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return 0, core.GraphPlan{}, kernels.Plan{}, false, err
+	}
+	if pf.Version != 1 {
+		return 0, core.GraphPlan{}, kernels.Plan{}, false, fmt.Errorf("joint: unsupported plan version %d", pf.Version)
+	}
+	kind, err := nn.ParseModel(pf.Model)
+	if err != nil {
+		return 0, core.GraphPlan{}, kernels.Plan{}, false, err
+	}
+	gp := core.GraphPlan{Name: pf.GraphPlanName}
+	for _, rf := range pf.Restrictions {
+		attr, err := core.ParseAttr(rf.Attr)
+		if err != nil {
+			return 0, core.GraphPlan{}, kernels.Plan{}, false, err
+		}
+		switch rf.Kind {
+		case "exact":
+			gp.Restrictions = append(gp.Restrictions, core.Restriction{Attr: attr, Kind: core.Exact, Limit: rf.Limit})
+		case "min":
+			gp.Restrictions = append(gp.Restrictions, core.Restriction{Attr: attr, Kind: core.Min})
+		default:
+			return 0, core.GraphPlan{}, kernels.Plan{}, false, fmt.Errorf("joint: unknown restriction kind %q", rf.Kind)
+		}
+	}
+	return kind, gp, kernels.Plan{Dedup: pf.Dedup, Batched: pf.Batched}, pf.Differentiated, nil
+}

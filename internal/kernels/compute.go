@@ -1,0 +1,348 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/device"
+	"wisegraph/internal/dfg"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+)
+
+// RunModel executes a full forward pass with the gTask strategy: shared
+// dense transforms as per-layer tensor-core kernels, then one fused kernel
+// per layer whose work items are the partition's gTasks. The numeric
+// output is computed by the fused path itself (not delegated to the
+// reference), so tests can verify the gTask machinery end to end.
+func RunModel(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
+	if !ValidPlanFor(m.Cfg.Kind, part.Plan) {
+		return nil, fmt.Errorf("kernels: plan %v cannot execute %v", part.Plan, m.Cfg.Kind)
+	}
+	cur := x
+	for li, layer := range m.Layers() {
+		sh := LayerShape{Kind: m.Cfg.Kind, F: layer.InDim(), Fp: layer.OutDim(), Types: m.Cfg.NumTypes}
+		out, err := runLayer(ctx, gc, layer, sh, cur, part, plan)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Compute {
+			if li < len(m.Layers())-1 {
+				cur = tensor.ReLU(nil, out)
+			} else {
+				cur = out
+			}
+		}
+	}
+	if !ctx.Compute {
+		return nil, nil
+	}
+	return cur, nil
+}
+
+// runLayer accounts and (optionally) computes one layer.
+func runLayer(ctx *exec.Ctx, gc *nn.GraphCtx, layer nn.Layer, sh LayerShape, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
+	// Shared dense transforms.
+	for _, k := range DenseKernels(sh, gc.NumVertices()) {
+		ctx.Launch(k, nil)
+	}
+	// Fused gTask kernel: one launch, tasks as work items.
+	costs := CostPartition(ctx.Dev.Spec, part, sh, plan)
+	times := make([]float64, len(costs))
+	var flops, bytes float64
+	for i, c := range costs {
+		times[i] = c.Seconds
+		flops += c.FLOPs
+		bytes += c.Bytes
+	}
+	ctx.Launch(device.Kernel{
+		Name: "gtask.fused", Cat: device.CatNeural,
+		FLOPs: flops, Bytes: bytes, UnitTimes: times,
+	}, nil)
+	if !ctx.Compute {
+		return nil, nil
+	}
+	out, err := computeLayer(gc, layer, x, part, plan)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// computeLayer is the real fused computation over gTasks.
+func computeLayer(gc *nn.GraphCtx, layer nn.Layer, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
+	g := gc.G
+	inDeg := g.InDegrees()
+	invDeg := func(e int32) float32 {
+		d := inDeg[g.Dst[e]]
+		if d == 0 {
+			return 0
+		}
+		return 1 / float32(d)
+	}
+	switch l := layer.(type) {
+	case *nn.GCNLayer:
+		xw := tensor.MatMul(nil, x, l.W.Value)
+		out := tensor.New(g.NumVertices, l.OutDim())
+		forEachTaskEdge(part, func(e int32) {
+			src, dst := g.Src[e], g.Dst[e]
+			w := invDeg(e)
+			xr := xw.Row(int(src))
+			or := out.Row(int(dst))
+			for j, v := range xr {
+				or[j] += w * v
+			}
+		})
+		tensor.AddBias(out, l.B.Value)
+		return out, nil
+
+	case *nn.SAGELayer:
+		agg := tensor.New(g.NumVertices, l.InDim())
+		forEachTaskEdge(part, func(e int32) {
+			src, dst := g.Src[e], g.Dst[e]
+			w := invDeg(e)
+			xr := x.Row(int(src))
+			or := agg.Row(int(dst))
+			for j, v := range xr {
+				or[j] += w * v
+			}
+		})
+		out := tensor.MatMul(nil, x, l.WSelf.Value)
+		tensor.MatMulAcc(out, agg, l.WNeigh.Value)
+		tensor.AddBias(out, l.B.Value)
+		return out, nil
+
+	case *nn.RGCNLayer:
+		return computeRGCN(g, l, x, part, plan, invDeg)
+
+	case *nn.GATLayer:
+		return computeGAT(gc, l, x, part)
+
+	case *nn.SAGELSTMLayer:
+		return computeLSTM(g, l, x, part)
+	}
+	return nil, fmt.Errorf("kernels: unsupported layer type %T", layer)
+}
+
+// forEachTaskEdge visits every edge task by task.
+func forEachTaskEdge(part *core.Partition, fn func(e int32)) {
+	for ti := 0; ti < part.NumTasks(); ti++ {
+		for _, e := range part.TaskEdges(ti) {
+			fn(e)
+		}
+	}
+}
+
+// computeRGCN runs the RGCN aggregation per task, with the dedup'd
+// outer-product micro-kernel (paper Figure 10c) when the plan asks for it.
+func computeRGCN(g *graphT, l *nn.RGCNLayer, x *tensor.Tensor, part *core.Partition, plan Plan, invDeg func(int32) float32) (*tensor.Tensor, error) {
+	in, outDim := l.InDim(), l.OutDim()
+	out := tensor.MatMul(nil, x, l.WSelf.Value)
+	msg := make([]float32, outDim)
+	for ti := 0; ti < part.NumTasks(); ti++ {
+		edges := part.TaskEdges(ti)
+		if plan.Dedup {
+			// unique-value extraction on src and type, then the
+			// outer-product compute + 2-D indexing.
+			srcs := make([]int32, len(edges))
+			typs := make([]int32, len(edges))
+			for i, e := range edges {
+				srcs[i] = g.Src[e]
+				typs[i] = g.EdgeType(int(e))
+			}
+			uSrc, mSrc := dfg.UniqueExtract(srcs)
+			uTyp, mTyp := dfg.UniqueExtract(typs)
+			// pair products [m, n, outDim]
+			prod := tensor.New(len(uSrc), len(uTyp), outDim)
+			for i, sv := range uSrc {
+				xr := x.Row(int(sv))
+				for j, tv := range uTyp {
+					w := tensor.FromSlice(l.W.Value.Data()[int(tv)*in*outDim:(int(tv)+1)*in*outDim], in, outDim)
+					tensor.VecMat(prod.Data()[(i*len(uTyp)+j)*outDim:(i*len(uTyp)+j+1)*outDim], xr, w)
+				}
+			}
+			for i, e := range edges {
+				pr := prod.Data()[(int(mSrc[i])*len(uTyp)+int(mTyp[i]))*outDim : (int(mSrc[i])*len(uTyp)+int(mTyp[i])+1)*outDim]
+				w := invDeg(e)
+				or := out.Row(int(g.Dst[e]))
+				for j, v := range pr {
+					or[j] += w * v
+				}
+			}
+		} else {
+			for _, e := range edges {
+				tv := g.EdgeType(int(e))
+				w := tensor.FromSlice(l.W.Value.Data()[int(tv)*in*outDim:(int(tv)+1)*in*outDim], in, outDim)
+				tensor.VecMat(msg, x.Row(int(g.Src[e])), w)
+				we := invDeg(e)
+				or := out.Row(int(g.Dst[e]))
+				for j, v := range msg {
+					or[j] += we * v
+				}
+			}
+		}
+	}
+	tensor.AddBias(out, l.B.Value)
+	return out, nil
+}
+
+// computeGAT runs attention in three phases so softmax normalization is
+// exact regardless of how tasks split a destination's in-edges.
+func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Partition) (*tensor.Tensor, error) {
+	g := gc.G
+	heads := l.Heads()
+	dh := l.OutDim() / heads
+	z := tensor.MatMul(nil, x, l.W.Value)
+	v := g.NumVertices
+	// projections
+	pl := tensor.New(v, heads)
+	pr := tensor.New(v, heads)
+	for vi := 0; vi < v; vi++ {
+		zr := z.Row(vi)
+		plr, prr := pl.Row(vi), pr.Row(vi)
+		for h := 0; h < heads; h++ {
+			alr, arr := l.AL.Value.Row(h), l.AR.Value.Row(h)
+			var sl, sr float32
+			for d := 0; d < dh; d++ {
+				sl += alr[d] * zr[h*dh+d]
+				sr += arr[d] * zr[h*dh+d]
+			}
+			plr[h], prr[h] = sl, sr
+		}
+	}
+	e := g.NumEdges()
+	score := tensor.New(e, heads)
+	forEachTaskEdge(part, func(ei int32) {
+		sr := score.Row(int(ei))
+		plr := pl.Row(int(g.Src[ei]))
+		prr := pr.Row(int(g.Dst[ei]))
+		for h := 0; h < heads; h++ {
+			s := plr[h] + prr[h]
+			if s < 0 {
+				s *= 0.2 // leaky relu, slope matches nn.GATLayer
+			}
+			sr[h] = s
+		}
+	})
+	// per-dst stable softmax over the whole edge set (three passes)
+	maxS := tensor.Full(float32(math.Inf(-1)), v, heads)
+	for ei := 0; ei < e; ei++ {
+		mr := maxS.Row(int(g.Dst[ei]))
+		sr := score.Row(ei)
+		for h := 0; h < heads; h++ {
+			if sr[h] > mr[h] {
+				mr[h] = sr[h]
+			}
+		}
+	}
+	sum := tensor.New(v, heads)
+	for ei := 0; ei < e; ei++ {
+		d := int(g.Dst[ei])
+		sr := score.Row(ei)
+		mr := maxS.Row(d)
+		zr := sum.Row(d)
+		for h := 0; h < heads; h++ {
+			ev := float32(math.Exp(float64(sr[h] - mr[h])))
+			sr[h] = ev
+			zr[h] += ev
+		}
+	}
+	out := tensor.New(v, l.OutDim())
+	forEachTaskEdge(part, func(ei int32) {
+		src, dst := int(g.Src[ei]), int(g.Dst[ei])
+		sr := score.Row(int(ei))
+		zr := z.Row(src)
+		or := out.Row(dst)
+		su := sum.Row(dst)
+		for h := 0; h < heads; h++ {
+			if su[h] == 0 {
+				continue
+			}
+			a := sr[h] / su[h]
+			for d := 0; d < dh; d++ {
+				or[h*dh+d] += a * zr[h*dh+d]
+			}
+		}
+	})
+	tensor.AddBias(out, l.B.Value)
+	return out, nil
+}
+
+// computeLSTM runs the per-destination recurrences task by task. The
+// validity filter guarantees each destination's edges are contiguous in
+// one task and in original (CSR-equivalent) order.
+func computeLSTM(g *graphT, l *nn.SAGELSTMLayer, x *tensor.Tensor, part *core.Partition) (*tensor.Tensor, error) {
+	hd := l.OutDim()
+	f := l.InDim()
+	hFinal := tensor.New(g.NumVertices, hd)
+	h := make([]float32, hd)
+	c := make([]float32, hd)
+	zbuf := make([]float32, 4*hd)
+	for ti := 0; ti < part.NumTasks(); ti++ {
+		edges := part.TaskEdges(ti)
+		i := 0
+		for i < len(edges) {
+			dst := g.Dst[edges[i]]
+			j := i
+			for j < len(edges) && g.Dst[edges[j]] == dst {
+				j++
+			}
+			// run the LSTM over edges[i:j] in ascending edge order
+			run := append([]int32(nil), edges[i:j]...)
+			sortInt32(run)
+			for k := range h {
+				h[k], c[k] = 0, 0
+			}
+			for _, e := range run {
+				xr := x.Row(int(g.Src[e]))
+				copy(zbuf, l.Bg.Value.Data())
+				mulAccRow(zbuf, xr, l.Wx.Value)
+				mulAccRow(zbuf, h, l.Wh.Value)
+				for k := 0; k < hd; k++ {
+					ig := sigm(zbuf[k])
+					fg := sigm(zbuf[hd+k])
+					og := sigm(zbuf[2*hd+k])
+					gg := float32(math.Tanh(float64(zbuf[3*hd+k])))
+					c[k] = fg*c[k] + ig*gg
+					h[k] = og * float32(math.Tanh(float64(c[k])))
+				}
+			}
+			copy(hFinal.Row(int(dst)), h)
+			i = j
+		}
+	}
+	_ = f
+	out := tensor.MatMul(nil, x, l.WSelf.Value)
+	tensor.MatMulAcc(out, hFinal, l.WNeigh.Value)
+	tensor.AddBias(out, l.B.Value)
+	return out, nil
+}
+
+// graphT aliases the graph type to keep signatures short.
+type graphT = graph.Graph
+
+func sigm(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }
+
+func mulAccRow(z, x []float32, w *tensor.Tensor) {
+	n := w.Dim(1)
+	for p, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		wr := w.Data()[p*n : (p+1)*n]
+		for j, wv := range wr {
+			z[j] += xv * wv
+		}
+	}
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

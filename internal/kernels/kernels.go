@@ -1,0 +1,173 @@
+// Package kernels is WiseGraph's gTask executor: it runs a GNN layer as
+// one fused kernel whose work items are the gTasks of a graph partition
+// plan, with micro-kernels composed per the operation partition plan
+// (paper §5.3). Batched data patterns select batched (tensor-core-
+// eligible) micro-kernel implementations; duplicated data patterns enable
+// the dedup'd (transformed-DFG) compute; tasks without batched data fall
+// back to edge-by-edge processing.
+//
+// The package provides both the per-task cost model (consumed by the
+// joint optimizer and the bench harness) and a real fused computation
+// path that is cross-checked against the reference layers.
+package kernels
+
+import (
+	"fmt"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/device"
+	"wisegraph/internal/nn"
+)
+
+// Plan is an operation partition plan for a given graph partition.
+type Plan struct {
+	// Dedup applies the duplicated-data DFG transformation: compute per
+	// unique (src[,type]) value instead of per edge.
+	Dedup bool
+	// Batched selects batched micro-kernels; false forces edge-by-edge
+	// processing (the paper's Figure 10b vs 10c).
+	Batched bool
+}
+
+// String renders the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("opplan{dedup=%v batched=%v}", p.Dedup, p.Batched)
+}
+
+// TaskCost is the modeled cost of one gTask under a plan.
+type TaskCost struct {
+	Edges   int
+	FLOPs   float64
+	Bytes   float64
+	Seconds float64 // on one execution unit
+}
+
+// LayerShape carries the dimensions task costing needs.
+type LayerShape struct {
+	Kind  nn.ModelKind
+	F, Fp int
+	Types int
+}
+
+const fb = 4.0
+
+// perUnit returns time of (flops, bytes) on a single execution unit, on
+// the tensor-core path when tc is set and the batch is large enough.
+func perUnit(spec device.Spec, flops, bytes float64, tc bool) float64 {
+	units := float64(spec.NumUnits)
+	peak := spec.SIMTFLOPS
+	if tc {
+		peak = spec.TensorCoreFLOPS
+	}
+	t := flops / (peak / units)
+	if tm := bytes / (spec.MemBandwidth / units); tm > t {
+		t = tm
+	}
+	return t
+}
+
+// TaskStatsOf extracts the per-task statistics costing needs.
+type TaskStatsOf struct {
+	Edges    int
+	UniqSrc  int
+	UniqDst  int
+	UniqType int
+	MaxDeg   int // largest per-dst edge count inside the task
+}
+
+// StatsOf reads task ti's statistics from the partition. Attributes not
+// collected default to worst case (no duplication).
+func StatsOf(p *core.Partition, ti int) TaskStatsOf {
+	s := TaskStatsOf{Edges: p.TaskLen(ti)}
+	get := func(a core.Attr) int {
+		if p.Uniq[a] == nil {
+			return s.Edges
+		}
+		return int(p.TaskUniq(ti, a))
+	}
+	s.UniqSrc = get(core.AttrSrcID)
+	s.UniqDst = get(core.AttrDstID)
+	s.UniqType = get(core.AttrEdgeType)
+	// Max per-dst run length: edges of one dst are contiguous when dst
+	// participates in the sort key; approximate with edges/uniqDst and
+	// refine with an exact scan for LSTM costing (padding waste).
+	s.MaxDeg = (s.Edges + s.UniqDst - 1) / s.UniqDst
+	return s
+}
+
+// CostTask prices one gTask by composing its micro-kernel program
+// (paper §5.3) and summing the stages' work. The data patterns select
+// the program: batched data picks batch-loading micro-kernels, duplicated
+// data the unique-loading + shared-compute ones, and their absence the
+// edge-by-edge fallback.
+func CostTask(spec device.Spec, sh LayerShape, st TaskStatsOf, plan Plan) TaskCost {
+	prog := Compose(sh, plan)
+	flops, bytes := prog.Totals(st)
+	return TaskCost{
+		Edges:   st.Edges,
+		FLOPs:   flops,
+		Bytes:   bytes,
+		Seconds: perUnit(spec, flops, bytes, prog.TC(st)),
+	}
+}
+
+// CostPartition prices every task of a partition.
+func CostPartition(spec device.Spec, p *core.Partition, sh LayerShape, plan Plan) []TaskCost {
+	out := make([]TaskCost, p.NumTasks())
+	for ti := range out {
+		out[ti] = CostTask(spec, sh, StatsOf(p, ti), plan)
+	}
+	return out
+}
+
+// DenseKernels returns the per-layer dense kernels WiseGraph launches
+// outside the fused gTask kernel (the shared transforms: XW for GCN,
+// self/neigh weights, GAT projections). These run on tensor cores at full
+// efficiency for every strategy.
+func DenseKernels(sh LayerShape, v int) []device.Kernel {
+	f := float64(sh.F)
+	fp := float64(sh.Fp)
+	vf := float64(v)
+	mm := func(name string, m, k, n float64) device.Kernel {
+		return device.Kernel{Name: name, Cat: device.CatNeural, TensorCore: true,
+			FLOPs: 2 * m * k * n, Bytes: (m*k + k*n + m*n) * fb}
+	}
+	switch sh.Kind {
+	case nn.GCN:
+		return []device.Kernel{mm("gcn.xw", vf, f, fp)}
+	case nn.SAGE:
+		return []device.Kernel{mm("sage.self", vf, f, fp), mm("sage.neigh", vf, f, fp)}
+	case nn.RGCN:
+		return []device.Kernel{mm("rgcn.self", vf, f, fp)}
+	case nn.GAT:
+		return []device.Kernel{
+			mm("gat.z", vf, f, fp),
+			mm("gat.proj", vf, fp, 2),
+		}
+	case nn.SAGELSTM:
+		return []device.Kernel{mm("lstm.self", vf, f, fp), mm("lstm.neigh", vf, fp, fp)}
+	}
+	return nil
+}
+
+// ValidPlanFor reports whether a graph partition plan can legally execute
+// the model: SAGE-LSTM's recurrent aggregation needs each destination's
+// edges contiguous in one task and in stable order, i.e. a plan whose
+// restrictions include dst-id and do not reorder within a destination.
+func ValidPlanFor(kind nn.ModelKind, plan core.GraphPlan) bool {
+	if kind != nn.SAGELSTM {
+		return true
+	}
+	if _, ok := plan.Restricted(core.AttrDstID); !ok {
+		return false
+	}
+	// sorting by src-id inside a dst would permute the LSTM sequence
+	if _, ok := plan.Restricted(core.AttrSrcID); ok {
+		return false
+	}
+	// a per-dst edge cap splits a sequence across tasks
+	if _, ok := plan.Restricted(core.AttrEdgeID); ok {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"wisegraph/internal/nn"
+)
+
+// StageKind classifies a micro-kernel (paper §5.3: "multiple
+// micro-kernels for data loading and computation, each representing a
+// specific operation"; composing them yields the fused gTask kernel).
+type StageKind int
+
+const (
+	// StageLoad streams rows from global memory, one per edge.
+	StageLoad StageKind = iota
+	// StageLoadUnique loads each unique row once (duplicated-data reuse).
+	StageLoadUnique
+	// StageLoadWeights fetches weight matrices.
+	StageLoadWeights
+	// StageLoadIndex reads index/mapping arrays.
+	StageLoadIndex
+	// StageCompute performs arithmetic (matmul, additions, cell steps).
+	StageCompute
+	// StageStore writes per-edge results.
+	StageStore
+	// StageReduce accumulates into per-destination rows.
+	StageReduce
+)
+
+// String names the stage kind.
+func (k StageKind) String() string {
+	switch k {
+	case StageLoad:
+		return "load"
+	case StageLoadUnique:
+		return "load-unique"
+	case StageLoadWeights:
+		return "load-weights"
+	case StageLoadIndex:
+		return "load-index"
+	case StageCompute:
+		return "compute"
+	case StageStore:
+		return "store"
+	default:
+		return "reduce"
+	}
+}
+
+// Stage is one micro-kernel: its memory footprint and arithmetic work as
+// functions of the gTask's statistics.
+type Stage struct {
+	Kind StageKind
+	Name string
+	// Elems returns the number of float32/int32 elements the stage moves
+	// through global memory.
+	Elems func(TaskStatsOf) float64
+	// FLOPs returns the stage's arithmetic work (nil for pure movement).
+	FLOPs func(TaskStatsOf) float64
+}
+
+// Program is a composed fused kernel: the stage sequence plus the
+// condition under which the compute stages qualify for tensor cores
+// (batched matrix work with enough rows).
+type Program struct {
+	Stages     []Stage
+	TensorCore func(TaskStatsOf) bool
+}
+
+// Totals sums the program's work over a task's statistics.
+func (p Program) Totals(st TaskStatsOf) (flops, bytes float64) {
+	for _, s := range p.Stages {
+		if s.Elems != nil {
+			bytes += s.Elems(st) * fb
+		}
+		if s.FLOPs != nil {
+			flops += s.FLOPs(st)
+		}
+	}
+	return flops, bytes
+}
+
+// TC reports tensor-core eligibility for the task.
+func (p Program) TC(st TaskStatsOf) bool {
+	return p.TensorCore != nil && p.TensorCore(st)
+}
+
+// String lists the composed stages.
+func (p Program) String() string {
+	names := make([]string, len(p.Stages))
+	for i, s := range p.Stages {
+		names[i] = s.Name
+	}
+	return "[" + strings.Join(names, " → ") + "]"
+}
+
+// helper constructors
+
+func stage(kind StageKind, name string, elems, flops func(TaskStatsOf) float64) Stage {
+	return Stage{Kind: kind, Name: name, Elems: elems, FLOPs: flops}
+}
+
+// Compose builds the fused-kernel program for a layer under an operation
+// plan — the kernel-generation step of the paper's Figure 10: with
+// batched data the program loads batches and runs matrix micro-kernels;
+// without it, the edge-by-edge fallback.
+func Compose(sh LayerShape, plan Plan) Program {
+	f := float64(sh.F)
+	fp := float64(sh.Fp)
+	e := func(st TaskStatsOf) float64 { return float64(st.Edges) }
+	uSrc := func(st TaskStatsOf) float64 { return float64(st.UniqSrc) }
+	uDst := func(st TaskStatsOf) float64 { return float64(st.UniqDst) }
+	uTyp := func(st TaskStatsOf) float64 { return float64(st.UniqType) }
+
+	switch sh.Kind {
+	case nn.GCN, nn.SAGE:
+		w := fp
+		if sh.Kind == nn.SAGE {
+			w = f
+		}
+		add := stage(StageCompute, "accumulate", nil, func(st TaskStatsOf) float64 { return e(st) * w })
+		switch {
+		case plan.Batched && plan.Dedup:
+			return Program{Stages: []Stage{
+				stage(StageLoadUnique, "load-unique-src", func(st TaskStatsOf) float64 { return uSrc(st) * w }, nil),
+				stage(StageLoadIndex, "load-maps", e, nil),
+				add,
+				stage(StageReduce, "reduce-dst", func(st TaskStatsOf) float64 { return uDst(st) * w }, nil),
+			}}
+		case plan.Batched:
+			return Program{Stages: []Stage{
+				stage(StageLoad, "load-src", func(st TaskStatsOf) float64 { return e(st) * w }, nil),
+				stage(StageLoadIndex, "load-ids", e, nil),
+				add,
+				stage(StageReduce, "reduce-dst", func(st TaskStatsOf) float64 { return uDst(st) * w }, nil),
+			}}
+		default:
+			return Program{Stages: []Stage{
+				stage(StageLoad, "load-src", func(st TaskStatsOf) float64 { return e(st) * w }, nil),
+				stage(StageLoadIndex, "load-ids", e, nil),
+				add,
+				stage(StageStore, "store-edge", func(st TaskStatsOf) float64 { return e(st) * w }, nil),
+			}}
+		}
+
+	case nn.RGCN:
+		switch {
+		case plan.Dedup:
+			return Program{
+				Stages: []Stage{
+					stage(StageLoadUnique, "load-unique-src", func(st TaskStatsOf) float64 { return uSrc(st) * f }, nil),
+					stage(StageLoadWeights, "load-type-weights", func(st TaskStatsOf) float64 { return uTyp(st) * f * fp }, nil),
+					stage(StageCompute, "outer-mm", nil, func(st TaskStatsOf) float64 { return 2 * uSrc(st) * uTyp(st) * f * fp }),
+					stage(StageLoadIndex, "load-2d-maps", func(st TaskStatsOf) float64 { return 2 * e(st) }, nil),
+					stage(StageReduce, "reduce-dst", func(st TaskStatsOf) float64 { return uDst(st) * fp }, nil),
+				},
+				TensorCore: func(st TaskStatsOf) bool {
+					return plan.Batched && float64(st.UniqSrc)*float64(st.UniqType) >= 16
+				},
+			}
+		case plan.Batched:
+			return Program{
+				Stages: []Stage{
+					stage(StageLoad, "load-src", func(st TaskStatsOf) float64 { return e(st) * f }, nil),
+					stage(StageLoadWeights, "load-type-weights", func(st TaskStatsOf) float64 { return uTyp(st) * f * fp }, nil),
+					stage(StageCompute, "batched-mm", nil, func(st TaskStatsOf) float64 { return 2 * e(st) * f * fp }),
+					stage(StageStore, "store-edge", func(st TaskStatsOf) float64 { return e(st) * fp }, nil),
+				},
+				TensorCore: func(st TaskStatsOf) bool { return float64(st.Edges) >= 16 },
+			}
+		default:
+			return Program{Stages: []Stage{
+				stage(StageLoad, "load-src", func(st TaskStatsOf) float64 { return e(st) * f }, nil),
+				stage(StageLoadWeights, "reload-weights-per-edge", func(st TaskStatsOf) float64 { return e(st) * f * fp }, nil),
+				stage(StageCompute, "vec-mat-per-edge", nil, func(st TaskStatsOf) float64 { return 2 * e(st) * f * fp }),
+				stage(StageStore, "store-edge", func(st TaskStatsOf) float64 { return e(st) * fp }, nil),
+			}}
+		}
+
+	case nn.GAT:
+		score := stage(StageCompute, "score+softmax", nil, func(st TaskStatsOf) float64 { return 4 * e(st) * fp })
+		agg := stage(StageCompute, "weighted-agg", nil, func(st TaskStatsOf) float64 { return e(st) * fp })
+		idx := stage(StageLoadIndex, "load-scores+ids", func(st TaskStatsOf) float64 { return 4 * e(st) }, nil)
+		switch {
+		case plan.Batched && plan.Dedup:
+			return Program{Stages: []Stage{
+				stage(StageLoadUnique, "load-unique-z", func(st TaskStatsOf) float64 { return uSrc(st) * fp }, nil),
+				idx, score, agg,
+				stage(StageReduce, "reduce-dst", func(st TaskStatsOf) float64 { return uDst(st) * fp }, nil),
+			}}
+		case plan.Batched:
+			return Program{Stages: []Stage{
+				stage(StageLoad, "load-z", func(st TaskStatsOf) float64 { return e(st) * fp }, nil),
+				idx, score, agg,
+				stage(StageReduce, "reduce-dst", func(st TaskStatsOf) float64 { return uDst(st) * fp }, nil),
+			}}
+		default:
+			return Program{Stages: []Stage{
+				stage(StageLoad, "load-z", func(st TaskStatsOf) float64 { return e(st) * fp }, nil),
+				idx, score, agg,
+				stage(StageStore, "store-edge", func(st TaskStatsOf) float64 { return e(st) * fp }, nil),
+			}}
+		}
+
+	case nn.SAGELSTM:
+		hd := fp
+		cellF := 2 * (f + hd) * 4 * hd
+		if plan.Batched {
+			padded := func(st TaskStatsOf) float64 { return float64(st.UniqDst) * float64(st.MaxDeg) }
+			return Program{
+				Stages: []Stage{
+					stage(StageLoad, "load-padded-seq", func(st TaskStatsOf) float64 { return padded(st) * f }, nil),
+					stage(StageLoadWeights, "load-cell-weights-per-step", func(st TaskStatsOf) float64 {
+						return float64(st.MaxDeg) * (f + hd) * 4 * hd / 8
+					}, nil),
+					stage(StageCompute, "lockstep-cells", nil, func(st TaskStatsOf) float64 { return padded(st) * cellF }),
+					stage(StageStore, "store-hidden", func(st TaskStatsOf) float64 { return float64(st.UniqDst) * hd }, nil),
+				},
+				TensorCore: func(st TaskStatsOf) bool { return float64(st.UniqDst) >= 16 },
+			}
+		}
+		return Program{Stages: []Stage{
+			stage(StageLoad, "load-seq", func(st TaskStatsOf) float64 { return e(st) * f }, nil),
+			stage(StageLoadWeights, "reload-cell-weights", func(st TaskStatsOf) float64 { return e(st) * (f + hd) * 4 * hd }, nil),
+			stage(StageCompute, "sequential-cells", nil, func(st TaskStatsOf) float64 { return e(st) * cellF }),
+			stage(StageStore, "store-hidden", func(st TaskStatsOf) float64 { return e(st) * hd }, nil),
+		}}
+	}
+	panic(fmt.Sprintf("kernels: no program for model %v", sh.Kind))
+}

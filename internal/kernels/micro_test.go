@@ -1,0 +1,97 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"wisegraph/internal/nn"
+)
+
+func TestComposeProgramsForAllModelsAndPlans(t *testing.T) {
+	st := TaskStatsOf{Edges: 100, UniqSrc: 40, UniqDst: 20, UniqType: 2, MaxDeg: 5}
+	for kind := nn.ModelKind(0); kind < nn.NumModels; kind++ {
+		sh := LayerShape{Kind: kind, F: 32, Fp: 16, Types: 4}
+		for _, plan := range []Plan{{}, {Batched: true}, {Batched: true, Dedup: true}} {
+			p := Compose(sh, plan)
+			if len(p.Stages) < 3 {
+				t.Fatalf("%v %v: degenerate program %v", kind, plan, p)
+			}
+			flops, bytes := p.Totals(st)
+			if flops <= 0 || bytes <= 0 {
+				t.Fatalf("%v %v: zero work (flops=%v bytes=%v)", kind, plan, flops, bytes)
+			}
+			// a program must contain at least one compute stage and one
+			// load stage
+			var hasCompute, hasLoad bool
+			for _, s := range p.Stages {
+				switch s.Kind {
+				case StageCompute:
+					hasCompute = true
+				case StageLoad, StageLoadUnique:
+					hasLoad = true
+				}
+			}
+			if !hasCompute || !hasLoad {
+				t.Fatalf("%v %v: missing stages in %v", kind, plan, p)
+			}
+		}
+	}
+}
+
+func TestDedupProgramsLoadUnique(t *testing.T) {
+	sh := LayerShape{Kind: nn.RGCN, F: 32, Fp: 16, Types: 4}
+	dedup := Compose(sh, Plan{Batched: true, Dedup: true})
+	if !strings.Contains(dedup.String(), "load-unique") {
+		t.Fatalf("dedup program %v lacks unique loading", dedup)
+	}
+	if !strings.Contains(dedup.String(), "outer-mm") {
+		t.Fatalf("dedup program %v lacks the outer-product micro-kernel", dedup)
+	}
+	edge := Compose(sh, Plan{})
+	if !strings.Contains(edge.String(), "reload-weights-per-edge") {
+		t.Fatalf("edge-wise program %v must reload weights per edge", edge)
+	}
+}
+
+func TestProgramTotalsMatchDuplicationIntuition(t *testing.T) {
+	// With heavy duplication the dedup program must do strictly less
+	// compute AND less traffic than the batched one, which must beat the
+	// edge-wise one on traffic.
+	sh := LayerShape{Kind: nn.RGCN, F: 64, Fp: 64, Types: 8}
+	st := TaskStatsOf{Edges: 512, UniqSrc: 32, UniqDst: 64, UniqType: 1, MaxDeg: 8}
+	fd, bd := Compose(sh, Plan{Batched: true, Dedup: true}).Totals(st)
+	fbt, bbt := Compose(sh, Plan{Batched: true}).Totals(st)
+	fe, be := Compose(sh, Plan{}).Totals(st)
+	if !(fd < fbt && fbt == fe) {
+		t.Fatalf("flops ordering: dedup %v, batched %v, edge %v", fd, fbt, fe)
+	}
+	if !(bd < bbt && bbt < be) {
+		t.Fatalf("bytes ordering: dedup %v, batched %v, edge %v", bd, bbt, be)
+	}
+}
+
+func TestTensorCoreEligibility(t *testing.T) {
+	sh := LayerShape{Kind: nn.RGCN, F: 32, Fp: 16, Types: 4}
+	p := Compose(sh, Plan{Batched: true, Dedup: true})
+	big := TaskStatsOf{Edges: 100, UniqSrc: 8, UniqDst: 4, UniqType: 4}
+	small := TaskStatsOf{Edges: 4, UniqSrc: 2, UniqDst: 2, UniqType: 1}
+	if !p.TC(big) {
+		t.Fatal("32 unique pairs should use tensor cores")
+	}
+	if p.TC(small) {
+		t.Fatal("2-row batch cannot fill a tensor-core tile")
+	}
+	// addition kernels never use tensor cores
+	add := Compose(LayerShape{Kind: nn.GCN, F: 32, Fp: 16}, Plan{Batched: true})
+	if add.TC(big) {
+		t.Fatal("addition micro-kernels have no matrix work")
+	}
+}
+
+func TestStageKindNames(t *testing.T) {
+	for k := StageLoad; k <= StageReduce; k++ {
+		if k.String() == "" {
+			t.Fatalf("stage kind %d unnamed", k)
+		}
+	}
+}

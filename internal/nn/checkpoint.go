@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// checkpoint format: magic, version, param count, then per parameter:
+// name length+bytes, dim count, dims, float32 payload (little endian).
+const (
+	ckptMagic   = 0x57534721 // "WSG!"
+	ckptVersion = 1
+)
+
+// SaveCheckpoint writes every parameter value to w in a compact binary
+// format. Optimizer state is not saved (checkpoints are for inference and
+// warm starts, matching common GNN-framework practice).
+func (m *Model) SaveCheckpoint(w io.Writer) error {
+	params := m.Params()
+	hdr := []uint32{ckptMagic, ckptVersion, uint32(len(params))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("nn: writing checkpoint header: %w", err)
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write(name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, p.Value.Data()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint restores parameter values from r. The model must have
+// the same architecture (parameter order, names and shapes) as the one
+// that saved the checkpoint.
+func (m *Model) LoadCheckpoint(r io.Reader) error {
+	var hdr [3]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("nn: reading checkpoint header: %w", err)
+	}
+	if hdr[0] != ckptMagic {
+		return fmt.Errorf("nn: not a checkpoint (magic %#x)", hdr[0])
+	}
+	if hdr[1] != ckptVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", hdr[1])
+	}
+	params := m.Params()
+	if int(hdr[2]) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", hdr[2], len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 1024 {
+			return fmt.Errorf("nn: absurd name length %d (corrupt checkpoint)", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: parameter order mismatch: checkpoint %q vs model %q", name, p.Name)
+		}
+		var dims uint32
+		if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
+			return err
+		}
+		if int(dims) != p.Value.Dims() {
+			return fmt.Errorf("nn: %s: %d dims vs %d", p.Name, dims, p.Value.Dims())
+		}
+		for i := 0; i < int(dims); i++ {
+			var d uint32
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return err
+			}
+			if int(d) != p.Value.Dim(i) {
+				return fmt.Errorf("nn: %s: dim %d is %d vs %d", p.Name, i, d, p.Value.Dim(i))
+			}
+		}
+		if err := binary.Read(r, binary.LittleEndian, p.Value.Data()); err != nil {
+			return err
+		}
+		for _, v := range p.Value.Data() {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return fmt.Errorf("nn: %s: non-finite value in checkpoint", p.Name)
+			}
+		}
+	}
+	return nil
+}

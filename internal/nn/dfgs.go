@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"wisegraph/internal/core"
+	"wisegraph/internal/dfg"
+)
+
+// IndexAttrs returns the edge attributes a model's indexing operations
+// consume — the key attributes WiseGraph identifies from the DFG (paper
+// §4.1) and feeds into graph partition plan generation.
+func (k ModelKind) IndexAttrs() []core.Attr {
+	switch k {
+	case RGCN:
+		return []core.Attr{core.AttrSrcID, core.AttrDstID, core.AttrEdgeType}
+	default:
+		return []core.Attr{core.AttrSrcID, core.AttrDstID}
+	}
+}
+
+// LayerDFG builds the symbolic data-flow graph of one conv layer, the
+// input to DFG transformation and the cost model. numV/numTypes size the
+// fixed inputs; in/out are feature dimensions.
+//
+// Per-model notes:
+//   - GCN is written transform-then-aggregate (Linear already per-vertex),
+//     so operation partition finds little to improve — matching Figure 16d.
+//   - SAGE is written per-edge (Linear after the src gather) so the
+//     indexing-swapping rule can hoist the Linear to unique sources —
+//     the duplication the paper removes on PA-S (Figure 17b).
+//   - RGCN is Equation (1) verbatim: the BMM over per-edge (h[src],
+//     W[type]) pairs that unique extraction + Index-2D rewrites into an
+//     outer product (Figure 9).
+//   - GAT models the attention projections; its per-edge softmax and
+//     weighting are priced by the executors, not the symbolic DFG.
+//   - SAGE-LSTM models only the data movement: its recurrent cell is
+//     sequential per destination, which is exactly why the paper finds
+//     operation partition contributes little for LSTM (Figure 16c) while
+//     graph partition (degree batching) contributes a lot.
+func LayerDFG(k ModelKind, numV, numTypes, in, out int) *dfg.Graph {
+	g := &dfg.Graph{}
+	edges := dfg.Card{Kind: dfg.CardEdges}
+	dsts := dfg.Card{Kind: dfg.CardUniq, Attr: core.AttrDstID}
+	switch k {
+	case GCN:
+		h := g.Input("H", numV, in)
+		w := g.Input("W", in, out)
+		xw := g.Linear(h, w)
+		xs := g.Index(xw, "src-id", edges)
+		o := g.IndexAdd(xs, "dst-id", "num-dst", dsts)
+		g.SetOutput(o)
+	case SAGE:
+		h := g.Input("H", numV, in)
+		w := g.Input("Wneigh", in, out)
+		hs := g.Index(h, "src-id", edges)
+		msg := g.Linear(hs, w)
+		agg := g.IndexAdd(msg, "dst-id", "num-dst", dsts)
+		g.SetOutput(agg)
+	case SAGELSTM:
+		h := g.Input("H", numV, in)
+		hs := g.Index(h, "src-id", edges)
+		agg := g.IndexAdd(hs, "dst-id", "num-dst", dsts)
+		g.SetOutput(agg)
+	case GAT:
+		h := g.Input("H", numV, in)
+		w := g.Input("W", in, out)
+		al := g.Input("aL", out, 1)
+		ar := g.Input("aR", out, 1)
+		z := g.Linear(h, w)
+		zs := g.Index(z, "src-id", edges)
+		zd := g.Index(z, "dst-id", edges)
+		pl := g.Linear(zs, al)
+		pr := g.Linear(zd, ar)
+		s := g.Activation(dfg.OpLeakyReLU, g.EWAdd(pl, pr), 0.2)
+		zs2 := g.Index(z, "src-id", edges)
+		o := g.IndexAdd(zs2, "dst-id", "num-dst", dsts)
+		g.SetOutput(o)
+		g.ExtraOutputs = []*dfg.Node{s}
+	case RGCN:
+		h := g.Input("H", numV, in)
+		w := g.Input("W", numTypes, in, out)
+		hs := g.Index(h, "src-id", edges)
+		wt := g.Index(w, "edge-type", edges)
+		msg := g.BMM(hs, wt)
+		o := g.IndexAdd(msg, "dst-id", "num-dst", dsts)
+		g.SetOutput(o)
+	}
+	return g
+}
+
+// AttrOfKeys maps the index keys used by LayerDFG to edge attributes, the
+// binding DFG transformations need.
+func AttrOfKeys() map[string]core.Attr {
+	return map[string]core.Attr{
+		"src-id":    core.AttrSrcID,
+		"dst-id":    core.AttrDstID,
+		"edge-type": core.AttrEdgeType,
+	}
+}

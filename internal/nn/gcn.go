@@ -1,0 +1,112 @@
+package nn
+
+import "wisegraph/internal/tensor"
+
+// GCNLayer implements h' = Â·(h·W) + b with random-walk normalization
+// Â[d,s] = 1/deg(d). Its neural operation is plain addition, placing GCN
+// in the paper's "simple" model class.
+type GCNLayer struct {
+	W, B *Param
+
+	// caches
+	x, xw *tensor.Tensor
+}
+
+// NewGCNLayer allocates a layer mapping in → out features.
+func NewGCNLayer(rng *tensor.RNG, in, out int) *GCNLayer {
+	return &GCNLayer{W: NewParam("gcn.W", rng, in, out), B: NewZeroParam("gcn.b", out)}
+}
+
+// Params implements Layer.
+func (l *GCNLayer) Params() []*Param { return []*Param{l.W, l.B} }
+
+// InDim implements Layer.
+func (l *GCNLayer) InDim() int { return l.W.Value.Dim(0) }
+
+// OutDim implements Layer.
+func (l *GCNLayer) OutDim() int { return l.W.Value.Dim(1) }
+
+// Forward implements Layer.
+func (l *GCNLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	l.xw = tensor.MatMul(nil, x, l.W.Value)
+	out := tensor.New(gc.NumVertices(), l.OutDim())
+	EdgeSpMM(out, l.xw, gc.SrcByDst, gc.DstByDst, gc.InvDeg)
+	tensor.AddBias(out, l.B.Value)
+	return out
+}
+
+// Backward implements Layer.
+func (l *GCNLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
+	// bias gradient: column sum
+	accumBiasGrad(l.B.Grad, dOut)
+	// transpose aggregation: dXW[src] += w_e · dOut[dst]
+	dXW := tensor.New(l.xw.Shape()...)
+	EdgeSpMM(dXW, dOut, gc.DstByDst, gc.SrcByDst, gc.InvDeg)
+	tensor.MatMulAcc(l.W.Grad, transposeOf(l.x), dXW)
+	return tensor.MatMulTransB(nil, dXW, l.W.Value)
+}
+
+// accumBiasGrad adds the column sums of d to g.
+func accumBiasGrad(g, d *tensor.Tensor) {
+	n := g.Len()
+	gd := g.Data()
+	for i := 0; i < d.Rows(); i++ {
+		row := d.Row(i)
+		for j := 0; j < n; j++ {
+			gd[j] += row[j]
+		}
+	}
+}
+
+// transposeOf returns xᵀ (fresh tensor).
+func transposeOf(x *tensor.Tensor) *tensor.Tensor { return tensor.Transpose2D(nil, x) }
+
+// SAGELayer implements GraphSAGE with mean aggregation:
+// h' = h·Wself + mean_neigh(h)·Wneigh + b (simple class).
+type SAGELayer struct {
+	WSelf, WNeigh, B *Param
+
+	x, agg *tensor.Tensor
+}
+
+// NewSAGELayer allocates a layer mapping in → out features.
+func NewSAGELayer(rng *tensor.RNG, in, out int) *SAGELayer {
+	return &SAGELayer{
+		WSelf:  NewParam("sage.Wself", rng, in, out),
+		WNeigh: NewParam("sage.Wneigh", rng, in, out),
+		B:      NewZeroParam("sage.b", out),
+	}
+}
+
+// Params implements Layer.
+func (l *SAGELayer) Params() []*Param { return []*Param{l.WSelf, l.WNeigh, l.B} }
+
+// InDim implements Layer.
+func (l *SAGELayer) InDim() int { return l.WSelf.Value.Dim(0) }
+
+// OutDim implements Layer.
+func (l *SAGELayer) OutDim() int { return l.WSelf.Value.Dim(1) }
+
+// Forward implements Layer.
+func (l *SAGELayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	l.agg = tensor.New(gc.NumVertices(), l.InDim())
+	EdgeSpMM(l.agg, x, gc.SrcByDst, gc.DstByDst, gc.InvDeg)
+	out := tensor.MatMul(nil, x, l.WSelf.Value)
+	tensor.MatMulAcc(out, l.agg, l.WNeigh.Value)
+	tensor.AddBias(out, l.B.Value)
+	return out
+}
+
+// Backward implements Layer.
+func (l *SAGELayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
+	accumBiasGrad(l.B.Grad, dOut)
+	tensor.MatMulAcc(l.WSelf.Grad, transposeOf(l.x), dOut)
+	tensor.MatMulAcc(l.WNeigh.Grad, transposeOf(l.agg), dOut)
+	dx := tensor.MatMulTransB(nil, dOut, l.WSelf.Value)
+	dAgg := tensor.MatMulTransB(nil, dOut, l.WNeigh.Value)
+	// transpose mean aggregation back to sources
+	EdgeSpMM(dx, dAgg, gc.DstByDst, gc.SrcByDst, gc.InvDeg)
+	return dx
+}

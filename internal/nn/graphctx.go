@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"wisegraph/internal/graph"
+	"wisegraph/internal/tensor"
+)
+
+// GraphCtx precomputes the per-graph arrays every layer needs: CSR-ordered
+// edges (grouped by destination, which GAT's softmax and SAGE-LSTM's
+// neighbor sequences require), per-edge mean weights, and edges grouped by
+// type for RGCN.
+type GraphCtx struct {
+	G   *graph.Graph
+	CSR *graph.CSR
+
+	// SrcByDst / DstByDst are the edge endpoints in CSR (dst-grouped)
+	// order; edge slot s of CSR corresponds to SrcByDst[s] → DstByDst[s].
+	SrcByDst []int32
+	DstByDst []int32
+	// InvDeg[s] = 1/in-degree(dst) per CSR slot (mean aggregation).
+	InvDeg []float32
+
+	// TypeOrder lists CSR slots grouped by edge type; TypeOffsets[t] ..
+	// TypeOffsets[t+1] delimit type t (nil for untyped graphs).
+	TypeOrder   []int32
+	TypeOffsets []int32
+}
+
+// NewGraphCtx builds the context for g.
+func NewGraphCtx(g *graph.Graph) *GraphCtx {
+	csr := g.BuildCSRByDst()
+	e := g.NumEdges()
+	gc := &GraphCtx{G: g, CSR: csr}
+	gc.SrcByDst = csr.Col
+	gc.DstByDst = make([]int32, e)
+	gc.InvDeg = make([]float32, e)
+	for v := 0; v < g.NumVertices; v++ {
+		lo, hi := csr.RowPtr[v], csr.RowPtr[v+1]
+		deg := float32(hi - lo)
+		for s := lo; s < hi; s++ {
+			gc.DstByDst[s] = int32(v)
+			gc.InvDeg[s] = 1 / deg
+		}
+	}
+	if g.Type != nil {
+		counts := make([]int32, g.NumTypes)
+		for _, t := range csr.EType {
+			counts[t]++
+		}
+		gc.TypeOffsets = tensor.CountsToOffsets(counts)
+		next := append([]int32(nil), gc.TypeOffsets[:g.NumTypes]...)
+		gc.TypeOrder = make([]int32, e)
+		for s := 0; s < e; s++ {
+			t := csr.EType[s]
+			gc.TypeOrder[next[t]] = int32(s)
+			next[t]++
+		}
+	}
+	return gc
+}
+
+// NumVertices returns the vertex count.
+func (gc *GraphCtx) NumVertices() int { return gc.G.NumVertices }
+
+// NumEdges returns the edge count.
+func (gc *GraphCtx) NumEdges() int { return len(gc.SrcByDst) }
+
+// Layer is one trainable graph-convolution layer with cached activations
+// for the backward pass.
+type Layer interface {
+	// Forward computes the layer output for input x [V, in].
+	Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor
+	// Backward consumes d(loss)/d(out), accumulates parameter gradients,
+	// and returns d(loss)/d(x).
+	Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor
+	// Params lists the layer's trainable parameters.
+	Params() []*Param
+	// InDim / OutDim report the feature dimensions.
+	InDim() int
+	OutDim() int
+}

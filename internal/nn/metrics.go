@@ -1,0 +1,84 @@
+package nn
+
+import "fmt"
+
+// Metrics summarizes classification quality over a vertex set.
+type Metrics struct {
+	Accuracy float64
+	// MacroF1 averages per-class F1 over classes that appear.
+	MacroF1 float64
+	// PerClass holds per-class precision/recall/F1 (index = class id).
+	PerClass []ClassMetrics
+	// Confusion[i][j] counts vertices of true class i predicted as j.
+	Confusion [][]int
+}
+
+// ClassMetrics is one class's precision/recall/F1 plus its support.
+type ClassMetrics struct {
+	Precision, Recall, F1 float64
+	Support               int
+}
+
+// Evaluate computes metrics from predictions and labels over mask.
+func Evaluate(pred, labels []int32, mask []int32, classes int) (Metrics, error) {
+	if classes < 1 {
+		return Metrics{}, fmt.Errorf("nn: need at least one class")
+	}
+	m := Metrics{
+		Confusion: make([][]int, classes),
+		PerClass:  make([]ClassMetrics, classes),
+	}
+	for i := range m.Confusion {
+		m.Confusion[i] = make([]int, classes)
+	}
+	correct := 0
+	for _, v := range mask {
+		t, p := labels[v], pred[v]
+		if int(t) >= classes || int(p) >= classes || t < 0 || p < 0 {
+			return Metrics{}, fmt.Errorf("nn: label/prediction %d/%d out of range [0,%d)", t, p, classes)
+		}
+		m.Confusion[t][p]++
+		if t == p {
+			correct++
+		}
+	}
+	if len(mask) > 0 {
+		m.Accuracy = float64(correct) / float64(len(mask))
+	}
+	present := 0
+	var f1Sum float64
+	for c := 0; c < classes; c++ {
+		tp := m.Confusion[c][c]
+		fn, fp := 0, 0
+		for j := 0; j < classes; j++ {
+			if j != c {
+				fn += m.Confusion[c][j]
+				fp += m.Confusion[j][c]
+			}
+		}
+		cm := &m.PerClass[c]
+		cm.Support = tp + fn
+		if tp+fp > 0 {
+			cm.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			cm.Recall = float64(tp) / float64(tp+fn)
+		}
+		if cm.Precision+cm.Recall > 0 {
+			cm.F1 = 2 * cm.Precision * cm.Recall / (cm.Precision + cm.Recall)
+		}
+		if cm.Support > 0 {
+			present++
+			f1Sum += cm.F1
+		}
+	}
+	if present > 0 {
+		m.MacroF1 = f1Sum / float64(present)
+	}
+	return m, nil
+}
+
+// String summarizes the metrics.
+func (m Metrics) String() string {
+	return fmt.Sprintf("acc=%.3f macro-F1=%.3f", m.Accuracy, m.MacroF1)
+}

@@ -1,0 +1,203 @@
+package nn
+
+import (
+	"fmt"
+
+	"wisegraph/internal/tensor"
+)
+
+// Config describes a model instance. The paper's setting is 3 layers with
+// hidden dimension 256 (32 for multi-GPU full-graph training).
+type Config struct {
+	Kind     ModelKind
+	InDim    int
+	Hidden   int
+	OutDim   int // number of classes
+	Layers   int
+	Heads    int // GAT heads (default 4)
+	NumTypes int // RGCN relations
+	// Dropout is the between-layer drop probability applied during
+	// training only (0 disables it).
+	Dropout float64
+	Seed    uint64
+}
+
+// Model is a stack of graph-convolution layers with ReLU between them and
+// raw logits at the output.
+type Model struct {
+	Cfg    Config
+	layers []Layer
+
+	// caches
+	acts   []*tensor.Tensor // pre-activation outputs per layer
+	inputs []*tensor.Tensor // inputs per layer
+	masks  []*tensor.Tensor // dropout masks per inter-layer gap
+
+	training bool
+	dropRNG  *tensor.RNG
+}
+
+// NewModel builds the configured model with Xavier-initialized parameters.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("nn: need at least one layer")
+	}
+	if cfg.Heads == 0 {
+		cfg.Heads = 4
+	}
+	if cfg.Dropout < 0 || cfg.Dropout >= 1 {
+		return nil, fmt.Errorf("nn: dropout %v out of [0,1)", cfg.Dropout)
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0x6d6f64656c)
+	m := &Model{Cfg: cfg, dropRNG: tensor.NewRNG(cfg.Seed ^ 0x64726f70)}
+	for li := 0; li < cfg.Layers; li++ {
+		in := cfg.Hidden
+		if li == 0 {
+			in = cfg.InDim
+		}
+		out := cfg.Hidden
+		if li == cfg.Layers-1 {
+			out = cfg.OutDim
+		}
+		var l Layer
+		switch cfg.Kind {
+		case GCN:
+			l = NewGCNLayer(rng, in, out)
+		case SAGE:
+			l = NewSAGELayer(rng, in, out)
+		case SAGELSTM:
+			l = NewSAGELSTMLayer(rng, in, out)
+		case GAT:
+			heads := cfg.Heads
+			if li == cfg.Layers-1 || out%heads != 0 {
+				heads = 1
+			}
+			l = NewGATLayer(rng, in, out, heads)
+		case RGCN:
+			if cfg.NumTypes < 1 {
+				return nil, fmt.Errorf("nn: RGCN requires NumTypes ≥ 1")
+			}
+			l = NewRGCNLayer(rng, cfg.NumTypes, in, out)
+		default:
+			return nil, fmt.Errorf("nn: unknown model kind %v", cfg.Kind)
+		}
+		m.layers = append(m.layers, l)
+	}
+	return m, nil
+}
+
+// Layers exposes the layer stack (read-only use).
+func (m *Model) Layers() []Layer { return m.layers }
+
+// Params collects every trainable parameter.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// Forward runs the full model and returns logits [V, OutDim]. Dropout is
+// applied between layers only while the model is in training mode (set by
+// TrainStep).
+func (m *Model) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
+	m.inputs = m.inputs[:0]
+	m.acts = m.acts[:0]
+	m.masks = m.masks[:0]
+	cur := x
+	for li, l := range m.layers {
+		m.inputs = append(m.inputs, cur)
+		out := l.Forward(gc, cur)
+		m.acts = append(m.acts, out)
+		if li < len(m.layers)-1 {
+			cur = tensor.ReLU(nil, out)
+			if m.training && m.Cfg.Dropout > 0 {
+				mask := m.dropoutMask(cur.Len()).Reshape(cur.Shape()...)
+				cur = tensor.Mul(cur, cur, mask)
+				m.masks = append(m.masks, mask)
+			} else {
+				m.masks = append(m.masks, nil)
+			}
+		} else {
+			cur = out
+		}
+	}
+	return cur
+}
+
+// dropoutMask draws an inverted-dropout mask: 0 with probability p,
+// 1/(1-p) otherwise, so activations keep their expectation.
+func (m *Model) dropoutMask(n int) *tensor.Tensor {
+	p := float32(m.Cfg.Dropout)
+	keep := 1 / (1 - p)
+	mask := tensor.New(n)
+	d := mask.Data()
+	for i := range d {
+		if m.dropRNG.Float32() >= p {
+			d[i] = keep
+		}
+	}
+	return mask
+}
+
+// Backward propagates d(loss)/d(logits) through the stack, accumulating
+// parameter gradients.
+func (m *Model) Backward(gc *GraphCtx, dLogits *tensor.Tensor) {
+	grad := dLogits
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		if li < len(m.layers)-1 {
+			// undo the inter-layer dropout, then the ReLU
+			if li < len(m.masks) && m.masks[li] != nil {
+				grad = tensor.Mul(nil, grad, m.masks[li].Reshape(grad.Shape()...))
+			}
+			grad = tensor.ReLUGrad(nil, grad, m.acts[li])
+		}
+		grad = m.layers[li].Backward(gc, grad)
+	}
+}
+
+// Loss computes masked cross-entropy and, when grad is non-nil, its
+// gradient w.r.t. the logits.
+func (m *Model) Loss(logits *tensor.Tensor, labels []int32, mask []int32, grad *tensor.Tensor) float64 {
+	return tensor.CrossEntropy(logits, labels, mask, grad)
+}
+
+// TrainStep runs one full forward/backward/update iteration and returns
+// the training loss.
+func (m *Model) TrainStep(gc *GraphCtx, x *tensor.Tensor, labels []int32, mask []int32, opt *Adam) float64 {
+	opt.ZeroGrads()
+	m.training = true
+	defer func() { m.training = false }()
+	logits := m.Forward(gc, x)
+	grad := tensor.New(logits.Shape()...)
+	loss := m.Loss(logits, labels, mask, grad)
+	m.Backward(gc, grad)
+	opt.Step()
+	return loss
+}
+
+// Accuracy evaluates classification accuracy over the masked vertices.
+func (m *Model) Accuracy(gc *GraphCtx, x *tensor.Tensor, labels []int32, mask []int32) float64 {
+	logits := m.Forward(gc, x)
+	pred := tensor.ArgMaxRows(logits)
+	if len(mask) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, v := range mask {
+		if pred[v] == labels[v] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(mask))
+}

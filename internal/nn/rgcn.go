@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"wisegraph/internal/tensor"
+)
+
+// RGCNLayer implements relational GCN (paper Equation 1):
+//
+//	h'[dst] += mean-norm · (h[src] × W[edge-type]) , plus a self weight:
+//	h' = h·Wself + Σ_e norm_e · h[src_e]·W[type_e] + b
+//
+// Its per-edge MLP is the paper's canonical complex neural operation.
+type RGCNLayer struct {
+	WSelf *Param
+	// W holds one in×out weight per relation, shape [T, in, out].
+	W *Param
+	B *Param
+
+	numTypes int
+	x        *tensor.Tensor
+	gathered []*tensor.Tensor // per-type gathered inputs (cached for backward)
+}
+
+// NewRGCNLayer allocates a layer with numTypes relations mapping in → out.
+func NewRGCNLayer(rng *tensor.RNG, numTypes, in, out int) *RGCNLayer {
+	return &RGCNLayer{
+		WSelf:    NewParam("rgcn.Wself", rng, in, out),
+		W:        NewParam("rgcn.W", rng, numTypes, in, out),
+		B:        NewZeroParam("rgcn.b", out),
+		numTypes: numTypes,
+	}
+}
+
+// Params implements Layer.
+func (l *RGCNLayer) Params() []*Param { return []*Param{l.WSelf, l.W, l.B} }
+
+// InDim implements Layer.
+func (l *RGCNLayer) InDim() int { return l.WSelf.Value.Dim(0) }
+
+// OutDim implements Layer.
+func (l *RGCNLayer) OutDim() int { return l.WSelf.Value.Dim(1) }
+
+// typeWeight returns W[t] as a 2-D view.
+func (l *RGCNLayer) typeWeight(t int) *tensor.Tensor {
+	in, out := l.InDim(), l.OutDim()
+	return tensor.FromSlice(l.W.Value.Data()[t*in*out:(t+1)*in*out], in, out)
+}
+
+func (l *RGCNLayer) typeWeightGrad(t int) *tensor.Tensor {
+	in, out := l.InDim(), l.OutDim()
+	return tensor.FromSlice(l.W.Grad.Data()[t*in*out:(t+1)*in*out], in, out)
+}
+
+// typeEdges returns the CSR slots of edges with type t.
+func typeEdges(gc *GraphCtx, t int) []int32 {
+	return gc.TypeOrder[gc.TypeOffsets[t]:gc.TypeOffsets[t+1]]
+}
+
+// Forward implements Layer. Edges are processed grouped by relation so
+// each group is a dense [Et, in] × [in, out] matmul — the reference
+// "relation-batched" execution.
+func (l *RGCNLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
+	if gc.TypeOffsets == nil {
+		panic("nn: RGCN requires a typed graph")
+	}
+	l.x = x
+	l.gathered = make([]*tensor.Tensor, l.numTypes)
+	out := tensor.MatMul(nil, x, l.WSelf.Value)
+	for t := 0; t < l.numTypes; t++ {
+		slots := typeEdges(gc, t)
+		if len(slots) == 0 {
+			continue
+		}
+		src := make([]int32, len(slots))
+		dst := make([]int32, len(slots))
+		w := make([]float32, len(slots))
+		for i, s := range slots {
+			src[i] = gc.SrcByDst[s]
+			dst[i] = gc.DstByDst[s]
+			w[i] = gc.InvDeg[s]
+		}
+		xt := tensor.GatherRows(nil, x, src)
+		l.gathered[t] = xt
+		msg := tensor.MatMul(nil, xt, l.typeWeight(t))
+		// scatter with normalization: out[dst] += w · msg
+		for i := range slots {
+			mrow := msg.Row(i)
+			orow := out.Row(int(dst[i]))
+			we := w[i]
+			for j, v := range mrow {
+				orow[j] += we * v
+			}
+		}
+	}
+	tensor.AddBias(out, l.B.Value)
+	return out
+}
+
+// Backward implements Layer.
+func (l *RGCNLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
+	accumBiasGrad(l.B.Grad, dOut)
+	tensor.MatMulAcc(l.WSelf.Grad, transposeOf(l.x), dOut)
+	dx := tensor.MatMulTransB(nil, dOut, l.WSelf.Value)
+	for t := 0; t < l.numTypes; t++ {
+		slots := typeEdges(gc, t)
+		if len(slots) == 0 {
+			continue
+		}
+		// dMsg[i] = w_i · dOut[dst_i]
+		dMsg := tensor.New(len(slots), l.OutDim())
+		for i, s := range slots {
+			drow := dOut.Row(int(gc.DstByDst[s]))
+			mrow := dMsg.Row(i)
+			we := gc.InvDeg[s]
+			for j, v := range drow {
+				mrow[j] = we * v
+			}
+		}
+		// dW[t] += xtᵀ · dMsg ; dX[src] += dMsg · W[t]ᵀ
+		xt := l.gathered[t]
+		tensor.MatMulAcc(l.typeWeightGrad(t), transposeOf(xt), dMsg)
+		dXt := tensor.MatMulTransB(nil, dMsg, l.typeWeight(t))
+		for i, s := range slots {
+			srow := dXt.Row(i)
+			xrow := dx.Row(int(gc.SrcByDst[s]))
+			for j, v := range srow {
+				xrow[j] += v
+			}
+		}
+	}
+	return dx
+}

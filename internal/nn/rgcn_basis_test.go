@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"wisegraph/internal/tensor"
+)
+
+func TestRGCNBasisGradCheck(t *testing.T) {
+	g := testGraph()
+	gc := NewGraphCtx(g)
+	rng := tensor.NewRNG(31)
+	l := NewRGCNBasisLayer(rng, 3, 2, 4, 3)
+	x := testInput(7, 4, 32)
+	labels := []int32{0, 1, 2, 0, 1, 2, 0}
+	mask := []int32{0, 2, 3, 5, 6}
+
+	loss := func() float64 {
+		out := l.Forward(gc, x)
+		return tensor.CrossEntropy(out, labels, mask, nil)
+	}
+	out := l.Forward(gc, x)
+	grad := tensor.New(out.Shape()...)
+	tensor.CrossEntropy(out, labels, mask, grad)
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	l.Backward(gc, grad)
+
+	const eps = 2e-3
+	for _, p := range l.Params() {
+		for _, i := range []int{0, p.Value.Len() / 2, p.Value.Len() - 1} {
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + eps
+			lp := loss()
+			p.Value.Data()[i] = orig - eps
+			lm := loss()
+			p.Value.Data()[i] = orig
+			num := (lp - lm) / (2 * eps)
+			ana := float64(p.Grad.Data()[i])
+			if math.Abs(num-ana) > 2e-2*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: analytic %.6f vs numeric %.6f", p.Name, i, ana, num)
+			}
+		}
+	}
+}
+
+func TestRGCNBasisMatchesFullRGCNWhenBasesEqualTypes(t *testing.T) {
+	// With B == T and comb = identity, the basis layer IS plain RGCN.
+	g := testGraph()
+	gc := NewGraphCtx(g)
+	rng := tensor.NewRNG(33)
+	full := NewRGCNLayer(rng, 3, 4, 3)
+	basis := NewRGCNBasisLayer(tensor.NewRNG(34), 3, 3, 4, 3)
+	basis.WSelf.Value.CopyFrom(full.WSelf.Value)
+	basis.B.Value.CopyFrom(full.B.Value)
+	basis.Basis.Value.CopyFrom(full.W.Value)
+	basis.Comb.Value.Zero()
+	for i := 0; i < 3; i++ {
+		basis.Comb.Value.Set(1, i, i)
+	}
+	x := testInput(7, 4, 35)
+	a := full.Forward(gc, x)
+	b := basis.Forward(gc, x)
+	for i := range a.Data() {
+		if math.Abs(float64(a.Data()[i]-b.Data()[i])) > 1e-4 {
+			t.Fatalf("outputs differ at %d: %v vs %v", i, a.Data()[i], b.Data()[i])
+		}
+	}
+}
+
+func TestRGCNBasisFewerParams(t *testing.T) {
+	rng := tensor.NewRNG(36)
+	full := NewRGCNLayer(rng, 16, 32, 32)
+	basis := NewRGCNBasisLayer(rng, 16, 4, 32, 32)
+	count := func(ps []*Param) int {
+		n := 0
+		for _, p := range ps {
+			n += p.Value.Len()
+		}
+		return n
+	}
+	if count(basis.Params()) >= count(full.Params()) {
+		t.Fatalf("basis decomposition must shrink parameters: %d vs %d",
+			count(basis.Params()), count(full.Params()))
+	}
+}
+
+func TestRGCNBasisTrains(t *testing.T) {
+	g := testGraph()
+	gc := NewGraphCtx(g)
+	rng := tensor.NewRNG(37)
+	l := NewRGCNBasisLayer(rng, 3, 2, 4, 3)
+	x := testInput(7, 4, 38)
+	labels := []int32{0, 1, 2, 0, 1, 2, 0}
+	mask := []int32{0, 1, 2, 3, 4, 5, 6}
+	opt := NewAdam(0.02, l.Params())
+	var first, last float64
+	for it := 0; it < 40; it++ {
+		opt.ZeroGrads()
+		out := l.Forward(gc, x)
+		grad := tensor.New(out.Shape()...)
+		loss := tensor.CrossEntropy(out, labels, mask, grad)
+		l.Backward(gc, grad)
+		opt.Step()
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("basis RGCN did not learn: %.4f → %.4f", first, last)
+	}
+}

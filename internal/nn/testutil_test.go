@@ -1,0 +1,15 @@
+package nn
+
+import (
+	"wisegraph/internal/core"
+	"wisegraph/internal/dfg"
+)
+
+// statsFor builds TaskStats for tests.
+func statsFor(edges, uniqSrc, uniqDst, uniqType int) dfg.TaskStats {
+	return dfg.TaskStats{Edges: edges, Uniq: map[core.Attr]int{
+		core.AttrSrcID:    uniqSrc,
+		core.AttrDstID:    uniqDst,
+		core.AttrEdgeType: uniqType,
+	}}
+}

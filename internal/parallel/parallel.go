@@ -1,0 +1,87 @@
+// Package parallel provides small helpers for data-parallel loops across
+// CPU workers. It is the execution backend for the simulated accelerator:
+// kernels run for real on goroutines while the device model accounts time.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers is the default number of workers used by For. It is a variable
+// so tests and the bench harness can pin it for reproducible scaling curves.
+var MaxWorkers = runtime.GOMAXPROCS(0)
+
+// For runs fn(i) for every i in [0, n) across up to MaxWorkers goroutines.
+// grain is the minimum number of iterations per task; use a larger grain for
+// cheap bodies to amortize scheduling. fn must be safe for concurrent calls
+// with distinct i.
+func For(n, grain int, fn func(i int)) {
+	ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForRange splits [0, n) into contiguous chunks of at least grain iterations
+// and runs fn(lo, hi) for each chunk across up to MaxWorkers goroutines.
+func ForRange(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := MaxWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks < workers {
+		workers = chunks
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	// Distribute chunks over workers via an atomic-free striped split:
+	// each worker takes every workers-th chunk, which balances skewed
+	// per-index costs better than one contiguous block per worker.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < chunks; c += workers {
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Workers reports the effective worker count For would use for n iterations
+// with the given grain.
+func Workers(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := MaxWorkers
+	if w < 1 {
+		w = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks < w {
+		w = chunks
+	}
+	return w
+}

@@ -1,0 +1,218 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wisegraph/internal/parallel"
+)
+
+// withWorkers forces a worker count so the parallel code paths execute
+// even on single-core machines.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := parallel.MaxWorkers
+	parallel.MaxWorkers = n
+	defer func() { parallel.MaxWorkers = old }()
+	fn()
+}
+
+func TestFullAndCopyFrom(t *testing.T) {
+	a := Full(3, 2, 2)
+	for _, v := range a.Data() {
+		if v != 3 {
+			t.Fatalf("Full value %v", v)
+		}
+	}
+	b := New(2, 2)
+	b.CopyFrom(a)
+	if b.At(1, 1) != 3 {
+		t.Fatal("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched length must panic")
+		}
+	}()
+	New(3).CopyFrom(a)
+}
+
+func TestSameShapeAndString(t *testing.T) {
+	a := New(2, 3)
+	if !a.SameShape(New(2, 3)) || a.SameShape(New(3, 2)) || a.SameShape(New(6)) {
+		t.Fatal("SameShape wrong")
+	}
+	if !strings.Contains(a.String(), "Tensor[2 3]") {
+		t.Fatalf("String = %q", a.String())
+	}
+	if a.Shape()[0] != 2 {
+		t.Fatal("Shape accessor")
+	}
+}
+
+func TestMaxAbsAndAllFinite(t *testing.T) {
+	a := FromSlice([]float32{1, -5, 2}, 3)
+	if a.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+	if !a.AllFinite() {
+		t.Fatal("finite tensor reported non-finite")
+	}
+	a.Data()[1] = float32(math.NaN())
+	if a.AllFinite() {
+		t.Fatal("NaN not detected")
+	}
+	a.Data()[1] = float32(math.Inf(1))
+	if a.AllFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestSigmoidTanhValues(t *testing.T) {
+	x := FromSlice([]float32{0, 2, -2}, 3)
+	s := Sigmoid(nil, x)
+	if math.Abs(float64(s.Data()[0])-0.5) > 1e-6 {
+		t.Fatalf("sigmoid(0) = %v", s.Data()[0])
+	}
+	if math.Abs(float64(s.Data()[1])-1/(1+math.Exp(-2))) > 1e-5 {
+		t.Fatalf("sigmoid(2) = %v", s.Data()[1])
+	}
+	th := Tanh(nil, x)
+	if math.Abs(float64(th.Data()[2])-math.Tanh(-2)) > 1e-5 {
+		t.Fatalf("tanh(-2) = %v", th.Data()[2])
+	}
+}
+
+func TestReLUGradAndLeakyGrad(t *testing.T) {
+	a := FromSlice([]float32{2, -3, 0.5, -0.1}, 4)
+	g := FromSlice([]float32{1, 1, 1, 1}, 4)
+	rg := ReLUGrad(nil, g, a)
+	want := []float32{1, 0, 1, 0}
+	for i := range want {
+		if rg.Data()[i] != want[i] {
+			t.Fatalf("ReLUGrad[%d] = %v", i, rg.Data()[i])
+		}
+	}
+	lg := LeakyReLUGrad(nil, g, a, 0.2)
+	want = []float32{1, 0.2, 1, 0.2}
+	for i := range want {
+		if math.Abs(float64(lg.Data()[i]-want[i])) > 1e-6 {
+			t.Fatalf("LeakyReLUGrad[%d] = %v", i, lg.Data()[i])
+		}
+	}
+}
+
+func TestRNGNormalAndFork(t *testing.T) {
+	rng := NewRNG(5)
+	var sum, sumSq float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.1 || math.Abs(variance-1) > 0.15 {
+		t.Fatalf("normal stats off: mean %v var %v", mean, variance)
+	}
+	a := NewRNG(7)
+	f1 := a.Fork(1)
+	f2 := a.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams must differ")
+	}
+	// zero seed remaps to a usable state
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	rng.Intn(0)
+}
+
+func TestScatterAddParallelShardPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		rng := NewRNG(8)
+		n := 4096
+		src := New(n, 3)
+		Uniform(src, rng, -1, 1)
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(rng.Intn(64))
+		}
+		dst := New(64, 3)
+		ScatterAddRows(dst, src, idx)
+		if !almostEq(dst.Sum(), src.Sum(), 1e-2) {
+			t.Fatalf("parallel scatter lost mass: %v vs %v", dst.Sum(), src.Sum())
+		}
+	})
+}
+
+func TestScatter2DParallelShardPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		rng := NewRNG(9)
+		n := 4096
+		src := New(n, 2)
+		Uniform(src, rng, -1, 1)
+		ri := make([]int32, n)
+		ci := make([]int32, n)
+		for i := range ri {
+			ri[i] = int32(rng.Intn(8))
+			ci[i] = int32(rng.Intn(8))
+		}
+		dst := New(8, 8, 2)
+		Scatter2DAdd(dst, src, ri, ci)
+		if !almostEq(dst.Sum(), src.Sum(), 1e-2) {
+			t.Fatalf("parallel scatter2d lost mass: %v vs %v", dst.Sum(), src.Sum())
+		}
+	})
+}
+
+func TestMatMulParallelPath(t *testing.T) {
+	withWorkers(t, 4, func() {
+		rng := NewRNG(10)
+		a := New(64, 32)
+		Uniform(a, rng, -1, 1)
+		b := New(32, 48)
+		Uniform(b, rng, -1, 1)
+		got := MatMul(nil, a, b)
+		want := naiveMatMul(a, b)
+		for i := range got.Data() {
+			if !almostEq(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+				t.Fatalf("parallel matmul differs at %d", i)
+			}
+		}
+	})
+}
+
+func TestEnsurePanicsOnWrongShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul into wrong-shaped destination must panic")
+		}
+	}()
+	MatMul(New(3, 3), New(2, 2), New(2, 2))
+}
+
+func TestEnsureLikePanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add into wrong-length destination must panic")
+		}
+	}()
+	Add(New(5), New(2, 2), New(2, 2))
+}
+
+func TestCheckSamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched shapes must panic")
+		}
+	}()
+	Add(nil, New(2, 2), New(4))
+}

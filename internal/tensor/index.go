@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"fmt"
+
+	"wisegraph/internal/parallel"
+)
+
+// GatherRows writes src[idx[i]] into dst row i: the indexing operation that
+// moves embeddings from vertices to edges. dst must have len(idx) rows of
+// src's row size (allocated if nil).
+func GatherRows(dst, src *Tensor, idx []int32) *Tensor {
+	rs := src.RowSize()
+	if dst == nil {
+		dst = New(len(idx), rs)
+	}
+	if dst.Rows() != len(idx) || dst.RowSize() != rs {
+		panic(fmt.Sprintf("tensor: GatherRows dst %v, want [%d %d]", dst.Shape(), len(idx), rs))
+	}
+	parallel.For(len(idx), 64, func(i int) {
+		copy(dst.data[i*rs:(i+1)*rs], src.data[int(idx[i])*rs:(int(idx[i])+1)*rs])
+	})
+	return dst
+}
+
+// ScatterAddRows accumulates src row i into dst[idx[i]]: the index-add
+// reduction onto destination vertices. dst rows are updated sequentially
+// per destination to stay deterministic; parallelism comes from sharding
+// the destination space so no two workers touch the same row.
+func ScatterAddRows(dst, src *Tensor, idx []int32) {
+	rs := src.RowSize()
+	if dst.RowSize() != rs {
+		panic(fmt.Sprintf("tensor: ScatterAddRows row sizes %d vs %d", dst.RowSize(), rs))
+	}
+	n := dst.Rows()
+	workers := parallel.Workers(n, 1)
+	if workers <= 1 || len(idx) < 1024 {
+		for i, ix := range idx {
+			d := dst.data[int(ix)*rs : (int(ix)+1)*rs]
+			s := src.data[i*rs : (i+1)*rs]
+			for j, v := range s {
+				d[j] += v
+			}
+		}
+		return
+	}
+	// Shard destination rows: worker w owns rows with row % workers == w.
+	parallel.For(workers, 1, func(w int) {
+		for i, ix := range idx {
+			if int(ix)%workers != w {
+				continue
+			}
+			d := dst.data[int(ix)*rs : (int(ix)+1)*rs]
+			s := src.data[i*rs : (i+1)*rs]
+			for j, v := range s {
+				d[j] += v
+			}
+		}
+	})
+}
+
+// SegmentSum reduces contiguous segments of src (rows [offsets[s],
+// offsets[s+1])) by summation into dst row s. offsets has len(segments)+1
+// entries. This is the reduction kernel for gTasks whose edges are sorted
+// by destination.
+func SegmentSum(dst, src *Tensor, offsets []int32) *Tensor {
+	rs := src.RowSize()
+	segs := len(offsets) - 1
+	if dst == nil {
+		dst = New(segs, rs)
+	}
+	parallel.For(segs, 8, func(s int) {
+		out := dst.data[s*rs : (s+1)*rs]
+		for j := range out {
+			out[j] = 0
+		}
+		for r := offsets[s]; r < offsets[s+1]; r++ {
+			row := src.data[int(r)*rs : (int(r)+1)*rs]
+			for j, v := range row {
+				out[j] += v
+			}
+		}
+	})
+	return dst
+}
+
+// SegmentSoftmax computes, per contiguous segment of a column vector
+// src [E,1]-like flat slice, a numerically stable softmax in place.
+// Used for GAT attention normalization over each destination's in-edges.
+func SegmentSoftmax(vals []float32, offsets []int32) {
+	parallel.For(len(offsets)-1, 8, func(s int) {
+		lo, hi := int(offsets[s]), int(offsets[s+1])
+		if lo >= hi {
+			return
+		}
+		seg := vals[lo:hi]
+		softmaxInto(seg, seg)
+	})
+}
+
+// Gather2D indexes a [R,C,*] tensor with paired row/col indices, writing
+// src[ri[i], ci[i]] into dst row i. It implements the Index-2D operation
+// produced by merging two indexing operations during indexing swapping.
+func Gather2D(dst, src *Tensor, ri, ci []int32) *Tensor {
+	if src.Dims() < 2 {
+		panic(fmt.Sprintf("tensor: Gather2D needs ≥2-D source, got %v", src.Shape()))
+	}
+	if len(ri) != len(ci) {
+		panic(fmt.Sprintf("tensor: Gather2D index lengths %d vs %d", len(ri), len(ci)))
+	}
+	r, c := src.Dim(0), src.Dim(1)
+	inner := src.Len() / (r * c)
+	if dst == nil {
+		dst = New(len(ri), inner)
+	}
+	parallel.For(len(ri), 64, func(i int) {
+		off := (int(ri[i])*c + int(ci[i])) * inner
+		copy(dst.data[i*inner:(i+1)*inner], src.data[off:off+inner])
+	})
+	return dst
+}
+
+// Scatter2DAdd accumulates src row i into dst[ri[i], ci[i]]: the backward
+// of Gather2D. Sequential per (row,col) bucket via destination sharding.
+func Scatter2DAdd(dst, src *Tensor, ri, ci []int32) {
+	r, c := dst.Dim(0), dst.Dim(1)
+	inner := dst.Len() / (r * c)
+	workers := parallel.Workers(r*c, 1)
+	if workers <= 1 || len(ri) < 1024 {
+		for i := range ri {
+			off := (int(ri[i])*c + int(ci[i])) * inner
+			s := src.data[i*inner : (i+1)*inner]
+			d := dst.data[off : off+inner]
+			for j, v := range s {
+				d[j] += v
+			}
+		}
+		return
+	}
+	parallel.For(workers, 1, func(w int) {
+		for i := range ri {
+			bucket := int(ri[i])*c + int(ci[i])
+			if bucket%workers != w {
+				continue
+			}
+			off := bucket * inner
+			s := src.data[i*inner : (i+1)*inner]
+			d := dst.data[off : off+inner]
+			for j, v := range s {
+				d[j] += v
+			}
+		}
+	})
+}
+
+// CountsToOffsets converts per-segment counts into an offsets array of
+// length len(counts)+1 (exclusive prefix sum).
+func CountsToOffsets(counts []int32) []int32 {
+	off := make([]int32, len(counts)+1)
+	for i, c := range counts {
+		off[i+1] = off[i] + c
+	}
+	return off
+}

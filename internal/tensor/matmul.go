@@ -1,0 +1,211 @@
+package tensor
+
+import (
+	"fmt"
+
+	"wisegraph/internal/parallel"
+)
+
+// MatMul computes C = A × B for 2-D tensors A [M,K] and B [K,N], writing
+// into dst [M,N] (allocated if nil) and returning it. The multiply is
+// parallelized over row blocks; inner loops are written k-outer so the
+// compiler vectorizes the N-dimension AXPY.
+func MatMul(dst, a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v × %v", a.Shape(), b.Shape()))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d vs %d", k, k2))
+	}
+	dst = ensure(dst, m, n)
+	matmulInto(dst.data, a.data, b.data, m, k, n, true)
+	return dst
+}
+
+// MatMulAcc computes dst += A × B without zeroing dst first.
+func MatMulAcc(dst, a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if b.Dim(0) != k {
+		panic(fmt.Sprintf("tensor: MatMulAcc inner dimensions %d vs %d", k, b.Dim(0)))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	}
+	matmulInto(dst.data, a.data, b.data, m, k, n, false)
+	return dst
+}
+
+// matmulInto computes c (+)= a×b with a [m,k], b [k,n], c [m,n] flat.
+func matmulInto(c, a, b []float32, m, k, n int, zero bool) {
+	grain := 1
+	if m > 0 {
+		// target ~64k multiply-adds per task
+		grain = 1 + 65536/(k*n+1)
+	}
+	parallel.ForRange(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			if zero {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			ai := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransB computes C = A × Bᵀ for A [M,K], B [N,K] into dst [M,N].
+func MatMulTransB(dst, a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions %d vs %d", k, k2))
+	}
+	dst = ensure(dst, m, n)
+	grain := 1 + 65536/(k*n+1)
+	parallel.ForRange(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.data[i*k : (i+1)*k]
+			ci := dst.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	})
+	return dst
+}
+
+// MatMulTransA computes C = Aᵀ × B for A [K,M], B [K,N] into dst [M,N].
+// This is the shape needed for weight gradients (Xᵀ·dY).
+func MatMulTransA(dst, a, b *Tensor) *Tensor {
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA leading dimensions %d vs %d", k, k2))
+	}
+	dst = ensure(dst, m, n)
+	dst.Zero()
+	// Parallelize over output rows (columns of A) to avoid write races.
+	grain := 1 + 65536/(k*n+1)
+	parallel.ForRange(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := dst.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := b.data[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// VecMat computes y = x × B for x [K] (or [1,K]) and B [K,N] into dst [N].
+// It is the edge-by-edge "micro-kernel without batched data" path from the
+// paper's Figure 10(b).
+func VecMat(dst []float32, x []float32, b *Tensor) {
+	k, n := b.Dim(0), b.Dim(1)
+	if len(x) != k || len(dst) != n {
+		panic(fmt.Sprintf("tensor: VecMat shapes x[%d] B%v dst[%d]", len(x), b.Shape(), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for p := 0; p < k; p++ {
+		av := x[p]
+		if av == 0 {
+			continue
+		}
+		bp := b.data[p*n : (p+1)*n]
+		for j, bv := range bp {
+			dst[j] += av * bv
+		}
+	}
+}
+
+// BatchedMatMul computes C[i] = A[i] × B[i] for A [B,M,K], B [B,K,N] into
+// dst [B,M,N]. Batches are independent and run in parallel.
+func BatchedMatMul(dst, a, b *Tensor) *Tensor {
+	if a.Dims() != 3 || b.Dims() != 3 || a.Dim(0) != b.Dim(0) || a.Dim(2) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: BatchedMatMul shapes %v × %v", a.Shape(), b.Shape()))
+	}
+	bs, m, k := a.Dim(0), a.Dim(1), a.Dim(2)
+	n := b.Dim(2)
+	if dst == nil {
+		dst = New(bs, m, n)
+	}
+	parallel.For(bs, 1, func(i int) {
+		as := a.data[i*m*k : (i+1)*m*k]
+		bsl := b.data[i*k*n : (i+1)*k*n]
+		cs := dst.data[i*m*n : (i+1)*m*n]
+		for r := 0; r < m; r++ {
+			cr := cs[r*n : (r+1)*n]
+			for j := range cr {
+				cr[j] = 0
+			}
+			ar := as[r*k : (r+1)*k]
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				if av == 0 {
+					continue
+				}
+				bp := bsl[p*n : (p+1)*n]
+				for j, bv := range bp {
+					cr[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// Transpose2D returns Aᵀ for a 2-D tensor.
+func Transpose2D(dst, a *Tensor) *Tensor {
+	m, n := a.Dim(0), a.Dim(1)
+	dst = ensure(dst, n, m)
+	parallel.ForRange(m, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				dst.data[j*m+i] = a.data[i*n+j]
+			}
+		}
+	})
+	return dst
+}
+
+// ensure returns dst if it already has the given 2-D shape, else a new
+// tensor. Panics if dst is non-nil with the wrong shape, which catches
+// buffer-reuse bugs early.
+func ensure(dst *Tensor, m, n int) *Tensor {
+	if dst == nil {
+		return New(m, n)
+	}
+	if dst.Dims() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: destination shape %v, want [%d %d]", dst.Shape(), m, n))
+	}
+	return dst
+}

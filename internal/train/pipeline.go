@@ -1,0 +1,141 @@
+package train
+
+import (
+	"sync"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+)
+
+// PreparedBatch is a mini-batch with all CPU-side work done: the sampled
+// subgraph, its features/labels, and the gTask partition under the tuned
+// plan — everything the accelerator-side step consumes.
+type PreparedBatch struct {
+	Sub    *graph.Subgraph
+	X      *tensor.Tensor
+	Labels []int32
+	Mask   []int32
+	Part   *core.Partition
+}
+
+// Pipeline overlaps sampling and gTask partitioning with training on CPU
+// worker goroutines — the asynchronous execution of paper Figure 21(b):
+// the tuned plan is reused for every subgraph, so per-batch CPU work is
+// one O(E) partition that hides under the training step.
+type Pipeline struct {
+	batches chan *PreparedBatch
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewPipeline starts workers sampler goroutines feeding a buffered queue
+// of depth prepared batches. Each worker samples independent mini-batches
+// (seeds strided across the training set, per-worker RNG streams) and
+// partitions them under plan's graph partition plan.
+func NewPipeline(s *Sampled, plan *joint.Result, workers, depth int) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < workers {
+		depth = workers
+	}
+	p := &Pipeline{
+		batches: make(chan *PreparedBatch, depth),
+		stop:    make(chan struct{}),
+	}
+	csr := s.DS.Graph.BuildCSRByDst()
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			rng := tensor.NewRNG(uint64(w)*0x9e3779b97f4a7c15 + 0x51)
+			cursor := w * s.BatchSize % maxI(len(s.DS.TrainMask), 1)
+			for {
+				seeds := make([]int32, 0, s.BatchSize)
+				for len(seeds) < s.BatchSize {
+					seeds = append(seeds, s.DS.TrainMask[cursor])
+					cursor = (cursor + workers) % len(s.DS.TrainMask)
+				}
+				sub := graph.NeighborSample(s.DS.Graph, csr, seeds, s.Fanouts, rng)
+				part := ReusePlan(plan, sub.Graph)
+				mask := make([]int32, sub.NumSeeds)
+				for i := range mask {
+					mask[i] = int32(i)
+				}
+				b := &PreparedBatch{
+					Sub:    sub,
+					X:      sub.GatherFeatures(s.DS.Features),
+					Labels: sub.GatherLabels(s.DS.Labels),
+					Mask:   mask,
+					Part:   part,
+				}
+				select {
+				case p.batches <- b:
+				case <-p.stop:
+					return
+				}
+			}
+		}(w)
+	}
+	return p
+}
+
+// Next blocks for the next prepared batch (nil after Close).
+func (p *Pipeline) Next() *PreparedBatch {
+	select {
+	case b := <-p.batches:
+		return b
+	case <-p.stop:
+		// drain anything already queued so Close never loses a batch
+		select {
+		case b := <-p.batches:
+			return b
+		default:
+			return nil
+		}
+	}
+}
+
+// Close stops the workers and waits for them to exit. Safe to call more
+// than once.
+func (p *Pipeline) Close() {
+	p.once.Do(func() {
+		close(p.stop)
+		// unblock workers stuck on a full queue
+		go func() {
+			for range p.batches {
+			}
+		}()
+		p.wg.Wait()
+		close(p.batches)
+	})
+}
+
+// TrainPipelined runs iters training steps consuming the pipeline,
+// returning the per-iteration losses. It is the overlapped counterpart of
+// calling Iteration in a loop.
+func (s *Sampled) TrainPipelined(plan *joint.Result, workers, iters int) []float64 {
+	p := NewPipeline(s, plan, workers, 2*workers)
+	defer p.Close()
+	losses := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		b := p.Next()
+		if b == nil {
+			break
+		}
+		gc := nn.NewGraphCtx(b.Sub.Graph)
+		losses = append(losses, s.Model.TrainStep(gc, b.X, b.Labels, b.Mask, s.Opt))
+	}
+	return losses
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

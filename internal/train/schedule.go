@@ -1,0 +1,97 @@
+package train
+
+import "math"
+
+// LRSchedule maps an epoch index to a learning-rate multiplier.
+type LRSchedule interface {
+	// Factor returns the multiplier applied to the base learning rate at
+	// the given epoch (0-based).
+	Factor(epoch int) float64
+}
+
+// ConstantLR keeps the base rate.
+type ConstantLR struct{}
+
+// Factor implements LRSchedule.
+func (ConstantLR) Factor(int) float64 { return 1 }
+
+// StepLR multiplies the rate by Gamma every StepSize epochs.
+type StepLR struct {
+	StepSize int
+	Gamma    float64
+}
+
+// Factor implements LRSchedule.
+func (s StepLR) Factor(epoch int) float64 {
+	if s.StepSize <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(epoch/s.StepSize))
+}
+
+// CosineLR anneals from 1 to MinFactor over Epochs.
+type CosineLR struct {
+	Epochs    int
+	MinFactor float64
+}
+
+// Factor implements LRSchedule.
+func (c CosineLR) Factor(epoch int) float64 {
+	if c.Epochs <= 1 {
+		return 1
+	}
+	t := float64(epoch) / float64(c.Epochs-1)
+	if t > 1 {
+		t = 1
+	}
+	return c.MinFactor + (1-c.MinFactor)*0.5*(1+math.Cos(math.Pi*t))
+}
+
+// EarlyStopper tracks validation accuracy and signals when it has not
+// improved for Patience epochs.
+type EarlyStopper struct {
+	Patience int
+	best     float64
+	since    int
+	started  bool
+}
+
+// Observe records an epoch's validation metric and reports whether
+// training should stop.
+func (e *EarlyStopper) Observe(valAcc float64) (stop bool) {
+	if !e.started || valAcc > e.best {
+		e.best = valAcc
+		e.since = 0
+		e.started = true
+		return false
+	}
+	e.since++
+	return e.Patience > 0 && e.since >= e.Patience
+}
+
+// Best returns the best metric seen.
+func (e *EarlyStopper) Best() float64 { return e.best }
+
+// RunSchedule trains like Run but applies a learning-rate schedule and an
+// optional early stopper; it returns the stats of the epochs actually run.
+func (t *FullGraph) RunSchedule(epochs int, baseLR float64, sched LRSchedule, stopper *EarlyStopper) []EpochStats {
+	if sched == nil {
+		sched = ConstantLR{}
+	}
+	out := make([]EpochStats, 0, epochs)
+	for ep := 0; ep < epochs; ep++ {
+		t.Opt.LR = baseLR * sched.Factor(ep)
+		loss := t.Epoch()
+		st := EpochStats{
+			Epoch:   ep,
+			Loss:    loss,
+			ValAcc:  t.Model.Accuracy(t.GC, t.DS.Features, t.DS.Labels, t.DS.ValMask),
+			TestAcc: t.Model.Accuracy(t.GC, t.DS.Features, t.DS.Labels, t.DS.TestMask),
+		}
+		out = append(out, st)
+		if stopper != nil && stopper.Observe(st.ValAcc) {
+			break
+		}
+	}
+	return out
+}

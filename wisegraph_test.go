@@ -1,0 +1,83 @@
+package wisegraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIDatasetAndTraining(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 datasets, got %v", names)
+	}
+	ds, err := LoadDataset("AR", DatasetOptions{Scale: 800, FeatureDim: 16, Seed: 1, Homophily: 0.85, FeatureNoise: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(ds, ModelConfig{Kind: SAGE, Hidden: 16, Layers: 2, Seed: 1}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.Run(10)
+	if stats[9].Loss >= stats[0].Loss {
+		t.Fatalf("loss did not drop: %.4f → %.4f", stats[0].Loss, stats[9].Loss)
+	}
+}
+
+func TestPublicAPIOptimizeAndPartition(t *testing.T) {
+	ds, err := LoadDataset("AR", DatasetOptions{Scale: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Optimize(ds.Graph, RGCN, 32, ds.Graph.NumTypes, A100())
+	if plan.Seconds <= 0 || plan.Partition == nil {
+		t.Fatalf("optimize produced empty plan: %+v", plan)
+	}
+	part := Partition(ds.Graph, plan.GraphPlan)
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vc := Partition(ds.Graph, VertexCentricPlan())
+	if vc.NumTasks() == 0 {
+		t.Fatal("vertex-centric produced no tasks")
+	}
+	ec := Partition(ds.Graph, EdgeCentricPlan())
+	if ec.NumTasks() != ds.Graph.NumEdges() {
+		t.Fatal("edge-centric must have one task per edge")
+	}
+}
+
+func TestPublicAPIParseModel(t *testing.T) {
+	for _, name := range []string{"GCN", "SAGE", "SAGE-LSTM", "GAT", "RGCN"} {
+		if _, err := ParseModel(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ParseModel("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 19 {
+		t.Fatalf("expected 19 experiments (15 paper + 4 extensions), got %d: %v", len(ids), ids)
+	}
+	var sb strings.Builder
+	if err := WriteExperiment(&sb, "table1", BenchConfig{Quick: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "table1") {
+		t.Fatalf("unexpected output: %q", sb.String())
+	}
+	if _, err := RunExperiment("bogus", BenchConfig{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	c := NewCluster(4)
+	if c.N != 4 || c.Link.Bandwidth <= 0 {
+		t.Fatalf("cluster misconfigured: %+v", c)
+	}
+}
