@@ -1,0 +1,42 @@
+package dfg
+
+import (
+	"testing"
+
+	"wisegraph/internal/tensor"
+)
+
+// TestEvalArenaMatchesEval evaluates the RGCN layer DFG with the heap
+// allocator and with a reused arena across repeated iterations; every
+// evaluation must be bitwise identical, and the arena must hand back the
+// same storage once warmed up.
+func TestEvalArenaMatchesEval(t *testing.T) {
+	numV, numTypes, f, fp := 6, 2, 4, 3
+	src := []int32{0, 1, 2, 0, 4, 5, 3}
+	typ := []int32{0, 1, 0, 0, 1, 1, 0}
+	dst := []int32{1, 1, 3, 3, 0, 2, 5}
+	g := rgcnLayer(numV, numTypes, f, fp)
+	env := rgcnEnv(numV, numTypes, f, fp, src, typ, dst, 7)
+
+	want, err := g.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ar tensor.Arena
+	for it := 0; it < 4; it++ {
+		ar.Reset()
+		got, err := g.EvalArena(env, &ar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.SameShape(want) {
+			t.Fatalf("iteration %d: shape %v, want %v", it, got.Shape(), want.Shape())
+		}
+		for i, v := range got.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("iteration %d: arena[%d]=%v, heap=%v", it, i, v, want.Data()[i])
+			}
+		}
+	}
+}

@@ -18,11 +18,33 @@ type Env struct {
 	Sizes map[string]int
 }
 
+// allocator abstracts where intermediate tensors come from: the heap
+// (Eval) or a caller-owned arena (EvalArena).
+type allocator interface {
+	Get(shape ...int) *tensor.Tensor
+}
+
+type heapAlloc struct{}
+
+func (heapAlloc) Get(shape ...int) *tensor.Tensor { return tensor.New(shape...) }
+
 // Eval interprets the DFG over env and returns the output tensor. It is
 // the reference executor used to check that transformed DFGs are
 // equivalent to the originals; the production kernels in internal/kernels
 // fuse these steps.
 func (g *Graph) Eval(env *Env) (*tensor.Tensor, error) {
+	return g.evalWith(env, heapAlloc{})
+}
+
+// EvalArena is Eval with every intermediate (including the returned
+// output) allocated from ar. Repeated evaluations that Reset the arena
+// between calls run allocation-free in steady state. The result is
+// invalidated by the next ar.Reset; copy it first if it must survive.
+func (g *Graph) EvalArena(env *Env, ar *tensor.Arena) (*tensor.Tensor, error) {
+	return g.evalWith(env, ar)
+}
+
+func (g *Graph) evalWith(env *Env, alloc allocator) (*tensor.Tensor, error) {
 	if g.Output == nil {
 		return nil, fmt.Errorf("dfg: no output designated")
 	}
@@ -37,7 +59,7 @@ func (g *Graph) Eval(env *Env) (*tensor.Tensor, error) {
 				return nil, err
 			}
 		}
-		v, err := evalNode(n, vals, env)
+		v, err := evalNode(n, vals, env, alloc)
 		if err != nil {
 			return nil, fmt.Errorf("dfg: node %d (%v): %w", n.ID, n.Kind, err)
 		}
@@ -47,7 +69,7 @@ func (g *Graph) Eval(env *Env) (*tensor.Tensor, error) {
 	return eval(g.Output)
 }
 
-func evalNode(n *Node, vals map[*Node]*tensor.Tensor, env *Env) (*tensor.Tensor, error) {
+func evalNode(n *Node, vals map[*Node]*tensor.Tensor, env *Env, alloc allocator) (*tensor.Tensor, error) {
 	in := func(i int) *tensor.Tensor { return vals[n.Inputs[i]] }
 	switch n.Kind {
 	case OpInput:
@@ -61,7 +83,7 @@ func evalNode(n *Node, vals map[*Node]*tensor.Tensor, env *Env) (*tensor.Tensor,
 		if !ok {
 			return nil, fmt.Errorf("unbound index %q", n.IdxKey)
 		}
-		out := tensor.GatherRows(nil, in(0), idx)
+		out := tensor.GatherRows(alloc.Get(len(idx), in(0).RowSize()), in(0), idx)
 		return out.Reshape(append([]int{len(idx)}, n.Cols...)...), nil
 	case OpIndex2D:
 		ri, ok := env.Indices[n.IdxKey]
@@ -72,7 +94,12 @@ func evalNode(n *Node, vals map[*Node]*tensor.Tensor, env *Env) (*tensor.Tensor,
 		if !ok {
 			return nil, fmt.Errorf("unbound index %q", n.IdxKey2)
 		}
-		out := tensor.Gather2D(nil, in(0), ri, ci)
+		src := in(0)
+		if src.Dim(0) == 0 || src.Dim(1) == 0 {
+			return nil, fmt.Errorf("gather2d source %v has an empty leading dimension", src.Shape())
+		}
+		inner := src.Len() / (src.Dim(0) * src.Dim(1))
+		out := tensor.Gather2D(alloc.Get(len(ri), inner), src, ri, ci)
 		return out.Reshape(append([]int{len(ri)}, n.Cols...)...), nil
 	case OpIndexAdd:
 		idx, ok := env.Indices[n.IdxKey]
@@ -85,46 +112,49 @@ func evalNode(n *Node, vals map[*Node]*tensor.Tensor, env *Env) (*tensor.Tensor,
 		}
 		src := in(0)
 		shape := append([]int{rows}, src.Shape()[1:]...)
-		out := tensor.New(shape...)
+		out := alloc.Get(shape...)
 		tensor.ScatterAddRows(out, src, idx)
 		return out, nil
 	case OpLinear:
 		x, w := in(0), in(1)
 		x2 := x.Reshape(x.Rows(), -1)
-		return tensor.MatMul(nil, x2, w.Reshape(w.Dim(w.Dims()-2), w.Dim(w.Dims()-1))), nil
+		w2 := w.Reshape(w.Dim(w.Dims()-2), w.Dim(w.Dims()-1))
+		return tensor.MatMul(alloc.Get(x2.Dim(0), w2.Dim(1)), x2, w2), nil
 	case OpBMM:
 		x, w := in(0), in(1)
 		r := x.Rows()
 		f := x.RowSize()
 		fp := w.Dim(w.Dims() - 1)
-		return tensor.BatchedMatMul(nil, x.Reshape(r, 1, f), w.Reshape(r, f, fp)).Reshape(r, fp), nil
+		out := tensor.BatchedMatMul(alloc.Get(r, 1, fp), x.Reshape(r, 1, f), w.Reshape(r, f, fp))
+		return out.Reshape(r, fp), nil
 	case OpOuterMM:
 		x, w := in(0), in(1)
 		m := x.Rows()
 		f := x.RowSize()
 		nW := w.Dim(0)
 		fp := w.Dim(w.Dims() - 1)
-		out := tensor.New(m, nW, fp)
+		out := alloc.Get(m, nW, fp)
+		prod := alloc.Get(m, fp)
 		for j := 0; j < nW; j++ {
 			wj := tensor.FromSlice(w.Data()[j*f*fp:(j+1)*f*fp], f, fp)
-			prod := tensor.MatMul(nil, x.Reshape(m, f), wj)
+			tensor.MatMul(prod, x.Reshape(m, f), wj)
 			for i := 0; i < m; i++ {
 				copy(out.Data()[(i*nW+j)*fp:(i*nW+j+1)*fp], prod.Row(i))
 			}
 		}
 		return out, nil
 	case OpEWAdd:
-		return tensor.Add(nil, in(0), in(1)), nil
+		return tensor.Add(alloc.Get(in(0).Shape()...), in(0), in(1)), nil
 	case OpEWMul:
-		return tensor.Mul(nil, in(0), in(1)), nil
+		return tensor.Mul(alloc.Get(in(0).Shape()...), in(0), in(1)), nil
 	case OpReLU:
-		return tensor.ReLU(nil, in(0)), nil
+		return tensor.ReLU(alloc.Get(in(0).Shape()...), in(0)), nil
 	case OpLeakyReLU:
-		return tensor.LeakyReLU(nil, in(0), n.Slope), nil
+		return tensor.LeakyReLU(alloc.Get(in(0).Shape()...), in(0), n.Slope), nil
 	case OpTanh:
-		return tensor.Tanh(nil, in(0)), nil
+		return tensor.Tanh(alloc.Get(in(0).Shape()...), in(0)), nil
 	case OpSigmoid:
-		return tensor.Sigmoid(nil, in(0)), nil
+		return tensor.Sigmoid(alloc.Get(in(0).Shape()...), in(0)), nil
 	default:
 		return nil, fmt.Errorf("unknown op kind %v", n.Kind)
 	}

@@ -30,10 +30,15 @@ func RunModel(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor, par
 			return nil, err
 		}
 		if ctx.Compute {
+			prev := cur
 			if li < len(m.Layers())-1 {
-				cur = tensor.ReLU(nil, out)
+				cur = tensor.ReLU(tensor.Get(out.Shape()...), out)
+				tensor.Put(out)
 			} else {
 				cur = out
+			}
+			if prev != x {
+				tensor.Put(prev)
 			}
 		}
 	}
@@ -85,8 +90,9 @@ func computeLayer(gc *nn.GraphCtx, layer nn.Layer, x *tensor.Tensor, part *core.
 	}
 	switch l := layer.(type) {
 	case *nn.GCNLayer:
-		xw := tensor.MatMul(nil, x, l.W.Value)
-		out := tensor.New(g.NumVertices, l.OutDim())
+		xw := tensor.MatMul(tensor.Get(x.Dim(0), l.OutDim()), x, l.W.Value)
+		defer tensor.Put(xw)
+		out := tensor.Get(g.NumVertices, l.OutDim())
 		forEachTaskEdge(part, func(e int32) {
 			src, dst := g.Src[e], g.Dst[e]
 			w := invDeg(e)
@@ -100,7 +106,8 @@ func computeLayer(gc *nn.GraphCtx, layer nn.Layer, x *tensor.Tensor, part *core.
 		return out, nil
 
 	case *nn.SAGELayer:
-		agg := tensor.New(g.NumVertices, l.InDim())
+		agg := tensor.Get(g.NumVertices, l.InDim())
+		defer tensor.Put(agg)
 		forEachTaskEdge(part, func(e int32) {
 			src, dst := g.Src[e], g.Dst[e]
 			w := invDeg(e)
@@ -110,7 +117,7 @@ func computeLayer(gc *nn.GraphCtx, layer nn.Layer, x *tensor.Tensor, part *core.
 				or[j] += w * v
 			}
 		})
-		out := tensor.MatMul(nil, x, l.WSelf.Value)
+		out := tensor.MatMul(tensor.Get(x.Dim(0), l.OutDim()), x, l.WSelf.Value)
 		tensor.MatMulAcc(out, agg, l.WNeigh.Value)
 		tensor.AddBias(out, l.B.Value)
 		return out, nil
@@ -140,7 +147,7 @@ func forEachTaskEdge(part *core.Partition, fn func(e int32)) {
 // outer-product micro-kernel (paper Figure 10c) when the plan asks for it.
 func computeRGCN(g *graphT, l *nn.RGCNLayer, x *tensor.Tensor, part *core.Partition, plan Plan, invDeg func(int32) float32) (*tensor.Tensor, error) {
 	in, outDim := l.InDim(), l.OutDim()
-	out := tensor.MatMul(nil, x, l.WSelf.Value)
+	out := tensor.MatMul(tensor.Get(x.Dim(0), outDim), x, l.WSelf.Value)
 	msg := make([]float32, outDim)
 	for ti := 0; ti < part.NumTasks(); ti++ {
 		edges := part.TaskEdges(ti)
@@ -156,7 +163,7 @@ func computeRGCN(g *graphT, l *nn.RGCNLayer, x *tensor.Tensor, part *core.Partit
 			uSrc, mSrc := dfg.UniqueExtract(srcs)
 			uTyp, mTyp := dfg.UniqueExtract(typs)
 			// pair products [m, n, outDim]
-			prod := tensor.New(len(uSrc), len(uTyp), outDim)
+			prod := tensor.Get(len(uSrc), len(uTyp), outDim)
 			for i, sv := range uSrc {
 				xr := x.Row(int(sv))
 				for j, tv := range uTyp {
@@ -172,6 +179,7 @@ func computeRGCN(g *graphT, l *nn.RGCNLayer, x *tensor.Tensor, part *core.Partit
 					or[j] += w * v
 				}
 			}
+			tensor.Put(prod)
 		} else {
 			for _, e := range edges {
 				tv := g.EdgeType(int(e))
@@ -195,11 +203,14 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 	g := gc.G
 	heads := l.Heads()
 	dh := l.OutDim() / heads
-	z := tensor.MatMul(nil, x, l.W.Value)
+	z := tensor.MatMul(tensor.Get(x.Dim(0), l.OutDim()), x, l.W.Value)
+	defer tensor.Put(z)
 	v := g.NumVertices
 	// projections
-	pl := tensor.New(v, heads)
-	pr := tensor.New(v, heads)
+	pl := tensor.Get(v, heads)
+	pr := tensor.Get(v, heads)
+	defer tensor.Put(pl)
+	defer tensor.Put(pr)
 	for vi := 0; vi < v; vi++ {
 		zr := z.Row(vi)
 		plr, prr := pl.Row(vi), pr.Row(vi)
@@ -214,7 +225,8 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 		}
 	}
 	e := g.NumEdges()
-	score := tensor.New(e, heads)
+	score := tensor.Get(e, heads)
+	defer tensor.Put(score)
 	forEachTaskEdge(part, func(ei int32) {
 		sr := score.Row(int(ei))
 		plr := pl.Row(int(g.Src[ei]))
@@ -228,7 +240,11 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 		}
 	})
 	// per-dst stable softmax over the whole edge set (three passes)
-	maxS := tensor.Full(float32(math.Inf(-1)), v, heads)
+	maxS := tensor.Get(v, heads)
+	defer tensor.Put(maxS)
+	for i, d := 0, maxS.Data(); i < len(d); i++ {
+		d[i] = float32(math.Inf(-1))
+	}
 	for ei := 0; ei < e; ei++ {
 		mr := maxS.Row(int(g.Dst[ei]))
 		sr := score.Row(ei)
@@ -238,7 +254,8 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 			}
 		}
 	}
-	sum := tensor.New(v, heads)
+	sum := tensor.Get(v, heads)
+	defer tensor.Put(sum)
 	for ei := 0; ei < e; ei++ {
 		d := int(g.Dst[ei])
 		sr := score.Row(ei)
@@ -250,7 +267,7 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 			zr[h] += ev
 		}
 	}
-	out := tensor.New(v, l.OutDim())
+	out := tensor.Get(v, l.OutDim())
 	forEachTaskEdge(part, func(ei int32) {
 		src, dst := int(g.Src[ei]), int(g.Dst[ei])
 		sr := score.Row(int(ei))
@@ -277,7 +294,8 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 func computeLSTM(g *graphT, l *nn.SAGELSTMLayer, x *tensor.Tensor, part *core.Partition) (*tensor.Tensor, error) {
 	hd := l.OutDim()
 	f := l.InDim()
-	hFinal := tensor.New(g.NumVertices, hd)
+	hFinal := tensor.Get(g.NumVertices, hd)
+	defer tensor.Put(hFinal)
 	h := make([]float32, hd)
 	c := make([]float32, hd)
 	zbuf := make([]float32, 4*hd)
@@ -315,7 +333,7 @@ func computeLSTM(g *graphT, l *nn.SAGELSTMLayer, x *tensor.Tensor, part *core.Pa
 		}
 	}
 	_ = f
-	out := tensor.MatMul(nil, x, l.WSelf.Value)
+	out := tensor.MatMul(tensor.Get(x.Dim(0), hd), x, l.WSelf.Value)
 	tensor.MatMulAcc(out, hFinal, l.WNeigh.Value)
 	tensor.AddBias(out, l.B.Value)
 	return out, nil

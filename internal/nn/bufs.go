@@ -1,0 +1,34 @@
+package nn
+
+import "wisegraph/internal/tensor"
+
+// Sticky-buffer helpers. Layers keep their intermediates (XW, aggregates,
+// gradients) as fields and re-request them every iteration through these
+// helpers: when the shape is unchanged — always, in steady-state training —
+// the same tensor comes back, so the hot loop allocates nothing. On a shape
+// change (e.g. a differently sized sampled subgraph) the old buffer is
+// recycled into the tensor pool and a pooled replacement is drawn.
+//
+// Reused buffers keep last iteration's values: callers that accumulate
+// (EdgeSpMM, scatter loops) must Zero() explicitly; callers that overwrite
+// (MatMul, Transpose2D, ReLU) need not.
+
+// buf2 returns t when it already has shape [m, n], else a pooled tensor of
+// that shape (recycling t).
+func buf2(t *tensor.Tensor, m, n int) *tensor.Tensor {
+	if t != nil && t.Dims() == 2 && t.Dim(0) == m && t.Dim(1) == n {
+		return t
+	}
+	tensor.Put(t)
+	return tensor.Get(m, n)
+}
+
+// bufLike returns t when it already has ref's shape, else a pooled tensor
+// of that shape (recycling t).
+func bufLike(t, ref *tensor.Tensor) *tensor.Tensor {
+	if t != nil && t.SameShape(ref) {
+		return t
+	}
+	tensor.Put(t)
+	return tensor.Get(ref.Shape()...)
+}

@@ -22,11 +22,19 @@ type GATLayer struct {
 	heads, dh int
 	slope     float32
 
-	// caches
+	// caches and sticky buffers (see bufs.go)
 	x, z   *tensor.Tensor
 	pl, pr *tensor.Tensor // [V, heads] projections
 	scores *tensor.Tensor // [E, heads] pre-activation
 	alpha  *tensor.Tensor // [E, heads] attention weights
+	xT     *tensor.Tensor
+	out    *tensor.Tensor
+	dZ     *tensor.Tensor
+	dAlpha *tensor.Tensor
+	dScore *tensor.Tensor
+	dpl    *tensor.Tensor
+	dpr    *tensor.Tensor
+	dX     *tensor.Tensor
 }
 
 // NewGATLayer allocates a layer with the given head count; out must be a
@@ -57,10 +65,11 @@ func (l *GATLayer) OutDim() int { return l.W.Value.Dim(1) }
 // Heads returns the head count.
 func (l *GATLayer) Heads() int { return l.heads }
 
-// project computes p[v,h] = Σ_d a[h,d]·Z[v,h*dh+d].
-func (l *GATLayer) project(z *tensor.Tensor, a *Param) *tensor.Tensor {
+// project computes p[v,h] = Σ_d a[h,d]·Z[v,h*dh+d] into the sticky
+// buffer dst (reallocated on shape change).
+func (l *GATLayer) project(dst, z *tensor.Tensor, a *Param) *tensor.Tensor {
 	v := z.Rows()
-	p := tensor.New(v, l.heads)
+	p := buf2(dst, v, l.heads)
 	parallel.For(v, 64, func(i int) {
 		zr := z.Row(i)
 		pr := p.Row(i)
@@ -79,11 +88,11 @@ func (l *GATLayer) project(z *tensor.Tensor, a *Param) *tensor.Tensor {
 // Forward implements Layer.
 func (l *GATLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
-	l.z = tensor.MatMul(nil, x, l.W.Value)
-	l.pl = l.project(l.z, l.AL)
-	l.pr = l.project(l.z, l.AR)
+	l.z = tensor.MatMul(buf2(l.z, x.Dim(0), l.OutDim()), x, l.W.Value)
+	l.pl = l.project(l.pl, l.z, l.AL)
+	l.pr = l.project(l.pr, l.z, l.AR)
 	e := gc.NumEdges()
-	l.scores = tensor.New(e, l.heads)
+	l.scores = buf2(l.scores, e, l.heads)
 	for s := 0; s < e; s++ {
 		sr := l.scores.Row(s)
 		plr := l.pl.Row(int(gc.SrcByDst[s]))
@@ -93,10 +102,12 @@ func (l *GATLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// LeakyReLU then per-(dst, head) softmax over CSR segments.
-	l.alpha = tensor.LeakyReLU(nil, l.scores, l.slope)
+	l.alpha = tensor.LeakyReLU(buf2(l.alpha, e, l.heads), l.scores, l.slope)
 	l.segmentSoftmaxByHead(gc, l.alpha)
 
-	out := tensor.New(gc.NumVertices(), l.OutDim())
+	out := buf2(l.out, gc.NumVertices(), l.OutDim())
+	l.out = out
+	out.Zero()
 	parallel.For(gc.NumVertices(), 16, func(v int) {
 		orow := out.Row(v)
 		for s := gc.CSR.RowPtr[v]; s < gc.CSR.RowPtr[v+1]; s++ {
@@ -147,8 +158,11 @@ func (l *GATLayer) segmentSoftmaxByHead(gc *GraphCtx, vals *tensor.Tensor) {
 func (l *GATLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 	accumBiasGrad(l.B.Grad, dOut)
 	e := gc.NumEdges()
-	dZ := tensor.New(l.z.Shape()...)
-	dAlpha := tensor.New(e, l.heads)
+	dZ := buf2(l.dZ, l.z.Dim(0), l.z.Dim(1))
+	l.dZ = dZ
+	dZ.Zero()
+	dAlpha := buf2(l.dAlpha, e, l.heads)
+	l.dAlpha = dAlpha
 	// dα_e,h = Σ_d dOut[dst,h,d]·Z[src,h,d] ; dZ[src] += α·dOut[dst]
 	for s := 0; s < e; s++ {
 		src, dst := int(gc.SrcByDst[s]), int(gc.DstByDst[s])
@@ -166,8 +180,11 @@ func (l *GATLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 			dar[h] = g
 		}
 	}
-	// softmax backward per segment: ds = α·(dα − Σ α·dα)
-	dScore := tensor.New(e, l.heads)
+	// softmax backward per segment: ds = α·(dα − Σ α·dα). Every edge slot
+	// lies in exactly one destination segment, so the loop overwrites the
+	// whole buffer and no Zero is needed.
+	dScore := buf2(l.dScore, e, l.heads)
+	l.dScore = dScore
 	for v := 0; v < gc.NumVertices(); v++ {
 		lo, hi := int(gc.CSR.RowPtr[v]), int(gc.CSR.RowPtr[v+1])
 		for h := 0; h < l.heads; h++ {
@@ -181,11 +198,15 @@ func (l *GATLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	// LeakyReLU backward on pre-activation scores.
-	dScore = tensor.LeakyReLUGrad(nil, dScore, l.scores, l.slope)
+	// LeakyReLU backward on pre-activation scores (in place).
+	dScore = tensor.LeakyReLUGrad(dScore, dScore, l.scores, l.slope)
 	// score = pl[src] + pr[dst]
-	dpl := tensor.New(l.pl.Shape()...)
-	dpr := tensor.New(l.pr.Shape()...)
+	dpl := buf2(l.dpl, l.pl.Dim(0), l.pl.Dim(1))
+	l.dpl = dpl
+	dpl.Zero()
+	dpr := buf2(l.dpr, l.pr.Dim(0), l.pr.Dim(1))
+	l.dpr = dpr
+	dpr.Zero()
 	for s := 0; s < e; s++ {
 		src, dst := int(gc.SrcByDst[s]), int(gc.DstByDst[s])
 		dsr := dScore.Row(s)
@@ -214,6 +235,8 @@ func (l *GATLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	tensor.MatMulAcc(l.W.Grad, transposeOf(l.x), dZ)
-	return tensor.MatMulTransB(nil, dZ, l.W.Value)
+	l.xT = tensor.Transpose2D(buf2(l.xT, l.x.Dim(1), l.x.Dim(0)), l.x)
+	tensor.MatMulAcc(l.W.Grad, l.xT, dZ)
+	l.dX = tensor.MatMulTransB(buf2(l.dX, dZ.Dim(0), l.W.Value.Dim(0)), dZ, l.W.Value)
+	return l.dX
 }

@@ -8,8 +8,11 @@ import "wisegraph/internal/tensor"
 type GCNLayer struct {
 	W, B *Param
 
-	// caches
-	x, xw *tensor.Tensor
+	// caches and sticky buffers (see bufs.go)
+	x, xw   *tensor.Tensor
+	xT      *tensor.Tensor
+	out     *tensor.Tensor
+	dXW, dX *tensor.Tensor
 }
 
 // NewGCNLayer allocates a layer mapping in → out features.
@@ -29,11 +32,12 @@ func (l *GCNLayer) OutDim() int { return l.W.Value.Dim(1) }
 // Forward implements Layer.
 func (l *GCNLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
-	l.xw = tensor.MatMul(nil, x, l.W.Value)
-	out := tensor.New(gc.NumVertices(), l.OutDim())
-	EdgeSpMM(out, l.xw, gc.SrcByDst, gc.DstByDst, gc.InvDeg)
-	tensor.AddBias(out, l.B.Value)
-	return out
+	l.xw = tensor.MatMul(buf2(l.xw, x.Dim(0), l.OutDim()), x, l.W.Value)
+	l.out = buf2(l.out, gc.NumVertices(), l.OutDim())
+	l.out.Zero()
+	EdgeSpMMBins(l.out, l.xw, gc.SrcByDst, gc.DstByDst, gc.InvDeg, gc.BinsByDst())
+	tensor.AddBias(l.out, l.B.Value)
+	return l.out
 }
 
 // Backward implements Layer.
@@ -41,10 +45,13 @@ func (l *GCNLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 	// bias gradient: column sum
 	accumBiasGrad(l.B.Grad, dOut)
 	// transpose aggregation: dXW[src] += w_e · dOut[dst]
-	dXW := tensor.New(l.xw.Shape()...)
-	EdgeSpMM(dXW, dOut, gc.DstByDst, gc.SrcByDst, gc.InvDeg)
-	tensor.MatMulAcc(l.W.Grad, transposeOf(l.x), dXW)
-	return tensor.MatMulTransB(nil, dXW, l.W.Value)
+	l.dXW = buf2(l.dXW, l.xw.Dim(0), l.xw.Dim(1))
+	l.dXW.Zero()
+	EdgeSpMMBins(l.dXW, dOut, gc.DstByDst, gc.SrcByDst, gc.InvDeg, gc.BinsBySrc())
+	l.xT = tensor.Transpose2D(buf2(l.xT, l.x.Dim(1), l.x.Dim(0)), l.x)
+	tensor.MatMulAcc(l.W.Grad, l.xT, l.dXW)
+	l.dX = tensor.MatMulTransB(buf2(l.dX, l.dXW.Dim(0), l.W.Value.Dim(0)), l.dXW, l.W.Value)
+	return l.dX
 }
 
 // accumBiasGrad adds the column sums of d to g.
@@ -67,7 +74,11 @@ func transposeOf(x *tensor.Tensor) *tensor.Tensor { return tensor.Transpose2D(ni
 type SAGELayer struct {
 	WSelf, WNeigh, B *Param
 
-	x, agg *tensor.Tensor
+	// caches and sticky buffers
+	x, agg   *tensor.Tensor
+	xT, aggT *tensor.Tensor
+	out      *tensor.Tensor
+	dx, dAgg *tensor.Tensor
 }
 
 // NewSAGELayer allocates a layer mapping in → out features.
@@ -91,22 +102,25 @@ func (l *SAGELayer) OutDim() int { return l.WSelf.Value.Dim(1) }
 // Forward implements Layer.
 func (l *SAGELayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
-	l.agg = tensor.New(gc.NumVertices(), l.InDim())
-	EdgeSpMM(l.agg, x, gc.SrcByDst, gc.DstByDst, gc.InvDeg)
-	out := tensor.MatMul(nil, x, l.WSelf.Value)
-	tensor.MatMulAcc(out, l.agg, l.WNeigh.Value)
-	tensor.AddBias(out, l.B.Value)
-	return out
+	l.agg = buf2(l.agg, gc.NumVertices(), l.InDim())
+	l.agg.Zero()
+	EdgeSpMMBins(l.agg, x, gc.SrcByDst, gc.DstByDst, gc.InvDeg, gc.BinsByDst())
+	l.out = tensor.MatMul(buf2(l.out, x.Dim(0), l.OutDim()), x, l.WSelf.Value)
+	tensor.MatMulAcc(l.out, l.agg, l.WNeigh.Value)
+	tensor.AddBias(l.out, l.B.Value)
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *SAGELayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 	accumBiasGrad(l.B.Grad, dOut)
-	tensor.MatMulAcc(l.WSelf.Grad, transposeOf(l.x), dOut)
-	tensor.MatMulAcc(l.WNeigh.Grad, transposeOf(l.agg), dOut)
-	dx := tensor.MatMulTransB(nil, dOut, l.WSelf.Value)
-	dAgg := tensor.MatMulTransB(nil, dOut, l.WNeigh.Value)
+	l.xT = tensor.Transpose2D(buf2(l.xT, l.x.Dim(1), l.x.Dim(0)), l.x)
+	tensor.MatMulAcc(l.WSelf.Grad, l.xT, dOut)
+	l.aggT = tensor.Transpose2D(buf2(l.aggT, l.agg.Dim(1), l.agg.Dim(0)), l.agg)
+	tensor.MatMulAcc(l.WNeigh.Grad, l.aggT, dOut)
+	l.dx = tensor.MatMulTransB(buf2(l.dx, dOut.Dim(0), l.WSelf.Value.Dim(0)), dOut, l.WSelf.Value)
+	l.dAgg = tensor.MatMulTransB(buf2(l.dAgg, dOut.Dim(0), l.WNeigh.Value.Dim(0)), dOut, l.WNeigh.Value)
 	// transpose mean aggregation back to sources
-	EdgeSpMM(dx, dAgg, gc.DstByDst, gc.SrcByDst, gc.InvDeg)
-	return dx
+	EdgeSpMMBins(l.dx, l.dAgg, gc.DstByDst, gc.SrcByDst, gc.InvDeg, gc.BinsBySrc())
+	return l.dx
 }

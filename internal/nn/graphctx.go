@@ -2,6 +2,7 @@ package nn
 
 import (
 	"wisegraph/internal/graph"
+	"wisegraph/internal/parallel"
 	"wisegraph/internal/tensor"
 )
 
@@ -24,6 +25,25 @@ type GraphCtx struct {
 	// TypeOffsets[t+1] delimit type t (nil for untyped graphs).
 	TypeOrder   []int32
 	TypeOffsets []int32
+
+	// Cached destination binnings for the two scatter directions (lazily
+	// built; see tensor.BinRows). The index arrays never change for a
+	// given graph, so every EdgeSpMM over this context reuses them. Like
+	// the layer activation caches, these are not safe for concurrent
+	// mutation from multiple goroutines.
+	binsByDst *tensor.Bins // dst = DstByDst (forward aggregation)
+	binsBySrc *tensor.Bins // dst = SrcByDst (backward/transpose)
+
+	// typeEdges caches the per-relation edge arrays RGCN gathers from
+	// (lazily built; the underlying CSR never changes).
+	typeEdges []TypeEdges
+}
+
+// TypeEdges holds one relation's edges as parallel arrays: endpoints plus
+// the mean-normalization weight of each edge.
+type TypeEdges struct {
+	Src, Dst []int32
+	W        []float32
 }
 
 // NewGraphCtx builds the context for g.
@@ -57,6 +77,51 @@ func NewGraphCtx(g *graph.Graph) *GraphCtx {
 		}
 	}
 	return gc
+}
+
+// BinsByDst returns (building on first use) the destination binning for
+// forward aggregation: edges partitioned by DstByDst shard.
+func (gc *GraphCtx) BinsByDst() *tensor.Bins {
+	gc.binsByDst = gc.edgeBins(gc.binsByDst, gc.DstByDst)
+	return gc.binsByDst
+}
+
+// BinsBySrc returns the binning for the transpose direction (backward):
+// edges partitioned by SrcByDst shard.
+func (gc *GraphCtx) BinsBySrc() *tensor.Bins {
+	gc.binsBySrc = gc.edgeBins(gc.binsBySrc, gc.SrcByDst)
+	return gc.binsBySrc
+}
+
+func (gc *GraphCtx) edgeBins(cur *tensor.Bins, dst []int32) *tensor.Bins {
+	shards := parallel.Workers(gc.NumVertices(), 1)
+	if cur != nil && cur.NumShards() == min(shards, gc.NumVertices()) {
+		return cur
+	}
+	return tensor.BinRows(cur, dst, gc.NumVertices(), shards)
+}
+
+// TypeEdgeArrays returns (building on first use) relation t's edge arrays
+// in CSR slot order. The arrays are owned by the context; callers must not
+// mutate them.
+func (gc *GraphCtx) TypeEdgeArrays(t int) *TypeEdges {
+	if gc.typeEdges == nil {
+		n := len(gc.TypeOffsets) - 1
+		gc.typeEdges = make([]TypeEdges, n)
+		for tt := 0; tt < n; tt++ {
+			slots := gc.TypeOrder[gc.TypeOffsets[tt]:gc.TypeOffsets[tt+1]]
+			te := &gc.typeEdges[tt]
+			te.Src = make([]int32, len(slots))
+			te.Dst = make([]int32, len(slots))
+			te.W = make([]float32, len(slots))
+			for i, s := range slots {
+				te.Src[i] = gc.SrcByDst[s]
+				te.Dst[i] = gc.DstByDst[s]
+				te.W[i] = gc.InvDeg[s]
+			}
+		}
+	}
+	return &gc.typeEdges[t]
 }
 
 // NumVertices returns the vertex count.

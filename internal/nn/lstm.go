@@ -22,13 +22,15 @@ type SAGELSTMLayer struct {
 
 	hidden int
 
-	// caches for BPTT, per CSR edge slot
+	// caches for BPTT, per CSR edge slot (sticky buffers, see bufs.go)
 	x      *tensor.Tensor
 	gates  *tensor.Tensor // [E, 4*hidden] post-activation gate values
 	cells  *tensor.Tensor // [E, hidden] c_t
 	hPrev  *tensor.Tensor // [E, hidden] h_{t-1} entering each step
 	cPrev  *tensor.Tensor // [E, hidden] c_{t-1}
 	hFinal *tensor.Tensor // [V, hidden]
+
+	out, xT, hT, dx, dHFinal *tensor.Tensor
 }
 
 // NewSAGELSTMLayer allocates a layer with LSTM hidden size = out.
@@ -63,11 +65,15 @@ func (l *SAGELSTMLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 	v := gc.NumVertices()
 	e := gc.NumEdges()
 	hd := l.hidden
-	l.gates = tensor.New(e, 4*hd)
-	l.cells = tensor.New(e, hd)
-	l.hPrev = tensor.New(e, hd)
-	l.cPrev = tensor.New(e, hd)
-	l.hFinal = tensor.New(v, hd)
+	// Every edge slot is visited by exactly one vertex segment, so the
+	// per-slot caches are fully overwritten; only hFinal needs zeroing
+	// (vertices without in-edges keep h = 0).
+	l.gates = buf2(l.gates, e, 4*hd)
+	l.cells = buf2(l.cells, e, hd)
+	l.hPrev = buf2(l.hPrev, e, hd)
+	l.cPrev = buf2(l.cPrev, e, hd)
+	l.hFinal = buf2(l.hFinal, v, hd)
+	l.hFinal.Zero()
 
 	parallel.For(v, 4, func(vi int) {
 		lo, hi := int(gc.CSR.RowPtr[vi]), int(gc.CSR.RowPtr[vi+1])
@@ -100,10 +106,10 @@ func (l *SAGELSTMLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 		copy(l.hFinal.Row(vi), h)
 	})
 
-	out := tensor.MatMul(nil, x, l.WSelf.Value)
-	tensor.MatMulAcc(out, l.hFinal, l.WNeigh.Value)
-	tensor.AddBias(out, l.B.Value)
-	return out
+	l.out = tensor.MatMul(buf2(l.out, x.Dim(0), l.OutDim()), x, l.WSelf.Value)
+	tensor.MatMulAcc(l.out, l.hFinal, l.WNeigh.Value)
+	tensor.AddBias(l.out, l.B.Value)
+	return l.out
 }
 
 // mulAccVec computes z += x·W for row vector x and 2-D W.
@@ -126,10 +132,14 @@ func mulAccVec(z, x []float32, w *tensor.Tensor) {
 // backward throughput is not on any measured path.
 func (l *SAGELSTMLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 	accumBiasGrad(l.B.Grad, dOut)
-	tensor.MatMulAcc(l.WSelf.Grad, transposeOf(l.x), dOut)
-	tensor.MatMulAcc(l.WNeigh.Grad, transposeOf(l.hFinal), dOut)
-	dx := tensor.MatMulTransB(nil, dOut, l.WSelf.Value)
-	dHFinal := tensor.MatMulTransB(nil, dOut, l.WNeigh.Value)
+	l.xT = tensor.Transpose2D(buf2(l.xT, l.x.Dim(1), l.x.Dim(0)), l.x)
+	tensor.MatMulAcc(l.WSelf.Grad, l.xT, dOut)
+	l.hT = tensor.Transpose2D(buf2(l.hT, l.hFinal.Dim(1), l.hFinal.Dim(0)), l.hFinal)
+	tensor.MatMulAcc(l.WNeigh.Grad, l.hT, dOut)
+	l.dx = tensor.MatMulTransB(buf2(l.dx, dOut.Dim(0), l.WSelf.Value.Dim(0)), dOut, l.WSelf.Value)
+	dx := l.dx
+	l.dHFinal = tensor.MatMulTransB(buf2(l.dHFinal, dOut.Dim(0), l.WNeigh.Value.Dim(0)), dOut, l.WNeigh.Value)
+	dHFinal := l.dHFinal
 
 	hd := l.hidden
 	dz := make([]float32, 4*hd)

@@ -33,6 +33,11 @@ type Model struct {
 	inputs []*tensor.Tensor // inputs per layer
 	masks  []*tensor.Tensor // dropout masks per inter-layer gap
 
+	// sticky buffers reused across iterations (see bufs.go)
+	reluBufs []*tensor.Tensor // post-ReLU activations per inter-layer gap
+	maskBufs []*tensor.Tensor // dropout mask storage per inter-layer gap
+	gradBuf  *tensor.Tensor   // d(loss)/d(logits)
+
 	training bool
 	dropRNG  *tensor.RNG
 }
@@ -115,14 +120,21 @@ func (m *Model) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 	m.acts = m.acts[:0]
 	m.masks = m.masks[:0]
 	cur := x
+	for len(m.reluBufs) < len(m.layers)-1 {
+		m.reluBufs = append(m.reluBufs, nil)
+		m.maskBufs = append(m.maskBufs, nil)
+	}
 	for li, l := range m.layers {
 		m.inputs = append(m.inputs, cur)
 		out := l.Forward(gc, cur)
 		m.acts = append(m.acts, out)
 		if li < len(m.layers)-1 {
-			cur = tensor.ReLU(nil, out)
+			m.reluBufs[li] = tensor.ReLU(bufLike(m.reluBufs[li], out), out)
+			cur = m.reluBufs[li]
 			if m.training && m.Cfg.Dropout > 0 {
-				mask := m.dropoutMask(cur.Len()).Reshape(cur.Shape()...)
+				mask := bufLike(m.maskBufs[li], cur)
+				m.maskBufs[li] = mask
+				m.fillDropoutMask(mask)
 				cur = tensor.Mul(cur, cur, mask)
 				m.masks = append(m.masks, mask)
 			} else {
@@ -135,19 +147,19 @@ func (m *Model) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 	return cur
 }
 
-// dropoutMask draws an inverted-dropout mask: 0 with probability p,
-// 1/(1-p) otherwise, so activations keep their expectation.
-func (m *Model) dropoutMask(n int) *tensor.Tensor {
+// fillDropoutMask draws an inverted-dropout mask in place: 0 with
+// probability p, 1/(1-p) otherwise, so activations keep their expectation.
+func (m *Model) fillDropoutMask(mask *tensor.Tensor) {
 	p := float32(m.Cfg.Dropout)
 	keep := 1 / (1 - p)
-	mask := tensor.New(n)
 	d := mask.Data()
 	for i := range d {
 		if m.dropRNG.Float32() >= p {
 			d[i] = keep
+		} else {
+			d[i] = 0
 		}
 	}
-	return mask
 }
 
 // Backward propagates d(loss)/d(logits) through the stack, accumulating
@@ -156,11 +168,13 @@ func (m *Model) Backward(gc *GraphCtx, dLogits *tensor.Tensor) {
 	grad := dLogits
 	for li := len(m.layers) - 1; li >= 0; li-- {
 		if li < len(m.layers)-1 {
-			// undo the inter-layer dropout, then the ReLU
+			// undo the inter-layer dropout, then the ReLU. grad at this
+			// point is the layer-above's dX buffer (or gradBuf), which is
+			// consumed here, so both steps can run in place.
 			if li < len(m.masks) && m.masks[li] != nil {
-				grad = tensor.Mul(nil, grad, m.masks[li].Reshape(grad.Shape()...))
+				grad = tensor.Mul(grad, grad, m.masks[li])
 			}
-			grad = tensor.ReLUGrad(nil, grad, m.acts[li])
+			grad = tensor.ReLUGrad(grad, grad, m.acts[li])
 		}
 		grad = m.layers[li].Backward(gc, grad)
 	}
@@ -179,9 +193,9 @@ func (m *Model) TrainStep(gc *GraphCtx, x *tensor.Tensor, labels []int32, mask [
 	m.training = true
 	defer func() { m.training = false }()
 	logits := m.Forward(gc, x)
-	grad := tensor.New(logits.Shape()...)
-	loss := m.Loss(logits, labels, mask, grad)
-	m.Backward(gc, grad)
+	m.gradBuf = bufLike(m.gradBuf, logits)
+	loss := m.Loss(logits, labels, mask, m.gradBuf)
+	m.Backward(gc, m.gradBuf)
 	opt.Step()
 	return loss
 }

@@ -72,40 +72,52 @@ func (k ModelKind) Complex() bool { return k == RGCN || k == GAT || k == SAGELST
 // implements both the forward aggregation (src→dst) and, with the index
 // arrays swapped, its transpose for the backward pass.
 func EdgeSpMM(out, x *tensor.Tensor, src, dst []int32, w []float32) {
+	EdgeSpMMBins(out, x, src, dst, w, nil)
+}
+
+// EdgeSpMMBins is EdgeSpMM with an optional precomputed binning of dst
+// over out's rows (built by tensor.BinRows). The full-graph training loop
+// caches the bins on its GraphCtx, so every aggregation skips the
+// partition pass entirely; a nil bins falls back to binning on the fly.
+func EdgeSpMMBins(out, x *tensor.Tensor, src, dst []int32, w []float32, bins *tensor.Bins) {
 	rs := x.RowSize()
 	if out.RowSize() != rs {
 		panic(fmt.Sprintf("nn: EdgeSpMM row sizes %d vs %d", out.RowSize(), rs))
 	}
-	workers := parallel.Workers(out.Rows(), 1)
-	if workers > 8 {
-		workers = 8
-	}
-	if workers <= 1 || len(src) < 2048 {
-		edgeSpMMRange(out, x, src, dst, w, 1, 0, rs)
+	shards := parallel.Workers(out.Rows(), 1)
+	if shards <= 1 || len(src) < 2048 {
+		for e := range src {
+			edgeSpMMOne(out, x, src, dst, w, e, rs)
+		}
 		return
 	}
-	parallel.For(workers, 1, func(sh int) {
-		edgeSpMMRange(out, x, src, dst, w, workers, sh, rs)
+	if bins == nil {
+		bins = tensor.BinRows(nil, dst, out.Rows(), shards)
+	}
+	parallel.For(bins.NumShards(), 1, func(sh int) {
+		edgeSpMMShard(out, x, src, dst, w, bins.Shard(sh), rs)
 	})
 }
 
-func edgeSpMMRange(out, x *tensor.Tensor, src, dst []int32, w []float32, mod, shard, rs int) {
-	for e, s := range src {
-		d := int(dst[e])
-		if mod > 1 && d%mod != shard {
-			continue
+// edgeSpMMShard processes the edges listed in order (a shard's positions).
+func edgeSpMMShard(out, x *tensor.Tensor, src, dst []int32, w []float32, order []int32, rs int) {
+	for _, e := range order {
+		edgeSpMMOne(out, x, src, dst, w, int(e), rs)
+	}
+}
+
+func edgeSpMMOne(out, x *tensor.Tensor, src, dst []int32, w []float32, e, rs int) {
+	d := int(dst[e])
+	xo := x.Data()[int(src[e])*rs : (int(src[e])+1)*rs]
+	oo := out.Data()[d*rs : (d+1)*rs]
+	if w == nil {
+		for j, v := range xo {
+			oo[j] += v
 		}
-		xo := x.Data()[int(s)*rs : (int(s)+1)*rs]
-		oo := out.Data()[d*rs : (d+1)*rs]
-		if w == nil {
-			for j, v := range xo {
-				oo[j] += v
-			}
-		} else {
-			we := w[e]
-			for j, v := range xo {
-				oo[j] += we * v
-			}
+	} else {
+		we := w[e]
+		for j, v := range xo {
+			oo[j] += we * v
 		}
 	}
 }

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"wisegraph/internal/graph/gen"
+	"wisegraph/internal/parallel"
+	"wisegraph/internal/tensor"
+)
+
+// Parity tests for the pooled/binned execution paths: sticky buffers,
+// cached bins and the persistent worker pool must not change a single bit
+// of the training computation relative to the sequential reference.
+
+func parityWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := parallel.SetMaxWorkers(n)
+	defer parallel.SetMaxWorkers(old)
+	fn()
+}
+
+// powerLawGraphCtx builds a hub-skewed test graph shaped like the
+// benchmark workload (many edges landing on few destinations).
+func powerLawGraphCtx(v, e int, seed uint64) (*GraphCtx, *gen.Result) {
+	res := gen.Generate(gen.Config{
+		NumVertices: v, NumEdges: e,
+		Kind: gen.PowerLaw, Skew: 1.0,
+		NumBlocks: 5, Homophily: 0.8, Seed: seed,
+	})
+	return NewGraphCtx(res.Graph), res
+}
+
+func TestEdgeSpMMBinsBitwiseEqualSeq(t *testing.T) {
+	gc, _ := powerLawGraphCtx(300, 4000, 7)
+	rng := tensor.NewRNG(71)
+	x := tensor.Uniform(tensor.New(gc.NumVertices(), 19), rng, -1, 1)
+
+	// sequential reference: plain accumulation in edge order
+	want := tensor.New(gc.NumVertices(), 19)
+	rs := 19
+	for e := range gc.SrcByDst {
+		d := int(gc.DstByDst[e])
+		xo := x.Data()[int(gc.SrcByDst[e])*rs : (int(gc.SrcByDst[e])+1)*rs]
+		oo := want.Data()[d*rs : (d+1)*rs]
+		w := gc.InvDeg[e]
+		for j, v := range xo {
+			oo[j] += w * v
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		parityWorkers(t, workers, func() {
+			got := tensor.New(gc.NumVertices(), 19)
+			EdgeSpMMBins(got, x, gc.SrcByDst, gc.DstByDst, gc.InvDeg, gc.BinsByDst())
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("workers=%d: binned[%d]=%v, seq=%v", workers, i, v, want.Data()[i])
+				}
+			}
+			// on-the-fly binning (nil bins) must agree as well
+			got2 := tensor.New(gc.NumVertices(), 19)
+			EdgeSpMMBins(got2, x, gc.SrcByDst, gc.DstByDst, gc.InvDeg, nil)
+			for i, v := range got2.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("workers=%d: unbinned[%d]=%v, seq=%v", workers, i, v, want.Data()[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTrainStepBitwiseAcrossWorkerCounts trains the same model twice —
+// once sequentially, once with the worker pool, binned scatter and blocked
+// matmul active — and requires bit-identical losses and logits. Buffer
+// reuse across the three iterations is exercised in both runs.
+func TestTrainStepBitwiseAcrossWorkerCounts(t *testing.T) {
+	gc, res := powerLawGraphCtx(400, 6000, 9)
+	rng := tensor.NewRNG(72)
+	x := tensor.Uniform(tensor.New(gc.NumVertices(), 23), rng, -1, 1)
+	labels := make([]int32, gc.NumVertices())
+	copy(labels, res.Block)
+	mask := make([]int32, gc.NumVertices())
+	for i := range mask {
+		mask[i] = int32(i)
+	}
+
+	run := func(workers int, kind ModelKind) ([]float64, *tensor.Tensor) {
+		var losses []float64
+		var logits *tensor.Tensor
+		parityWorkers(t, workers, func() {
+			m, err := NewModel(Config{
+				Kind: kind, InDim: 23, Hidden: 48, OutDim: 5, Layers: 3,
+				Dropout: 0.3, Seed: 13,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := NewAdam(1e-2, m.Params())
+			for it := 0; it < 3; it++ {
+				losses = append(losses, m.TrainStep(gc, x, labels, mask, opt))
+			}
+			out := m.Forward(gc, x)
+			logits = tensor.New(out.Shape()...)
+			logits.CopyFrom(out)
+		})
+		return losses, logits
+	}
+
+	for _, kind := range []ModelKind{GCN, SAGE} {
+		seqLoss, seqLogits := run(1, kind)
+		parLoss, parLogits := run(8, kind)
+		for i := range seqLoss {
+			if seqLoss[i] != parLoss[i] {
+				t.Fatalf("%v iter %d: loss %v (seq) vs %v (parallel)", kind, i, seqLoss[i], parLoss[i])
+			}
+		}
+		for i, v := range parLogits.Data() {
+			if v != seqLogits.Data()[i] {
+				t.Fatalf("%v: logit[%d] %v (seq) vs %v (parallel)", kind, i, seqLogits.Data()[i], v)
+			}
+		}
+		if math.IsNaN(seqLoss[len(seqLoss)-1]) {
+			t.Fatalf("%v: training diverged", kind)
+		}
+	}
+}
+
+// TestForwardStableUnderBufferReuse runs the same forward pass repeatedly
+// on one model instance: with sticky buffers, any missing Zero() or stale
+// aliasing would change the result between calls.
+func TestForwardStableUnderBufferReuse(t *testing.T) {
+	gc, _ := powerLawGraphCtx(200, 2500, 11)
+	rng := tensor.NewRNG(73)
+	x := tensor.Uniform(tensor.New(gc.NumVertices(), 16), rng, -1, 1)
+	resT := gen.Generate(gen.Config{
+		NumVertices: 200, NumEdges: 2500,
+		Kind: gen.PowerLaw, Skew: 1.0, NumTypes: 3, Seed: 11,
+	})
+	gcTyped := NewGraphCtx(resT.Graph)
+	for _, kind := range []ModelKind{GCN, SAGE, GAT, SAGELSTM, RGCN} {
+		gc := gc
+		if kind == RGCN {
+			gc = gcTyped
+		}
+		m, err := NewModel(Config{
+			Kind: kind, InDim: 16, Hidden: 32, OutDim: 4, Layers: 2, Seed: 3,
+			NumTypes: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parityWorkers(t, 4, func() {
+			first := tensor.New(gc.NumVertices(), 4)
+			first.CopyFrom(m.Forward(gc, x))
+			for rep := 0; rep < 3; rep++ {
+				out := m.Forward(gc, x)
+				for i, v := range out.Data() {
+					if v != first.Data()[i] {
+						t.Fatalf("%v: forward drifted at rep %d, elem %d: %v vs %v",
+							kind, rep, i, v, first.Data()[i])
+					}
+				}
+			}
+		})
+	}
+}

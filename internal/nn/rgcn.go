@@ -18,7 +18,10 @@ type RGCNLayer struct {
 
 	numTypes int
 	x        *tensor.Tensor
-	gathered []*tensor.Tensor // per-type gathered inputs (cached for backward)
+	gathered []*tensor.Tensor // per-type gathered inputs (pooled; released in Backward)
+
+	// sticky buffers (see bufs.go)
+	out, dx, xT *tensor.Tensor
 }
 
 // NewRGCNLayer allocates a layer with numTypes relations mapping in → out.
@@ -64,33 +67,29 @@ func (l *RGCNLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 		panic("nn: RGCN requires a typed graph")
 	}
 	l.x = x
-	l.gathered = make([]*tensor.Tensor, l.numTypes)
-	out := tensor.MatMul(nil, x, l.WSelf.Value)
+	if len(l.gathered) != l.numTypes {
+		l.gathered = make([]*tensor.Tensor, l.numTypes)
+	}
+	l.out = tensor.MatMul(buf2(l.out, x.Dim(0), l.OutDim()), x, l.WSelf.Value)
+	out := l.out
 	for t := 0; t < l.numTypes; t++ {
-		slots := typeEdges(gc, t)
-		if len(slots) == 0 {
+		te := gc.TypeEdgeArrays(t)
+		if len(te.Src) == 0 {
 			continue
 		}
-		src := make([]int32, len(slots))
-		dst := make([]int32, len(slots))
-		w := make([]float32, len(slots))
-		for i, s := range slots {
-			src[i] = gc.SrcByDst[s]
-			dst[i] = gc.DstByDst[s]
-			w[i] = gc.InvDeg[s]
-		}
-		xt := tensor.GatherRows(nil, x, src)
+		xt := tensor.GatherRows(tensor.Get(len(te.Src), l.InDim()), x, te.Src)
 		l.gathered[t] = xt
-		msg := tensor.MatMul(nil, xt, l.typeWeight(t))
+		msg := tensor.MatMul(tensor.Get(len(te.Src), l.OutDim()), xt, l.typeWeight(t))
 		// scatter with normalization: out[dst] += w · msg
-		for i := range slots {
+		for i := range te.Src {
 			mrow := msg.Row(i)
-			orow := out.Row(int(dst[i]))
-			we := w[i]
+			orow := out.Row(int(te.Dst[i]))
+			we := te.W[i]
 			for j, v := range mrow {
 				orow[j] += we * v
 			}
 		}
+		tensor.Put(msg)
 	}
 	tensor.AddBias(out, l.B.Value)
 	return out
@@ -99,34 +98,42 @@ func (l *RGCNLayer) Forward(gc *GraphCtx, x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Layer.
 func (l *RGCNLayer) Backward(gc *GraphCtx, dOut *tensor.Tensor) *tensor.Tensor {
 	accumBiasGrad(l.B.Grad, dOut)
-	tensor.MatMulAcc(l.WSelf.Grad, transposeOf(l.x), dOut)
-	dx := tensor.MatMulTransB(nil, dOut, l.WSelf.Value)
+	l.xT = tensor.Transpose2D(buf2(l.xT, l.x.Dim(1), l.x.Dim(0)), l.x)
+	tensor.MatMulAcc(l.WSelf.Grad, l.xT, dOut)
+	l.dx = tensor.MatMulTransB(buf2(l.dx, dOut.Dim(0), l.WSelf.Value.Dim(0)), dOut, l.WSelf.Value)
+	dx := l.dx
 	for t := 0; t < l.numTypes; t++ {
-		slots := typeEdges(gc, t)
-		if len(slots) == 0 {
+		te := gc.TypeEdgeArrays(t)
+		if len(te.Src) == 0 {
 			continue
 		}
 		// dMsg[i] = w_i · dOut[dst_i]
-		dMsg := tensor.New(len(slots), l.OutDim())
-		for i, s := range slots {
-			drow := dOut.Row(int(gc.DstByDst[s]))
+		dMsg := tensor.Get(len(te.Src), l.OutDim())
+		for i := range te.Src {
+			drow := dOut.Row(int(te.Dst[i]))
 			mrow := dMsg.Row(i)
-			we := gc.InvDeg[s]
+			we := te.W[i]
 			for j, v := range drow {
 				mrow[j] = we * v
 			}
 		}
 		// dW[t] += xtᵀ · dMsg ; dX[src] += dMsg · W[t]ᵀ
 		xt := l.gathered[t]
-		tensor.MatMulAcc(l.typeWeightGrad(t), transposeOf(xt), dMsg)
-		dXt := tensor.MatMulTransB(nil, dMsg, l.typeWeight(t))
-		for i, s := range slots {
+		xtT := tensor.Transpose2D(tensor.Get(xt.Dim(1), xt.Dim(0)), xt)
+		tensor.MatMulAcc(l.typeWeightGrad(t), xtT, dMsg)
+		tensor.Put(xtT)
+		dXt := tensor.MatMulTransB(tensor.Get(len(te.Src), l.InDim()), dMsg, l.typeWeight(t))
+		for i := range te.Src {
 			srow := dXt.Row(i)
-			xrow := dx.Row(int(gc.SrcByDst[s]))
+			xrow := dx.Row(int(te.Src[i]))
 			for j, v := range srow {
 				xrow[j] += v
 			}
 		}
+		tensor.Put(dXt)
+		tensor.Put(dMsg)
+		tensor.Put(xt)
+		l.gathered[t] = nil
 	}
 	return dx
 }

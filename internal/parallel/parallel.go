@@ -1,21 +1,43 @@
 // Package parallel provides small helpers for data-parallel loops across
 // CPU workers. It is the execution backend for the simulated accelerator:
 // kernels run for real on goroutines while the device model accounts time.
+//
+// Loops are executed by a persistent worker pool (see pool.go) rather
+// than per-call goroutines, so a training iteration that issues thousands
+// of small parallel regions pays no spawn cost on any of them.
 package parallel
 
 import (
 	"runtime"
-	"sync"
+	"sync/atomic"
 )
 
-// MaxWorkers is the default number of workers used by For. It is a variable
-// so tests and the bench harness can pin it for reproducible scaling curves.
-var MaxWorkers = runtime.GOMAXPROCS(0)
+// maxWorkers is the target number of workers used by For/ForRange,
+// accessed atomically so tests and the bench harness can pin it for
+// reproducible scaling curves while other goroutines run loops.
+var maxWorkers atomic.Int64
 
-// For runs fn(i) for every i in [0, n) across up to MaxWorkers goroutines.
-// grain is the minimum number of iterations per task; use a larger grain for
-// cheap bodies to amortize scheduling. fn must be safe for concurrent calls
-// with distinct i.
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// MaxWorkers returns the current worker-count cap.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// SetMaxWorkers sets the worker-count cap (clamped to ≥ 1) and returns
+// the previous value. Safe for concurrent use; loops already in flight
+// keep the worker count they started with.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// For runs fn(i) for every i in [0, n) across up to MaxWorkers workers.
+// grain is the minimum number of iterations per task; use a larger grain
+// for cheap bodies to amortize scheduling. fn must be safe for concurrent
+// calls with distinct i.
 func For(n, grain int, fn func(i int)) {
 	ForRange(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -24,8 +46,11 @@ func For(n, grain int, fn func(i int)) {
 	})
 }
 
-// ForRange splits [0, n) into contiguous chunks of at least grain iterations
-// and runs fn(lo, hi) for each chunk across up to MaxWorkers goroutines.
+// ForRange splits [0, n) into contiguous chunks of at least grain
+// iterations and runs fn(lo, hi) for each chunk across up to MaxWorkers
+// workers. Chunks are claimed dynamically off an atomic cursor, which
+// balances skewed per-index costs; the calling goroutine participates,
+// so the loop makes progress even when every pool worker is busy.
 func ForRange(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -33,7 +58,7 @@ func ForRange(n, grain int, fn func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	workers := MaxWorkers
+	workers := MaxWorkers()
 	if workers < 1 {
 		workers = 1
 	}
@@ -45,29 +70,11 @@ func ForRange(n, grain int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	// Distribute chunks over workers via an atomic-free striped split:
-	// each worker takes every workers-th chunk, which balances skewed
-	// per-index costs better than one contiguous block per worker.
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for c := w; c < chunks; c += workers {
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
+	runOnPool(n, grain, chunks, workers-1, fn)
 }
 
-// Workers reports the effective worker count For would use for n iterations
-// with the given grain.
+// Workers reports the effective worker count For would use for n
+// iterations with the given grain.
 func Workers(n, grain int) int {
 	if n <= 0 {
 		return 0
@@ -75,7 +82,7 @@ func Workers(n, grain int) int {
 	if grain < 1 {
 		grain = 1
 	}
-	w := MaxWorkers
+	w := MaxWorkers()
 	if w < 1 {
 		w = 1
 	}

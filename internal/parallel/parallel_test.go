@@ -33,9 +33,8 @@ func TestForRangeCoversExactly(t *testing.T) {
 }
 
 func TestForRangeSingleWorkerPath(t *testing.T) {
-	old := MaxWorkers
-	MaxWorkers = 1
-	defer func() { MaxWorkers = old }()
+	old := SetMaxWorkers(1)
+	defer SetMaxWorkers(old)
 	sum := 0 // no atomics needed: single worker
 	ForRange(100, 10, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -54,7 +53,7 @@ func TestWorkers(t *testing.T) {
 	if w := Workers(5, 10); w != 1 {
 		t.Fatalf("one chunk → one worker, got %d", w)
 	}
-	if w := Workers(1000000, 1); w != MaxWorkers {
+	if w := Workers(1000000, 1); w != MaxWorkers() {
 		t.Fatalf("big work should use all workers, got %d", w)
 	}
 }
@@ -77,9 +76,8 @@ func TestPropParallelSum(t *testing.T) {
 }
 
 func TestForRangeMultiWorkerPath(t *testing.T) {
-	old := MaxWorkers
-	MaxWorkers = 4
-	defer func() { MaxWorkers = old }()
+	old := SetMaxWorkers(4)
+	defer SetMaxWorkers(old)
 	n := 997
 	var total int64
 	seen := make([]int32, n)

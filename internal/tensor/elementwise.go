@@ -245,7 +245,8 @@ func CrossEntropy(logits *Tensor, labels []int32, mask []int32, grad *Tensor) fl
 	}
 	inv := float32(1) / float32(len(rows))
 	var loss float64
-	probs := make([]float32, c)
+	probs := getFloat32(c)
+	defer putFloat32(probs)
 	for _, ri := range rows {
 		row := logits.data[int(ri)*c : (int(ri)+1)*c]
 		softmaxInto(probs, row)

@@ -12,9 +12,8 @@ import (
 // even on single-core machines.
 func withWorkers(t *testing.T, n int, fn func()) {
 	t.Helper()
-	old := parallel.MaxWorkers
-	parallel.MaxWorkers = n
-	defer func() { parallel.MaxWorkers = old }()
+	old := parallel.SetMaxWorkers(n)
+	defer parallel.SetMaxWorkers(old)
 	fn()
 }
 

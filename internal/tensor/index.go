@@ -25,38 +25,60 @@ func GatherRows(dst, src *Tensor, idx []int32) *Tensor {
 
 // ScatterAddRows accumulates src row i into dst[idx[i]]: the index-add
 // reduction onto destination vertices. dst rows are updated sequentially
-// per destination to stay deterministic; parallelism comes from sharding
-// the destination space so no two workers touch the same row.
+// per destination to stay deterministic; parallelism comes from a one-pass
+// binning of the index positions by destination shard (see Bins), so no
+// two workers touch the same row and nobody rescans the full edge list.
 func ScatterAddRows(dst, src *Tensor, idx []int32) {
 	rs := src.RowSize()
 	if dst.RowSize() != rs {
 		panic(fmt.Sprintf("tensor: ScatterAddRows row sizes %d vs %d", dst.RowSize(), rs))
 	}
 	n := dst.Rows()
-	workers := parallel.Workers(n, 1)
-	if workers <= 1 || len(idx) < 1024 {
-		for i, ix := range idx {
-			d := dst.data[int(ix)*rs : (int(ix)+1)*rs]
-			s := src.data[i*rs : (i+1)*rs]
-			for j, v := range s {
-				d[j] += v
-			}
-		}
+	shards := scatterShards(n, len(idx))
+	if shards <= 1 || len(idx) < 1024 {
+		scatterAddSeq(dst.data, src.data, idx, rs)
 		return
 	}
-	// Shard destination rows: worker w owns rows with row % workers == w.
-	parallel.For(workers, 1, func(w int) {
-		for i, ix := range idx {
-			if int(ix)%workers != w {
-				continue
-			}
-			d := dst.data[int(ix)*rs : (int(ix)+1)*rs]
-			s := src.data[i*rs : (i+1)*rs]
-			for j, v := range s {
+	bins := binsPool.Get().(*Bins)
+	BinRows(bins, idx, n, shards)
+	ScatterAddRowsBinned(dst, src, idx, bins)
+	binsPool.Put(bins)
+}
+
+// ScatterAddRowsBinned is ScatterAddRows with a caller-provided binning
+// of idx (built by BinRows over dst's rows). Callers whose index arrays
+// are stable across iterations — the full-graph training loop — build the
+// bins once and amortize the partition pass to zero.
+func ScatterAddRowsBinned(dst, src *Tensor, idx []int32, bins *Bins) {
+	rs := src.RowSize()
+	if dst.RowSize() != rs {
+		panic(fmt.Sprintf("tensor: ScatterAddRows row sizes %d vs %d", dst.RowSize(), rs))
+	}
+	if bins.Len() != len(idx) {
+		panic(fmt.Sprintf("tensor: bins cover %d positions, index has %d", bins.Len(), len(idx)))
+	}
+	parallel.For(bins.NumShards(), 1, func(s int) {
+		for _, i := range bins.Shard(s) {
+			ix := int(idx[i])
+			d := dst.data[ix*rs : (ix+1)*rs]
+			sr := src.data[int(i)*rs : (int(i)+1)*rs]
+			for j, v := range sr {
 				d[j] += v
 			}
 		}
 	})
+}
+
+// scatterAddSeq is the sequential reference scatter-add, also the small-
+// input fast path.
+func scatterAddSeq(dst, src []float32, idx []int32, rs int) {
+	for i, ix := range idx {
+		d := dst[int(ix)*rs : (int(ix)+1)*rs]
+		s := src[i*rs : (i+1)*rs]
+		for j, v := range s {
+			d[j] += v
+		}
+	}
 }
 
 // SegmentSum reduces contiguous segments of src (rows [offsets[s],
@@ -109,6 +131,9 @@ func Gather2D(dst, src *Tensor, ri, ci []int32) *Tensor {
 		panic(fmt.Sprintf("tensor: Gather2D index lengths %d vs %d", len(ri), len(ci)))
 	}
 	r, c := src.Dim(0), src.Dim(1)
+	if r == 0 || c == 0 {
+		panic(fmt.Sprintf("tensor: Gather2D source %v has an empty leading dimension", src.Shape()))
+	}
 	inner := src.Len() / (r * c)
 	if dst == nil {
 		dst = New(len(ri), inner)
@@ -121,12 +146,19 @@ func Gather2D(dst, src *Tensor, ri, ci []int32) *Tensor {
 }
 
 // Scatter2DAdd accumulates src row i into dst[ri[i], ci[i]]: the backward
-// of Gather2D. Sequential per (row,col) bucket via destination sharding.
+// of Gather2D. Sequential per (row,col) bucket; parallelism comes from a
+// one-pass binning of the flattened buckets by destination shard.
 func Scatter2DAdd(dst, src *Tensor, ri, ci []int32) {
 	r, c := dst.Dim(0), dst.Dim(1)
+	if r == 0 || c == 0 {
+		panic(fmt.Sprintf("tensor: Scatter2DAdd destination %v has an empty leading dimension", dst.Shape()))
+	}
+	if len(ri) != len(ci) {
+		panic(fmt.Sprintf("tensor: Scatter2DAdd index lengths %d vs %d", len(ri), len(ci)))
+	}
 	inner := dst.Len() / (r * c)
-	workers := parallel.Workers(r*c, 1)
-	if workers <= 1 || len(ri) < 1024 {
+	shards := scatterShards(r*c, len(ri))
+	if shards <= 1 || len(ri) < 1024 {
 		for i := range ri {
 			off := (int(ri[i])*c + int(ci[i])) * inner
 			s := src.data[i*inner : (i+1)*inner]
@@ -137,20 +169,25 @@ func Scatter2DAdd(dst, src *Tensor, ri, ci []int32) {
 		}
 		return
 	}
-	parallel.For(workers, 1, func(w int) {
-		for i := range ri {
-			bucket := int(ri[i])*c + int(ci[i])
-			if bucket%workers != w {
-				continue
-			}
-			off := bucket * inner
-			s := src.data[i*inner : (i+1)*inner]
+	// Flatten (row, col) into bucket ids, then bin as 1-D destinations.
+	buckets := getInt32(len(ri))
+	for i := range ri {
+		buckets[i] = ri[i]*int32(c) + ci[i]
+	}
+	bins := binsPool.Get().(*Bins)
+	BinRows(bins, buckets, r*c, shards)
+	parallel.For(bins.NumShards(), 1, func(s int) {
+		for _, i := range bins.Shard(s) {
+			off := int(buckets[i]) * inner
+			sr := src.data[int(i)*inner : (int(i)+1)*inner]
 			d := dst.data[off : off+inner]
-			for j, v := range s {
+			for j, v := range sr {
 				d[j] += v
 			}
 		}
 	})
+	binsPool.Put(bins)
+	putInt32(buckets)
 }
 
 // CountsToOffsets converts per-segment counts into an offsets array of

@@ -38,34 +38,70 @@ func MatMulAcc(dst, a, b *Tensor) *Tensor {
 	return dst
 }
 
+// matmulPanel is the number of B elements kept hot per K-panel in the
+// blocked path (≈256 KiB of float32, sized for a per-core L2 slice).
+const matmulPanel = 1 << 16
+
 // matmulInto computes c (+)= a×b with a [m,k], b [k,n], c [m,n] flat.
+//
+// When B exceeds the panel budget the K dimension is processed in
+// cache-blocked panels: each panel of B rows is swept across a block of
+// output rows before moving on, so B streams through cache once per row
+// block instead of once per output row. Blocking only re-orders the
+// (i, panel) iteration — within one output element the k-summation order
+// is unchanged, so results are bitwise identical to the unblocked loop.
 func matmulInto(c, a, b []float32, m, k, n int, zero bool) {
 	grain := 1
 	if m > 0 {
 		// target ~64k multiply-adds per task
 		grain = 1 + 65536/(k*n+1)
 	}
+	kc := 0 // K-panel height; 0 means unblocked
+	if k*n > matmulPanel && n > 0 {
+		kc = matmulPanel / n
+		if kc < 8 {
+			kc = 8
+		}
+		if grain < 16 {
+			grain = 16 // row blocks large enough to amortize panel sweeps
+		}
+	}
 	parallel.ForRange(m, grain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : (i+1)*n]
-			if zero {
-				for j := range ci {
-					ci[j] = 0
-				}
+		if kc == 0 || kc >= k {
+			for i := lo; i < hi; i++ {
+				mulAddRow(c[i*n:(i+1)*n], a[i*k:(i+1)*k], b, 0, k, n, zero)
 			}
-			ai := a[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
+			return
+		}
+		for p0 := 0; p0 < k; p0 += kc {
+			p1 := p0 + kc
+			if p1 > k {
+				p1 = k
+			}
+			for i := lo; i < hi; i++ {
+				mulAddRow(c[i*n:(i+1)*n], a[i*k:(i+1)*k], b, p0, p1, n, zero && p0 == 0)
 			}
 		}
 	})
+}
+
+// mulAddRow computes ci (+)= ai[p0:p1] × b[p0:p1, :] for one output row.
+func mulAddRow(ci, ai, b []float32, p0, p1, n int, zero bool) {
+	if zero {
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
+	for p := p0; p < p1; p++ {
+		av := ai[p]
+		if av == 0 {
+			continue
+		}
+		bp := b[p*n : (p+1)*n]
+		for j, bv := range bp {
+			ci[j] += av * bv
+		}
+	}
 }
 
 // MatMulTransB computes C = A × Bᵀ for A [M,K], B [N,K] into dst [M,N].

@@ -1,0 +1,223 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+// Property tests for the binned/blocked/pooled fast paths: each parallel
+// or buffer-reusing path must produce output bitwise identical to its
+// sequential reference, including under power-law (hub-skewed) index
+// distributions, because the paper's accuracy-parity claim (Figure 14)
+// assumes execution strategy never changes the numbers.
+
+// refScatterAdd is the trivially-correct sequential accumulation.
+func refScatterAdd(dst, src *Tensor, idx []int32) {
+	rs := src.RowSize()
+	for i, ix := range idx {
+		d := dst.Data()[int(ix)*rs : (int(ix)+1)*rs]
+		s := src.Data()[i*rs : (i+1)*rs]
+		for j, v := range s {
+			d[j] += v
+		}
+	}
+}
+
+func TestScatterAddRowsBinnedBitwiseEqualSeq(t *testing.T) {
+	rng := NewRNG(101)
+	for _, tc := range []struct{ rows, cols, nnz, shards int }{
+		{rows: 512, cols: 17, nnz: 5000, shards: 8},
+		{rows: 64, cols: 3, nnz: 2000, shards: 5},
+		{rows: 4096, cols: 32, nnz: 20000, shards: 16},
+	} {
+		idx := powerLawIdx(rng, tc.nnz, tc.rows)
+		src := Uniform(New(tc.nnz, tc.cols), rng, -1, 1)
+		want := New(tc.rows, tc.cols)
+		refScatterAdd(want, src, idx)
+		withWorkers(t, tc.shards, func() {
+			got := New(tc.rows, tc.cols)
+			bins := BinRows(nil, idx, tc.rows, tc.shards)
+			ScatterAddRowsBinned(got, src, idx, bins)
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("rows=%d: binned[%d]=%v, seq=%v", tc.rows, i, v, want.Data()[i])
+				}
+			}
+			// the dispatching entry point must agree too
+			got2 := New(tc.rows, tc.cols)
+			ScatterAddRows(got2, src, idx)
+			for i, v := range got2.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("rows=%d: auto[%d]=%v, seq=%v", tc.rows, i, v, want.Data()[i])
+				}
+			}
+		})
+	}
+}
+
+func TestScatter2DAddBitwiseEqualSeq(t *testing.T) {
+	rng := NewRNG(102)
+	const r, c, inner, nnz = 40, 30, 5, 4000
+	ri := powerLawIdx(rng, nnz, r)
+	ci := powerLawIdx(rng, nnz, c)
+	src := Uniform(New(nnz, inner), rng, -1, 1)
+	want := New(r, c, inner)
+	for i := 0; i < nnz; i++ {
+		off := (int(ri[i])*c + int(ci[i])) * inner
+		s := src.Data()[i*inner : (i+1)*inner]
+		d := want.Data()[off : off+inner]
+		for j, v := range s {
+			d[j] += v
+		}
+	}
+	withWorkers(t, 8, func() {
+		got := New(r, c, inner)
+		Scatter2DAdd(got, src, ri, ci)
+		for i, v := range got.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("binned[%d]=%v, seq=%v", i, v, want.Data()[i])
+			}
+		}
+	})
+}
+
+func TestBinRowsPartitionIsStable(t *testing.T) {
+	rng := NewRNG(103)
+	const rows, nnz, shards = 100, 3000, 7
+	idx := powerLawIdx(rng, nnz, rows)
+	bins := BinRows(nil, idx, rows, shards)
+	if bins.Len() != nnz {
+		t.Fatalf("bins cover %d positions, want %d", bins.Len(), nnz)
+	}
+	seen := make([]bool, nnz)
+	lastPos := make(map[int32]int32)
+	for s := 0; s < bins.NumShards(); s++ {
+		for _, p := range bins.Shard(s) {
+			if seen[p] {
+				t.Fatalf("position %d appears twice", p)
+			}
+			seen[p] = true
+			// Determinism hinges on stability: positions sharing a
+			// destination must appear in ascending (original) order.
+			if lp, ok := lastPos[idx[p]]; ok && p < lp {
+				t.Fatalf("destination %d: position %d after %d", idx[p], p, lp)
+			}
+			lastPos[idx[p]] = p
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			t.Fatalf("position %d missing from bins", p)
+		}
+	}
+}
+
+// TestMatMulBlockedBitwiseEqualNaive exercises the cache-blocked K-panel
+// path (k*n > matmulPanel) against a naive ascending-k accumulation, which
+// shares its per-element summation order.
+func TestMatMulBlockedBitwiseEqualNaive(t *testing.T) {
+	rng := NewRNG(104)
+	const m, k, n = 48, 300, 256 // k*n = 76800 > matmulPanel
+	if k*n <= matmulPanel {
+		t.Fatal("test sizes no longer trigger the blocked path")
+	}
+	a := Uniform(New(m, k), rng, -1, 1)
+	b := Uniform(New(k, n), rng, -1, 1)
+	want := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.At(i, p)
+			for j := 0; j < n; j++ {
+				want.Data()[i*n+j] += av * b.At(p, j)
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers, func() {
+			got := MatMul(nil, a, b)
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("workers=%d: blocked[%d]=%v, naive=%v", workers, i, v, want.Data()[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	a := Get(7, 9)
+	if a.Dim(0) != 7 || a.Dim(1) != 9 {
+		t.Fatalf("Get shape %v", a.Shape())
+	}
+	for i := range a.Data() {
+		a.Data()[i] = 42
+	}
+	Put(a)
+	if a.Data() != nil {
+		t.Fatal("Put must poison the tensor")
+	}
+	// a recycled tensor must come back zero-filled
+	b := Get(7, 9)
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("recycled Get not zeroed at %d: %v", i, v)
+		}
+	}
+	Put(b)
+	// zero-sized shapes bypass the pool but must still work
+	z := Get(0, 5)
+	if z.Len() != 0 {
+		t.Fatalf("zero Get length %d", z.Len())
+	}
+	Put(z)
+}
+
+func TestArenaReuseAndReset(t *testing.T) {
+	var ar Arena
+	a := ar.Get(3, 4)
+	b := ar.Get(8)
+	a.Data()[0] = 1
+	b.Data()[0] = 2
+	ar.Reset()
+	c := ar.Get(3, 4)
+	for i, v := range c.Data() {
+		if v != 0 {
+			t.Fatalf("arena reuse not zeroed at %d: %v", i, v)
+		}
+	}
+	if c != a {
+		t.Fatal("arena must recycle the Tensor struct for a same-bucket request")
+	}
+	// shape can change across Reset as long as the bucket fits
+	ar.Reset()
+	d := ar.Get(12) // 12 ≤ 16 = bucket of 3*4
+	if d.Len() != 12 {
+		t.Fatalf("arena reshaped length %d", d.Len())
+	}
+}
+
+func TestGather2DEmptySourcePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Gather2D on empty source must panic")
+		}
+		if !strings.Contains(r.(string), "empty leading dimension") {
+			t.Fatalf("unclear panic: %v", r)
+		}
+	}()
+	Gather2D(nil, New(0, 4), []int32{}, []int32{})
+}
+
+func TestScatter2DAddEmptyDestPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Scatter2DAdd on empty destination must panic")
+		}
+		if !strings.Contains(r.(string), "empty leading dimension") {
+			t.Fatalf("unclear panic: %v", r)
+		}
+	}()
+	Scatter2DAdd(New(4, 0), New(0, 1), []int32{}, []int32{})
+}

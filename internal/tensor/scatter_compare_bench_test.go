@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"wisegraph/internal/parallel"
+)
+
+// BenchmarkScatterCompare pits three scatter-add strategies against each
+// other in the same process (immune to machine-load drift between
+// sessions), at increasing worker counts:
+//
+//   - skipscan: the pre-binning algorithm — every worker rescans the full
+//     edge list and applies only entries whose destination falls in its
+//     range shard, O(workers·E) index reads. Its scan cost grows linearly
+//     with the worker count.
+//   - binned: ScatterAddRows as shipped — one stable counting-sort pass
+//     partitions positions by destination shard, then each shard applies
+//     its own positions, O(E + shards) total index work.
+//   - prebinned: the training-loop configuration — the binning is built
+//     once (cached on GraphCtx in real training, since index arrays are
+//     static per graph) and only the apply pass is timed.
+func BenchmarkScatterCompare(b *testing.B) {
+	rng := NewRNG(13)
+	const rows, cols, nnz = 4096, 256, 60000
+	src := Uniform(New(nnz, cols), rng, -1, 1)
+	idx := powerLawIdx(rng, nnz, rows)
+	dst := New(rows, cols)
+
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("skipscan-w%d", workers), func(b *testing.B) {
+			benchWorkers(b, workers)
+			shards := parallel.Workers(rows, 1)
+			rowsPer := (rows + shards - 1) / shards
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				dst.Zero()
+				parallel.For(shards, 1, func(s int) {
+					lo, hi := int32(s*rowsPer), int32((s+1)*rowsPer)
+					for i, ix := range idx {
+						if ix < lo || ix >= hi {
+							continue
+						}
+						d := dst.Data()[int(ix)*cols : (int(ix)+1)*cols]
+						sr := src.Data()[i*cols : (i+1)*cols]
+						for j, v := range sr {
+							d[j] += v
+						}
+					}
+				})
+			}
+		})
+		b.Run(fmt.Sprintf("binned-w%d", workers), func(b *testing.B) {
+			benchWorkers(b, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				dst.Zero()
+				ScatterAddRows(dst, src, idx)
+			}
+		})
+		b.Run(fmt.Sprintf("prebinned-w%d", workers), func(b *testing.B) {
+			benchWorkers(b, workers)
+			bins := BinRows(nil, idx, rows, scatterShards(rows, nnz))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				dst.Zero()
+				ScatterAddRowsBinned(dst, src, idx, bins)
+			}
+		})
+	}
+}

@@ -131,6 +131,7 @@ type Sampled struct {
 	csr    *graph.CSR
 	rng    *tensor.RNG
 	cursor int
+	mask   []int32 // reused seed-mask buffer
 }
 
 // NewSampled builds a sampled-graph trainer with the paper's 20-15-10
@@ -177,11 +178,11 @@ func (s *Sampled) Iteration() float64 {
 	gc := nn.NewGraphCtx(sub.Graph)
 	x := sub.GatherFeatures(s.DS.Features)
 	labels := sub.GatherLabels(s.DS.Labels)
-	mask := make([]int32, sub.NumSeeds)
-	for i := range mask {
-		mask[i] = int32(i)
+	s.mask = s.mask[:0]
+	for i := 0; i < sub.NumSeeds; i++ {
+		s.mask = append(s.mask, int32(i))
 	}
-	return s.Model.TrainStep(gc, x, labels, mask, s.Opt)
+	return s.Model.TrainStep(gc, x, labels, s.mask, s.Opt)
 }
 
 // TunePlans runs the joint search on a few sampled subgraphs and returns

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository health check: vet, build, and the full test suite under the
+# race detector. CI and pre-commit both run this; it must stay fast enough
+# to run on every change (a few minutes on one core).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "OK"
