@@ -21,21 +21,27 @@ import (
 	"time"
 
 	"wisegraph/internal/bench"
+	"wisegraph/internal/parallel"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		scale  = flag.Int("scale", 0, "dataset scale divisor override (0 = default)")
-		hidden = flag.Int("hidden", 0, "hidden dimension (0 = 64)")
-		layers = flag.Int("layers", 0, "model layers (0 = 3)")
-		epochs = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = 40)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		csvDir = flag.String("csv", "", "directory to write CSV results into")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Int("scale", 0, "dataset scale divisor override (0 = default)")
+		hidden  = flag.Int("hidden", 0, "hidden dimension (0 = 64)")
+		layers  = flag.Int("layers", 0, "model layers (0 = 3)")
+		epochs  = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = 40)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		csvDir  = flag.String("csv", "", "directory to write CSV results into")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		workers = flag.Int("workers", 0, "CPU worker cap for parallel phases (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetMaxWorkers(*workers)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"wisegraph/internal/graph"
 )
@@ -117,24 +118,13 @@ func (p *Partition) TaskOfEdge() []int32 {
 	return out
 }
 
-// PartitionGraph applies plan to g with the paper's greedy method: sort
-// edges by the restricted attributes (Min attributes first so similar
-// values cluster, then Exact attributes), scan in order, and close the
-// current gTask when adding the next edge would violate an Exact
-// restriction. statAttrs lists the attributes whose per-task unique counts
-// the caller needs (the model's indexing attributes plus any inherent
-// attributes the pattern analysis wants); restricted attributes are always
-// included.
-func PartitionGraph(g *graph.Graph, plan GraphPlan, statAttrs []Attr) *Partition {
-	e := g.NumEdges()
-	reader := NewAttrReader(g)
-
-	// Build the sort key: Min attrs first (so similar values cluster and
-	// the minimum-uniqueness preference holds), then Exact attrs ordered
-	// by ascending limit — tighter restrictions sort first so that, e.g.,
-	// uniq(src)=K & uniq(type)=1 groups globally by type and then batches
-	// sources within each type, instead of fragmenting at every type
-	// change.
+// sortKey builds a plan's edge sort key: Min attrs first (so similar
+// values cluster and the minimum-uniqueness preference holds), then Exact
+// attrs ordered by ascending limit — tighter restrictions sort first so
+// that, e.g., uniq(src)=K & uniq(type)=1 groups globally by type and then
+// batches sources within each type, instead of fragmenting at every type
+// change.
+func sortKey(plan GraphPlan) []Attr {
 	var key []Attr
 	for _, r := range plan.Restrictions {
 		if r.Kind == Min {
@@ -151,107 +141,32 @@ func PartitionGraph(g *graph.Graph, plan GraphPlan, statAttrs []Attr) *Partition
 	for _, r := range exact {
 		key = append(key, r.Attr)
 	}
+	return key
+}
 
-	order := make([]int32, e)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	if len(key) > 0 {
-		// Precompute key columns once; comparator over cached columns.
-		cols := make([][]int32, len(key))
-		for i, a := range key {
-			col := make([]int32, e)
-			for ei := 0; ei < e; ei++ {
-				col[ei] = reader.Value(a, ei)
-			}
-			cols[i] = col
-		}
-		sort.SliceStable(order, func(x, y int) bool {
-			a, b := order[x], order[y]
-			for _, col := range cols {
-				if col[a] != col[b] {
-					return col[a] < col[b]
-				}
-			}
-			return a < b
-		})
-	}
+// partitionerPool recycles Partitioners (and the scratch they retain)
+// across PartitionGraph calls, so repeated one-shot partitioning — the
+// joint search tries a dozen plans, sampled training partitions every
+// mini-batch — stops allocating sort columns and stamp arrays.
+var partitionerPool = sync.Pool{New: func() any { return NewPartitioner() }}
 
-	// Which attributes get per-task unique stats.
-	want := make([]bool, NumAttrs)
-	for _, a := range statAttrs {
-		want[a] = true
-	}
-	for _, r := range plan.Restrictions {
-		want[r.Attr] = true
-	}
-
-	p := &Partition{Plan: plan, Graph: g, Order: order}
-	type tracker struct {
-		attr  Attr
-		limit int // 0 ⇒ stats only, no closing
-		set   map[int32]struct{}
-	}
-	var tracks []*tracker
-	for a := Attr(0); a < NumAttrs; a++ {
-		if !want[a] {
-			continue
-		}
-		tr := &tracker{attr: a, set: make(map[int32]struct{})}
-		for _, r := range plan.Restrictions {
-			if r.Attr == a && r.Kind == Exact {
-				tr.limit = r.Limit
-			}
-		}
-		tracks = append(tracks, tr)
-	}
-
-	offsets := []int32{0}
-	closeTask := func(end int32) {
-		offsets = append(offsets, end)
-		for _, tr := range tracks {
-			if p.Uniq[tr.attr] == nil {
-				p.Uniq[tr.attr] = []int32{}
-			}
-			p.Uniq[tr.attr] = append(p.Uniq[tr.attr], int32(len(tr.set)))
-			clear(tr.set)
-		}
-	}
-
-	for pos := 0; pos < e; pos++ {
-		edge := int(order[pos])
-		// Would adding this edge violate any Exact restriction?
-		violates := false
-		for _, tr := range tracks {
-			if tr.limit == 0 {
-				continue
-			}
-			v := reader.Value(tr.attr, edge)
-			if _, ok := tr.set[v]; !ok && len(tr.set) >= tr.limit {
-				violates = true
-				break
-			}
-		}
-		if violates && pos > int(offsets[len(offsets)-1]) {
-			closeTask(int32(pos))
-		}
-		for _, tr := range tracks {
-			tr.set[reader.Value(tr.attr, edge)] = struct{}{}
-		}
-	}
-	if e > 0 {
-		closeTask(int32(e))
-	}
-	p.TaskOffsets = offsets
-	if e == 0 {
-		p.TaskOffsets = []int32{0}
-	}
-	// Ensure stat slices exist even for empty graphs.
-	for _, tr := range tracks {
-		if p.Uniq[tr.attr] == nil {
-			p.Uniq[tr.attr] = []int32{}
-		}
-	}
+// PartitionGraph applies plan to g with the paper's greedy method: sort
+// edges by the restricted attributes (Min attributes first so similar
+// values cluster, then Exact attributes), scan in order, and close the
+// current gTask when adding the next edge would violate an Exact
+// restriction. statAttrs lists the attributes whose per-task unique counts
+// the caller needs (the model's indexing attributes plus any inherent
+// attributes the pattern analysis wants); restricted attributes are always
+// included.
+//
+// The implementation is the multi-core linear-time engine in
+// partitioner.go (stable LSD radix sort, epoch-stamped unique trackers,
+// segmented scan with exact seam stitching); its output is byte-identical
+// to PartitionGraphReference for every plan and worker count.
+func PartitionGraph(g *graph.Graph, plan GraphPlan, statAttrs []Attr) *Partition {
+	pt := partitionerPool.Get().(*Partitioner)
+	p := pt.Partition(g, plan, statAttrs)
+	partitionerPool.Put(pt)
 	return p
 }
 

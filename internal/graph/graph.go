@@ -6,6 +6,10 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"wisegraph/internal/parallel"
+	"wisegraph/internal/tensor"
 )
 
 // Graph is a directed multigraph in COO form. Edges point src → dst;
@@ -20,6 +24,9 @@ type Graph struct {
 	Dst  []int32
 	Type []int32 // nil ⇒ all edges have type 0
 
+	// degMu guards the lazy degree caches: concurrent joint-search workers
+	// share one graph and may all trigger the first InDegrees call.
+	degMu  sync.Mutex
 	inDeg  []int32 // lazily built
 	outDeg []int32
 }
@@ -59,33 +66,80 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// InDegrees returns the per-vertex in-degree array (cached).
+// InDegrees returns the per-vertex in-degree array (cached). Safe for
+// concurrent callers: the first caller computes, later callers reuse.
 func (g *Graph) InDegrees() []int32 {
+	g.degMu.Lock()
+	defer g.degMu.Unlock()
 	if g.inDeg == nil {
-		d := make([]int32, g.NumVertices)
-		for _, v := range g.Dst {
-			d[v]++
-		}
-		g.inDeg = d
+		g.inDeg = countEndpoints(g.Dst, g.NumVertices)
 	}
 	return g.inDeg
 }
 
-// OutDegrees returns the per-vertex out-degree array (cached).
+// OutDegrees returns the per-vertex out-degree array (cached). Safe for
+// concurrent callers.
 func (g *Graph) OutDegrees() []int32 {
+	g.degMu.Lock()
+	defer g.degMu.Unlock()
 	if g.outDeg == nil {
-		d := make([]int32, g.NumVertices)
-		for _, v := range g.Src {
-			d[v]++
-		}
-		g.outDeg = d
+		g.outDeg = countEndpoints(g.Src, g.NumVertices)
 	}
 	return g.outDeg
 }
 
+// parallelThreshold is the edge count below which the preprocessing
+// passes stay sequential: segmented counting needs a per-worker count
+// array of V int32s, which only pays off on large graphs.
+const parallelThreshold = 1 << 15
+
+// countEndpoints histograms ids (all in [0, v)) into a fresh array. Large
+// inputs count per-worker segments into scratch arrays and merge; the
+// merge sums fixed per-segment slots, so the result is independent of the
+// worker count.
+func countEndpoints(ids []int32, v int) []int32 {
+	d := make([]int32, v)
+	segs := parallel.Workers(len(ids), parallelThreshold)
+	if len(ids) < parallelThreshold || segs <= 1 {
+		for _, x := range ids {
+			d[x]++
+		}
+		return d
+	}
+	locals := make([][]int32, segs)
+	per := (len(ids) + segs - 1) / segs
+	parallel.For(segs, 1, func(s int) {
+		lo := s * per
+		hi := lo + per
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		loc := tensor.GetI32(v)
+		for _, x := range ids[lo:hi] {
+			loc[x]++
+		}
+		locals[s] = loc
+	})
+	parallel.ForRange(v, 1<<14, func(lo, hi int) {
+		for _, loc := range locals {
+			for i := lo; i < hi; i++ {
+				d[i] += loc[i]
+			}
+		}
+	})
+	for _, loc := range locals {
+		tensor.PutI32(loc)
+	}
+	return d
+}
+
 // invalidateCaches drops degree caches after a structural mutation.
+// Mutating methods are not safe for use concurrent with readers (that
+// contract is unchanged); the lock only orders the cache swap itself.
 func (g *Graph) invalidateCaches() {
+	g.degMu.Lock()
 	g.inDeg, g.outDeg = nil, nil
+	g.degMu.Unlock()
 }
 
 // Clone returns a deep copy of the graph.
@@ -113,29 +167,96 @@ type CSR struct {
 }
 
 // BuildCSRByDst groups edges by destination via counting sort: O(V+E),
-// stable in original edge order within each destination.
+// stable in original edge order within each destination. Large graphs
+// run the count and scatter passes across workers on fixed edge
+// segments; per-(segment, destination) slot ranges are disjoint, so the
+// output is byte-identical to the sequential pass for any worker count.
 func (g *Graph) BuildCSRByDst() *CSR {
-	deg := g.InDegrees()
-	rowPtr := make([]int32, g.NumVertices+1)
-	for v, d := range deg {
-		rowPtr[v+1] = rowPtr[v] + d
-	}
-	col := make([]int32, len(g.Src))
-	eid := make([]int32, len(g.Src))
+	e := len(g.Src)
+	col := make([]int32, e)
+	eid := make([]int32, e)
 	var et []int32
 	if g.Type != nil {
-		et = make([]int32, len(g.Src))
+		et = make([]int32, e)
 	}
-	next := append([]int32(nil), rowPtr[:g.NumVertices]...)
-	for e := range g.Src {
-		d := g.Dst[e]
-		slot := next[d]
-		next[d]++
-		col[slot] = g.Src[e]
-		eid[slot] = int32(e)
-		if et != nil {
-			et[slot] = g.Type[e]
+	segs := parallel.Workers(e, parallelThreshold)
+	if e < parallelThreshold || segs <= 1 {
+		deg := g.InDegrees()
+		rowPtr := make([]int32, g.NumVertices+1)
+		for v, d := range deg {
+			rowPtr[v+1] = rowPtr[v] + d
 		}
+		next := append([]int32(nil), rowPtr[:g.NumVertices]...)
+		for i := range g.Src {
+			d := g.Dst[i]
+			slot := next[d]
+			next[d]++
+			col[slot] = g.Src[i]
+			eid[slot] = int32(i)
+			if et != nil {
+				et[slot] = g.Type[i]
+			}
+		}
+		return &CSR{RowPtr: rowPtr, Col: col, EType: et, EdgeID: eid}
+	}
+
+	v := g.NumVertices
+	per := (e + segs - 1) / segs
+	// Per-segment destination histograms.
+	counts := make([][]int32, segs)
+	parallel.For(segs, 1, func(s int) {
+		lo := s * per
+		hi := lo + per
+		if hi > e {
+			hi = e
+		}
+		loc := tensor.GetI32(v)
+		for _, d := range g.Dst[lo:hi] {
+			loc[d]++
+		}
+		counts[s] = loc
+	})
+	// Row pointers from the summed histograms, then per-segment start
+	// slots: segment s writes destination d at counts[s][d] (rewritten in
+	// place from count to cursor), giving original edge order within d.
+	rowPtr := make([]int32, v+1)
+	for d := 0; d < v; d++ {
+		total := int32(0)
+		for _, loc := range counts {
+			total += loc[d]
+		}
+		rowPtr[d+1] = rowPtr[d] + total
+	}
+	parallel.ForRange(v, 1<<14, func(dlo, dhi int) {
+		for d := dlo; d < dhi; d++ {
+			run := rowPtr[d]
+			for _, loc := range counts {
+				c := loc[d]
+				loc[d] = run
+				run += c
+			}
+		}
+	})
+	parallel.For(segs, 1, func(s int) {
+		lo := s * per
+		hi := lo + per
+		if hi > e {
+			hi = e
+		}
+		cur := counts[s]
+		for i := lo; i < hi; i++ {
+			d := g.Dst[i]
+			slot := cur[d]
+			cur[d]++
+			col[slot] = g.Src[i]
+			eid[slot] = int32(i)
+			if et != nil {
+				et[slot] = g.Type[i]
+			}
+		}
+	})
+	for _, loc := range counts {
+		tensor.PutI32(loc)
 	}
 	return &CSR{RowPtr: rowPtr, Col: col, EType: et, EdgeID: eid}
 }

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"wisegraph/internal/parallel"
+	"wisegraph/internal/tensor"
+)
+
+// randomGraph builds a typed random graph big enough to cross the
+// parallel-preprocessing threshold.
+func randomGraph(v, e int, seed uint64) *Graph {
+	rng := tensor.NewRNG(seed)
+	g := &Graph{NumVertices: v, NumTypes: 4}
+	g.Src = make([]int32, e)
+	g.Dst = make([]int32, e)
+	g.Type = make([]int32, e)
+	for i := 0; i < e; i++ {
+		g.Src[i] = int32(rng.Intn(v))
+		g.Dst[i] = int32(rng.Intn(v))
+		g.Type[i] = int32(rng.Intn(g.NumTypes))
+	}
+	return g
+}
+
+// TestDegreeCachesConcurrent is a race regression test: the lazy inDeg /
+// outDeg caches used to be filled without synchronization, so concurrent
+// joint-search workers sharing one graph raced on first access. Run with
+// -race (scripts/check.sh does).
+func TestDegreeCachesConcurrent(t *testing.T) {
+	g := randomGraph(500, 5000, 1)
+	var wg sync.WaitGroup
+	results := make([][]int32, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				results[i] = g.InDegrees()
+			} else {
+				results[i] = g.OutDegrees()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < len(results); i += 2 {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatal("concurrent InDegrees calls disagreed")
+		}
+	}
+	for i := 3; i < len(results); i += 2 {
+		if !reflect.DeepEqual(results[i], results[1]) {
+			t.Fatal("concurrent OutDegrees calls disagreed")
+		}
+	}
+}
+
+// TestPreprocessParityAcrossWorkers checks that the parallel degree-count
+// and CSR-build paths produce byte-identical results for any worker
+// count (including the sequential path at 1 worker).
+func TestPreprocessParityAcrossWorkers(t *testing.T) {
+	defer parallel.SetMaxWorkers(parallel.MaxWorkers())
+	// 70000 edges crosses parallelThreshold (1<<15) with several segments.
+	for _, gr := range []*Graph{
+		randomGraph(2000, 70000, 2),
+		randomGraph(50, 40000, 3), // heavy collision load per vertex
+		{NumVertices: 3, NumTypes: 1, Src: []int32{0, 1}, Dst: []int32{2, 2}},
+	} {
+		parallel.SetMaxWorkers(1)
+		wantIn := append([]int32(nil), gr.InDegrees()...)
+		wantOut := append([]int32(nil), gr.OutDegrees()...)
+		wantCSR := gr.BuildCSRByDst()
+		for _, w := range []int{2, 3, 8} {
+			parallel.SetMaxWorkers(w)
+			gr.invalidateCaches()
+			if !reflect.DeepEqual(gr.InDegrees(), wantIn) {
+				t.Fatalf("workers=%d: InDegrees diverged", w)
+			}
+			if !reflect.DeepEqual(gr.OutDegrees(), wantOut) {
+				t.Fatalf("workers=%d: OutDegrees diverged", w)
+			}
+			csr := gr.BuildCSRByDst()
+			if !reflect.DeepEqual(csr.RowPtr, wantCSR.RowPtr) ||
+				!reflect.DeepEqual(csr.Col, wantCSR.Col) ||
+				!reflect.DeepEqual(csr.EType, wantCSR.EType) ||
+				!reflect.DeepEqual(csr.EdgeID, wantCSR.EdgeID) {
+				t.Fatalf("workers=%d: CSR diverged", w)
+			}
+		}
+	}
+}

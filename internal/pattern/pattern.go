@@ -10,6 +10,7 @@ import (
 
 	"wisegraph/internal/core"
 	"wisegraph/internal/dfg"
+	"wisegraph/internal/parallel"
 )
 
 // TaskPattern summarizes one gTask.
@@ -69,9 +70,13 @@ func Analyze(p *core.Partition, attrs []core.Attr) PlanPattern {
 		return pp
 	}
 	lens := make([]int, n)
-	for ti := 0; ti < n; ti++ {
-		lens[ti] = p.TaskLen(ti)
-		pp.TotalEdges += lens[ti]
+	parallel.ForRange(n, 1<<14, func(lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			lens[ti] = p.TaskLen(ti)
+		}
+	})
+	for _, l := range lens {
+		pp.TotalEdges += l
 	}
 	pp.MedianEdges = median(lens)
 	pp.MinEdges, pp.MaxEdges = lens[0], lens[0]
@@ -83,7 +88,12 @@ func Analyze(p *core.Partition, attrs []core.Attr) PlanPattern {
 			pp.MaxEdges = l
 		}
 	}
-	for _, a := range attrs {
+	// Attributes are independent; compute each one's median/dup-fraction
+	// on its own worker, then fill the maps sequentially.
+	medians := make([]int, len(attrs))
+	dupFracs := make([]float64, len(attrs))
+	parallel.For(len(attrs), 1, func(i int) {
+		a := attrs[i]
 		us := make([]int, n)
 		dup := 0
 		for ti := 0; ti < n; ti++ {
@@ -93,8 +103,12 @@ func Analyze(p *core.Partition, attrs []core.Attr) PlanPattern {
 				dup++
 			}
 		}
-		pp.MedianUniq[a] = median(us)
-		pp.DupFraction[a] = float64(dup) / float64(n)
+		medians[i] = median(us)
+		dupFracs[i] = float64(dup) / float64(n)
+	})
+	for i, a := range attrs {
+		pp.MedianUniq[a] = medians[i]
+		pp.DupFraction[a] = dupFracs[i]
 	}
 	return pp
 }

@@ -151,6 +151,46 @@ func (a *Arena) Reset() {
 	a.used = a.used[:0]
 }
 
+// i32BucketPool recycles []int32 scratch with the same power-of-two bucketing
+// as the float32 storage pool. The graph partitioner is the main client:
+// radix-sort columns, histograms and stamp arrays are all int32 and are
+// reallocated per PartitionGraph call without it.
+var i32BucketPool [poolBuckets]sync.Pool
+
+// GetI32 returns a zero-filled []int32 of length n with power-of-two
+// capacity, reusing recycled storage when available. Pair with PutI32.
+func GetI32(n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	b := bucketFor(n)
+	if b >= poolBuckets {
+		return make([]int32, n)
+	}
+	if p, ok := i32BucketPool[b].Get().(*[]int32); ok {
+		d := (*p)[:n]
+		for i := range d {
+			d[i] = 0
+		}
+		return d
+	}
+	return make([]int32, n, 1<<b)
+}
+
+// PutI32 recycles s into the pool. The caller must not use s afterwards.
+func PutI32(s []int32) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 { // only pow2 capacities are bucket-addressable
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if b >= poolBuckets {
+		return
+	}
+	d := s[:0]
+	i32BucketPool[b].Put(&d)
+}
+
 // float32Pool recycles small scratch slices (softmax probabilities etc.).
 var float32Pool = sync.Pool{New: func() any { s := make([]float32, 0, 256); return &s }}
 

@@ -1,0 +1,38 @@
+package tensor
+
+import "testing"
+
+func TestGetI32ZeroFilledAndRecycled(t *testing.T) {
+	s := GetI32(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("len=%d cap=%d, want 100/128", len(s), cap(s))
+	}
+	for i := range s {
+		s[i] = int32(i + 1)
+	}
+	PutI32(s)
+	r := GetI32(70)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("recycled slice not zeroed at %d: %d", i, v)
+		}
+	}
+	PutI32(r)
+}
+
+func TestGetI32Empty(t *testing.T) {
+	if s := GetI32(0); s != nil {
+		t.Fatalf("GetI32(0) = %v, want nil", s)
+	}
+	PutI32(nil) // must not panic
+}
+
+func TestPutI32NonPow2Ignored(t *testing.T) {
+	s := make([]int32, 100) // cap 100, not a power of two
+	PutI32(s)               // silently dropped, must not corrupt the pool
+	r := GetI32(100)
+	if cap(r) != 128 {
+		t.Fatalf("cap=%d, want 128", cap(r))
+	}
+	PutI32(r)
+}

@@ -47,13 +47,21 @@ func NewPipeline(s *Sampled, plan *joint.Result, workers, depth int) *Pipeline {
 		batches: make(chan *PreparedBatch, depth),
 		stop:    make(chan struct{}),
 	}
+	if len(s.DS.TrainMask) == 0 {
+		// No training vertices to sample seeds from: return a closed,
+		// empty pipeline instead of letting workers divide by zero.
+		p.Close()
+		return p
+	}
 	csr := s.DS.Graph.BuildCSRByDst()
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func(w int) {
 			defer p.wg.Done()
 			rng := tensor.NewRNG(uint64(w)*0x9e3779b97f4a7c15 + 0x51)
-			cursor := w * s.BatchSize % maxI(len(s.DS.TrainMask), 1)
+			pt := core.NewPartitioner()
+			defer pt.Release()
+			cursor := w * s.BatchSize % len(s.DS.TrainMask)
 			for {
 				seeds := make([]int32, 0, s.BatchSize)
 				for len(seeds) < s.BatchSize {
@@ -61,7 +69,7 @@ func NewPipeline(s *Sampled, plan *joint.Result, workers, depth int) *Pipeline {
 					cursor = (cursor + workers) % len(s.DS.TrainMask)
 				}
 				sub := graph.NeighborSample(s.DS.Graph, csr, seeds, s.Fanouts, rng)
-				part := ReusePlan(plan, sub.Graph)
+				part := ReusePlanWith(pt, plan, sub.Graph)
 				mask := make([]int32, sub.NumSeeds)
 				for i := range mask {
 					mask[i] = int32(i)
@@ -131,11 +139,4 @@ func (s *Sampled) TrainPipelined(plan *joint.Result, workers, iters int) []float
 		losses = append(losses, s.Model.TrainStep(gc, b.X, b.Labels, b.Mask, s.Opt))
 	}
 	return losses
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,26 @@
+package train
+
+import (
+	"testing"
+
+	"wisegraph/internal/device"
+)
+
+// TestPipelineEmptyTrainMask is a regression test: NewPipeline used to
+// divide by len(TrainMask) in its seed-striding workers, panicking on
+// datasets with no training vertices. It must instead return an empty,
+// already-closed pipeline.
+func TestPipelineEmptyTrainMask(t *testing.T) {
+	s, _ := pipelineSetup(t)
+	plan := s.TunePlans(device.A100(), 1)
+	s.DS.TrainMask = nil
+	p := NewPipeline(s, plan, 2, 4)
+	defer p.Close()
+	if b := p.Next(); b != nil {
+		t.Fatalf("empty pipeline produced a batch: %+v", b)
+	}
+	p.Close() // second Close must be a no-op
+	if b := p.Next(); b != nil {
+		t.Fatal("closed pipeline produced a batch")
+	}
+}

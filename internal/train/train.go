@@ -208,6 +208,14 @@ func ReusePlan(res *joint.Result, g *graph.Graph) *core.Partition {
 	return core.PartitionGraph(g, res.GraphPlan, searchAttrs)
 }
 
+// ReusePlanWith is ReusePlan through a caller-owned Partitioner: pipeline
+// workers hold one each, so steady-state per-batch partitioning reuses
+// the worker's sort columns and stamp arrays instead of competing over
+// the shared pool.
+func ReusePlanWith(pt *core.Partitioner, res *joint.Result, g *graph.Graph) *core.Partition {
+	return pt.Partition(g, res.GraphPlan, searchAttrs)
+}
+
 // OverlapModel prices the asynchronous CPU pipeline of Figure 21(b):
 // per-epoch sampling and partitioning cost divided across CPU threads,
 // compared to the epoch compute time they must hide under.

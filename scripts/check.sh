@@ -14,4 +14,18 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The parallel execution substrate (radix/stamped partitioner, segmented
+# scans, concurrent joint search) must be byte-identical to the sequential
+# reference at every pool width. Re-run the parity and determinism suites
+# under the race detector at both scheduler extremes.
+NPROC="$(getconf _NPROCESSORS_ONLN)"
+PARITY='Parity|Determin|Reuse|Concurrent'
+echo "== parity/determinism under -race (GOMAXPROCS=1)"
+GOMAXPROCS=1 go test -race -count=1 -run "$PARITY" \
+  ./internal/core/ ./internal/graph/ ./internal/joint/
+
+echo "== parity/determinism under -race (GOMAXPROCS=$NPROC)"
+GOMAXPROCS="$NPROC" go test -race -count=1 -run "$PARITY" \
+  ./internal/core/ ./internal/graph/ ./internal/joint/
+
 echo "OK"
