@@ -1,0 +1,74 @@
+// Command wgserve-bench drives a running wisegraph-serve instance with
+// closed-loop load and reports the throughput–latency outcome: each
+// virtual client issues the next /predict as soon as the previous one
+// answers, so offered load scales with -clients until the server's
+// admission queue starts shedding.
+//
+// Usage:
+//
+//	wisegraph-serve -dataset AR -checkpoint model.ckpt -addr :8080 &
+//	wgserve-bench -url http://127.0.0.1:8080 -clients 32 -duration 10s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"wisegraph/internal/serve"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "server base URL")
+		clients  = flag.Int("clients", 16, "closed-loop clients")
+		nodes    = flag.Int("nodes", 1, "node ids per request")
+		maxNode  = flag.Int("max-node", 0, "exclusive node-id bound (default: vertices from /healthz)")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		seed     = flag.Uint64("seed", 1, "client RNG seed")
+		zipf     = flag.Float64("zipf", 0, "node popularity skew: P(node r) ∝ 1/(r+1)^zipf (0 = uniform)")
+	)
+	flag.Parse()
+
+	if *maxNode <= 0 {
+		h, err := health(*url)
+		if err != nil {
+			fatal(fmt.Errorf("fetching /healthz (pass -max-node to skip): %w", err))
+		}
+		if h.Status != "ok" {
+			fatal(fmt.Errorf("server status %q", h.Status))
+		}
+		*maxNode = h.Vertices
+		fmt.Printf("server: model=%s vertices=%d classes=%d\n", h.Model, h.Vertices, h.Classes)
+	}
+
+	rep := serve.RunClosedLoopHTTP(*url, *maxNode, serve.LoadOptions{
+		Clients: *clients, NodesPerReq: *nodes, Duration: *duration,
+		Seed: *seed, Zipf: *zipf,
+	})
+	fmt.Println(rep)
+	if rep.Completed == 0 {
+		fatal(fmt.Errorf("no requests completed"))
+	}
+}
+
+func health(base string) (*serve.HealthResponse, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

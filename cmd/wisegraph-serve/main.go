@@ -1,0 +1,233 @@
+// Command wisegraph-serve answers online node-classification queries over
+// HTTP: it reconstructs the dataset replica, loads a trained checkpoint
+// (format v2 checkpoints carry their own model config), tunes the joint
+// execution plan once, and serves /predict with dynamic micro-batching,
+// admission control and serving metrics.
+//
+// Usage:
+//
+//	wisegraph-train -dataset AR -epochs 30 -save-checkpoint model.ckpt
+//	wisegraph-serve -dataset AR -checkpoint model.ckpt -addr :8080
+//	curl -s localhost:8080/predict -d '{"nodes":[0,1,2]}'
+//	curl -s localhost:8080/statsz
+//
+// The dataset flags must match the ones used at training time so vertex
+// ids and features line up with the checkpoint.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"wisegraph"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/serve"
+)
+
+func main() {
+	var (
+		dsName     = flag.String("dataset", "AR", "dataset name (must match training)")
+		scale      = flag.Int("scale", 0, "dataset scale divisor override (must match training)")
+		seed       = flag.Uint64("seed", 1, "dataset seed (must match training)")
+		noise      = flag.Float64("noise", 0.8, "feature noise (must match training)")
+		checkpoint = flag.String("checkpoint", "", "model checkpoint to serve (v2 embeds the config; v1 needs -model/-hidden/-layers)")
+		model      = flag.String("model", "SAGE", "model kind for v1 checkpoints or untrained serving")
+		hidden     = flag.Int("hidden", 64, "hidden dim for v1 checkpoints or untrained serving")
+		layers     = flag.Int("layers", 3, "layer count for v1 checkpoints or untrained serving")
+		planPath   = flag.String("plan", "", "pre-tuned execution plan JSON (default: one-shot tune at startup)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers    = flag.Int("workers", 2, "forward-pass workers")
+		batchCap   = flag.Int("batch-cap", 16, "max requests per micro-batch")
+		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "micro-batch fill deadline")
+		queueDepth = flag.Int("queue-depth", 0, "admission queue depth (default 4x batch cap)")
+		deadline   = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+		fanout     = flag.String("fanout", "", "sampling fan-outs, comma-separated (default 10 per layer)")
+		drainWait  = flag.Duration("drain-timeout", 15*time.Second, "graceful drain budget on shutdown")
+		loadGen    = flag.Int("loadgen", 0, "skip HTTP: drive the engine in-process with N closed-loop clients, report, exit")
+		loadDur    = flag.Duration("loadgen-duration", 5*time.Second, "in-process load duration")
+		loadNodes  = flag.Int("loadgen-nodes", 1, "node ids per in-process load request")
+		loadZipf   = flag.Float64("loadgen-zipf", 0, "node popularity skew for in-process load (0 = uniform)")
+	)
+	flag.Parse()
+
+	ds, err := wisegraph.LoadDataset(*dsName, wisegraph.DatasetOptions{
+		Scale: *scale, Seed: *seed, Homophily: 0.85, FeatureNoise: *noise,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %v (scale 1/%d), %d classes, dim %d\n",
+		*dsName, ds.Graph, ds.Scale, ds.Classes(), ds.Dim())
+
+	m, err := loadModel(ds, *checkpoint, *model, *hidden, *layers, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model %v: %d-%d-%d x%d layers, %d params\n",
+		m.Cfg.Kind, m.Cfg.InDim, m.Cfg.Hidden, m.Cfg.OutDim, m.Cfg.Layers, m.NumParams())
+
+	opts := serve.Options{
+		Workers:    *workers,
+		BatchCap:   *batchCap,
+		BatchDelay: *batchDelay,
+		QueueDepth: *queueDepth,
+		Deadline:   *deadline,
+		Seed:       *seed,
+	}
+	if *fanout != "" {
+		opts.Fanouts, err = parseFanouts(*fanout)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *planPath != "" {
+		data, err := os.ReadFile(*planPath)
+		if err != nil {
+			fatal(err)
+		}
+		kind, gp, op, diff, err := joint.UnmarshalPlan(data)
+		if err != nil {
+			fatal(err)
+		}
+		if kind != m.Cfg.Kind {
+			fatal(fmt.Errorf("plan %s is for %v, model is %v", *planPath, kind, m.Cfg.Kind))
+		}
+		opts.Plan = &joint.Result{Kind: kind, GraphPlan: gp, OpPlan: op, Differentiated: diff}
+		fmt.Printf("loaded plan %s: %v + %v\n", *planPath, gp, op)
+	}
+
+	engine, err := serve.NewEngine(ds, m, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *planPath == "" {
+		fmt.Printf("tuned plan: %v + %v (frozen, reused across requests)\n",
+			engine.Plan().GraphPlan, engine.Plan().OpPlan)
+	}
+
+	if *loadGen > 0 {
+		// Engine-level load: measures micro-batching capacity without the
+		// per-request HTTP cost (which dominates on small hosts).
+		rep := serve.RunClosedLoop(engine, serve.LoadOptions{
+			Clients: *loadGen, NodesPerReq: *loadNodes, Duration: *loadDur,
+			Seed: *seed, Zipf: *loadZipf,
+		})
+		fmt.Println(rep)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := engine.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		st := engine.Stats()
+		fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms\n",
+			engine.InFlight(), st.Completed, st.Shed, st.Batches, st.AvgBatchSize,
+			st.LatencyP50Ms, st.LatencyP99Ms)
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: serve.NewHandler(engine)}
+	fmt.Printf("wisegraph-serve listening on http://%s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("signal %v: draining...\n", s)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := engine.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "engine drain: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "http drain: %v\n", err)
+	}
+	st := engine.Stats()
+	fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms\n",
+		engine.InFlight(), st.Completed, st.Shed, st.Batches, st.AvgBatchSize,
+		st.LatencyP50Ms, st.LatencyP99Ms)
+}
+
+// loadModel builds the model to serve: from a v2 checkpoint alone, from a
+// v1 checkpoint plus architecture flags, or (no checkpoint) freshly
+// initialized weights — useful for smoke tests and load rigs.
+func loadModel(ds *wisegraph.Dataset, path, kindName string, hidden, layers int, seed uint64) (*nn.Model, error) {
+	if path == "" {
+		kind, err := wisegraph.ParseModel(kindName)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("warning: no -checkpoint given; serving untrained weights")
+		return nn.NewModel(nn.Config{
+			Kind: kind, InDim: ds.Dim(), Hidden: hidden, OutDim: ds.Classes(),
+			Layers: layers, NumTypes: ds.Graph.NumTypes, Seed: seed,
+		})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if m, err := nn.LoadModelFromCheckpoint(f); err == nil {
+		fmt.Printf("restored v2 checkpoint %s\n", path)
+		return m, nil
+	}
+	// v1 fallback: architecture from flags.
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	kind, err := wisegraph.ParseModel(kindName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := nn.NewModel(nn.Config{
+		Kind: kind, InDim: ds.Dim(), Hidden: hidden, OutDim: ds.Classes(),
+		Layers: layers, NumTypes: ds.Graph.NumTypes, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadCheckpoint(f); err != nil {
+		return nil, fmt.Errorf("loading %s (tried v2 and v1+flags): %w", path, err)
+	}
+	fmt.Printf("restored v1 checkpoint %s (architecture from flags)\n", path)
+	return m, nil
+}
+
+func parseFanouts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad fanout %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -34,12 +34,20 @@ func main() {
 		batch     = flag.Int("batch", 256, "mini-batch seed count")
 		noise     = flag.Float64("noise", 0.8, "feature noise (lower = easier task)")
 		savePlan  = flag.String("save-plan", "", "write the tuned execution plan as JSON (implies -tune)")
-		saveModel = flag.String("save-model", "", "write a parameter checkpoint after training")
-		loadModel = flag.String("load-model", "", "restore a parameter checkpoint before training")
+		saveCkpt  = flag.String("save-checkpoint", "", "write a model checkpoint after training (v2: embeds the model config, consumable by wisegraph-serve)")
+		loadCkpt  = flag.String("load-checkpoint", "", "restore a model checkpoint before training")
+		saveModel = flag.String("save-model", "", "alias for -save-checkpoint")
+		loadModel = flag.String("load-model", "", "alias for -load-checkpoint")
 	)
 	flag.Parse()
 	if *savePlan != "" {
 		*tune = true
+	}
+	if *saveCkpt == "" {
+		*saveCkpt = *saveModel
+	}
+	if *loadCkpt == "" {
+		*loadCkpt = *loadModel
 	}
 
 	kind, err := wisegraph.ParseModel(*model)
@@ -66,6 +74,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *loadCkpt != "" {
+			restoreCheckpoint(tr.Model, *loadCkpt)
+		}
 		for ep := 0; ep < *epochs; ep++ {
 			loss := tr.Iteration()
 			fmt.Printf("iter %3d  loss %.4f\n", ep, loss)
@@ -74,6 +85,9 @@ func main() {
 			res := tr.TunePlans(wisegraph.A100(), 2)
 			fmt.Printf("tuned plan: %v + %v (reused across subgraphs)\n", res.GraphPlan, res.OpPlan)
 		}
+		if *saveCkpt != "" {
+			writeCheckpoint(tr.Model, *saveCkpt)
+		}
 		return
 	}
 
@@ -81,16 +95,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *loadModel != "" {
-		f, err := os.Open(*loadModel)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tr.Model.LoadCheckpoint(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
-		fmt.Printf("restored checkpoint %s\n", *loadModel)
+	if *loadCkpt != "" {
+		restoreCheckpoint(tr.Model, *loadCkpt)
 	}
 	if *tune {
 		res := tr.Tune(wisegraph.A100())
@@ -117,16 +123,8 @@ func main() {
 	if m, err := tr.Metrics(ds.TestMask); err == nil {
 		fmt.Printf("test metrics: %v\n", m)
 	}
-	if *saveModel != "" {
-		f, err := os.Create(*saveModel)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tr.Model.SaveCheckpoint(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
-		fmt.Printf("wrote checkpoint %s\n", *saveModel)
+	if *saveCkpt != "" {
+		writeCheckpoint(tr.Model, *saveCkpt)
 	}
 	if *tune {
 		res := tr.Tune(wisegraph.A100())
@@ -136,6 +134,34 @@ func main() {
 		}
 		fmt.Printf("gTask-execution test accuracy: %.3f (parity check)\n", acc)
 	}
+}
+
+// writeCheckpoint saves a v2 checkpoint (config embedded, so
+// wisegraph-serve can reconstruct the model from the file alone).
+func writeCheckpoint(m *wisegraph.Model, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.SaveCheckpoint(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote checkpoint %s\n", path)
+}
+
+func restoreCheckpoint(m *wisegraph.Model, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.LoadCheckpoint(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	fmt.Printf("restored checkpoint %s\n", path)
 }
 
 func parseFanouts(s string) ([]int, error) {

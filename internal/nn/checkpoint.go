@@ -7,21 +7,42 @@ import (
 	"math"
 )
 
-// checkpoint format: magic, version, param count, then per parameter:
-// name length+bytes, dim count, dims, float32 payload (little endian).
+// checkpoint format: magic, version, then (v2) the model Config, then the
+// parameter count and per parameter: name length+bytes, dim count, dims,
+// float32 payload (all little endian).
+//
+// v1 checkpoints carry no Config: the loader needs an out-of-band model
+// of the right architecture. v2 embeds the Config in the header so a
+// server can reconstruct the model from the artifact alone
+// (LoadModelFromCheckpoint); v1 files remain readable by LoadCheckpoint.
 const (
-	ckptMagic   = 0x57534721 // "WSG!"
-	ckptVersion = 1
+	ckptMagic     = 0x57534721 // "WSG!"
+	ckptVersionV1 = 1
+	ckptVersion   = 2
+	ckptMaxName   = 1024
+	ckptMaxDims   = 8
+	ckptMaxDim    = 1 << 28
+	ckptMaxParams = 1 << 20
+	ckptMaxLayers = 1024
+	ckptMaxTypes  = 1 << 20
+	ckptMaxHeads  = 1024
 )
 
-// SaveCheckpoint writes every parameter value to w in a compact binary
-// format. Optimizer state is not saved (checkpoints are for inference and
-// warm starts, matching common GNN-framework practice).
+// SaveCheckpoint writes the model Config and every parameter value to w in
+// a compact binary format (format v2). Optimizer state is not saved
+// (checkpoints are for inference and warm starts, matching common
+// GNN-framework practice).
 func (m *Model) SaveCheckpoint(w io.Writer) error {
 	params := m.Params()
-	hdr := []uint32{ckptMagic, ckptVersion, uint32(len(params))}
+	hdr := []uint32{ckptMagic, ckptVersion}
 	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 		return fmt.Errorf("nn: writing checkpoint header: %w", err)
+	}
+	if err := writeConfig(w, m.Cfg); err != nil {
+		return fmt.Errorf("nn: writing checkpoint config: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
 	}
 	for _, p := range params {
 		name := []byte(p.Name)
@@ -47,30 +68,170 @@ func (m *Model) SaveCheckpoint(w io.Writer) error {
 	return nil
 }
 
-// LoadCheckpoint restores parameter values from r. The model must have
-// the same architecture (parameter order, names and shapes) as the one
-// that saved the checkpoint.
-func (m *Model) LoadCheckpoint(r io.Reader) error {
-	var hdr [3]uint32
+// writeConfig serializes the model Config as fixed-width fields.
+func writeConfig(w io.Writer, cfg Config) error {
+	fields := []uint32{
+		uint32(cfg.Kind), uint32(cfg.InDim), uint32(cfg.Hidden),
+		uint32(cfg.OutDim), uint32(cfg.Layers), uint32(cfg.Heads),
+		uint32(cfg.NumTypes),
+	}
+	if err := binary.Write(w, binary.LittleEndian, fields); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, math.Float64bits(cfg.Dropout)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, cfg.Seed)
+}
+
+// readConfig deserializes and sanity-checks a v2 Config block. The bounds
+// reject corrupt headers before they turn into huge allocations.
+func readConfig(r io.Reader) (Config, error) {
+	var fields [7]uint32
+	if err := binary.Read(r, binary.LittleEndian, &fields); err != nil {
+		return Config{}, fmt.Errorf("nn: reading checkpoint config: %w", err)
+	}
+	var dropBits uint64
+	if err := binary.Read(r, binary.LittleEndian, &dropBits); err != nil {
+		return Config{}, fmt.Errorf("nn: reading checkpoint config: %w", err)
+	}
+	var seed uint64
+	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
+		return Config{}, fmt.Errorf("nn: reading checkpoint config: %w", err)
+	}
+	cfg := Config{
+		Kind:     ModelKind(fields[0]),
+		InDim:    int(fields[1]),
+		Hidden:   int(fields[2]),
+		OutDim:   int(fields[3]),
+		Layers:   int(fields[4]),
+		Heads:    int(fields[5]),
+		NumTypes: int(fields[6]),
+		Dropout:  math.Float64frombits(dropBits),
+		Seed:     seed,
+	}
+	switch {
+	case cfg.Kind < 0 || cfg.Kind >= NumModels:
+		return Config{}, fmt.Errorf("nn: checkpoint config: unknown model kind %d (corrupt)", fields[0])
+	case cfg.InDim < 1 || cfg.InDim > ckptMaxDim,
+		cfg.Hidden < 1 || cfg.Hidden > ckptMaxDim,
+		cfg.OutDim < 1 || cfg.OutDim > ckptMaxDim:
+		return Config{}, fmt.Errorf("nn: checkpoint config: absurd dims %d/%d/%d (corrupt)", cfg.InDim, cfg.Hidden, cfg.OutDim)
+	case cfg.Layers < 1 || cfg.Layers > ckptMaxLayers:
+		return Config{}, fmt.Errorf("nn: checkpoint config: absurd layer count %d (corrupt)", cfg.Layers)
+	case cfg.Heads < 0 || cfg.Heads > ckptMaxHeads:
+		return Config{}, fmt.Errorf("nn: checkpoint config: absurd head count %d (corrupt)", cfg.Heads)
+	case cfg.NumTypes < 0 || cfg.NumTypes > ckptMaxTypes:
+		return Config{}, fmt.Errorf("nn: checkpoint config: absurd type count %d (corrupt)", cfg.NumTypes)
+	case math.IsNaN(cfg.Dropout) || cfg.Dropout < 0 || cfg.Dropout >= 1:
+		return Config{}, fmt.Errorf("nn: checkpoint config: dropout %v out of [0,1) (corrupt)", cfg.Dropout)
+	}
+	return cfg, nil
+}
+
+// readHeader consumes magic+version and, for v2, the Config block. ok
+// reports whether a config was present (v2).
+func readHeader(r io.Reader) (cfg Config, version uint32, ok bool, err error) {
+	var hdr [2]uint32
 	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
-		return fmt.Errorf("nn: reading checkpoint header: %w", err)
+		return Config{}, 0, false, fmt.Errorf("nn: reading checkpoint header: %w", err)
 	}
 	if hdr[0] != ckptMagic {
-		return fmt.Errorf("nn: not a checkpoint (magic %#x)", hdr[0])
+		return Config{}, 0, false, fmt.Errorf("nn: not a checkpoint (magic %#x)", hdr[0])
 	}
-	if hdr[1] != ckptVersion {
-		return fmt.Errorf("nn: unsupported checkpoint version %d", hdr[1])
+	switch hdr[1] {
+	case ckptVersionV1:
+		return Config{}, hdr[1], false, nil
+	case ckptVersion:
+		cfg, err := readConfig(r)
+		if err != nil {
+			return Config{}, 0, false, err
+		}
+		return cfg, hdr[1], true, nil
+	default:
+		return Config{}, 0, false, fmt.Errorf("nn: unsupported checkpoint version %d", hdr[1])
+	}
+}
+
+// ReadCheckpointConfig reads the model Config embedded in a v2 checkpoint.
+// It fails on v1 checkpoints (which predate embedded configs).
+func ReadCheckpointConfig(r io.Reader) (Config, error) {
+	cfg, version, ok, err := readHeader(r)
+	if err != nil {
+		return Config{}, err
+	}
+	if !ok {
+		return Config{}, fmt.Errorf("nn: checkpoint version %d predates embedded configs; pass the model config explicitly", version)
+	}
+	return cfg, nil
+}
+
+// LoadModelFromCheckpoint reconstructs a model from a v2 checkpoint alone:
+// it reads the embedded Config, builds the architecture, and restores the
+// parameter values.
+func LoadModelFromCheckpoint(r io.Reader) (*Model, error) {
+	cfg, _, ok, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("nn: checkpoint predates embedded configs; build the model and use LoadCheckpoint")
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("nn: checkpoint config rejected: %w", err)
+	}
+	if err := m.loadParams(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadCheckpoint restores parameter values from r. The model must have
+// the same architecture (parameter order, names and shapes) as the one
+// that saved the checkpoint. Both v1 and v2 checkpoints are accepted; for
+// v2 the embedded config's structural fields are checked first so
+// mismatches fail with an architecture-level error instead of a
+// parameter-shape one.
+func (m *Model) LoadCheckpoint(r io.Reader) error {
+	cfg, _, ok, err := readHeader(r)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if cfg.Kind != m.Cfg.Kind {
+			return fmt.Errorf("nn: checkpoint is a %v model, this model is %v", cfg.Kind, m.Cfg.Kind)
+		}
+		if cfg.InDim != m.Cfg.InDim || cfg.Hidden != m.Cfg.Hidden ||
+			cfg.OutDim != m.Cfg.OutDim || cfg.Layers != m.Cfg.Layers {
+			return fmt.Errorf("nn: checkpoint architecture %d-%d-%d x%d vs model %d-%d-%d x%d",
+				cfg.InDim, cfg.Hidden, cfg.OutDim, cfg.Layers,
+				m.Cfg.InDim, m.Cfg.Hidden, m.Cfg.OutDim, m.Cfg.Layers)
+		}
+	}
+	return m.loadParams(r)
+}
+
+// loadParams restores the parameter section (count + per-parameter
+// records), validating names, shapes and payload values as it goes.
+func (m *Model) loadParams(r io.Reader) error {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: reading checkpoint parameter count: %w", err)
+	}
+	if count > ckptMaxParams {
+		return fmt.Errorf("nn: absurd parameter count %d (corrupt checkpoint)", count)
 	}
 	params := m.Params()
-	if int(hdr[2]) != len(params) {
-		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", hdr[2], len(params))
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
 	}
 	for _, p := range params {
 		var nameLen uint32
 		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
 			return err
 		}
-		if nameLen > 1024 {
+		if nameLen > ckptMaxName {
 			return fmt.Errorf("nn: absurd name length %d (corrupt checkpoint)", nameLen)
 		}
 		name := make([]byte, nameLen)
@@ -83,6 +244,9 @@ func (m *Model) LoadCheckpoint(r io.Reader) error {
 		var dims uint32
 		if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
 			return err
+		}
+		if dims > ckptMaxDims {
+			return fmt.Errorf("nn: absurd dim count %d (corrupt checkpoint)", dims)
 		}
 		if int(dims) != p.Value.Dims() {
 			return fmt.Errorf("nn: %s: %d dims vs %d", p.Name, dims, p.Value.Dims())

@@ -103,6 +103,28 @@ func (m *Model) Params() []*Param {
 	return ps
 }
 
+// CopyParamsFrom copies every parameter value from src into m. The two
+// models must share an architecture (same parameter order, names and
+// shapes). Serving workers use this to stamp out per-goroutine model
+// replicas from one loaded checkpoint: parameter reads are safe to share,
+// but the activation caches inside each layer are not, so every concurrent
+// Forward needs its own Model.
+func (m *Model) CopyParamsFrom(src *Model) error {
+	dst, from := m.Params(), src.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("nn: copy across architectures: %d params vs %d", len(dst), len(from))
+	}
+	for i, p := range dst {
+		q := from[i]
+		if p.Name != q.Name || p.Value.Len() != q.Value.Len() {
+			return fmt.Errorf("nn: copy across architectures: param %d is %s%v vs %s%v",
+				i, p.Name, p.Value.Shape(), q.Name, q.Value.Shape())
+		}
+		copy(p.Value.Data(), q.Value.Data())
+	}
+	return nil
+}
+
 // NumParams returns the total number of scalar parameters.
 func (m *Model) NumParams() int {
 	n := 0

@@ -1,0 +1,89 @@
+package serve
+
+import "time"
+
+// batcher is the dynamic micro-batching state machine. It has three
+// states:
+//
+//	idle     — no pending request: block until one arrives (or drain).
+//	filling  — a batch is open: keep pulling requests until the batch
+//	           reaches BatchCap or BatchDelay elapses since the batch
+//	           opened, whichever comes first. The timer starts at the
+//	           first request, so a lone request waits at most BatchDelay.
+//	draining — stop is closed: flush everything still queued into final
+//	           batches immediately (no fill waits), then close the
+//	           dispatch channel so workers exit after the last batch.
+//
+// The batcher is the only goroutine that reads the admission queue and the
+// only writer of the dispatch channel, so no further synchronization is
+// needed; backpressure comes from the dispatch channel's Workers-sized
+// buffer (the batcher blocks once every worker is busy and the buffer is
+// full, which in turn lets the admission queue fill and shed).
+func (e *Engine) batcher() {
+	defer close(e.batches)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// idle: wait for the request that opens the next batch.
+		var first *request
+		select {
+		case first = <-e.queue:
+		case <-e.stop:
+			e.flush(nil)
+			return
+		}
+
+		// filling: coalesce until full, deadline, or drain.
+		batch := append(make([]*request, 0, e.opts.BatchCap), first)
+		timer.Reset(e.opts.BatchDelay)
+		stopping := false
+	fill:
+		for len(batch) < e.opts.BatchCap {
+			select {
+			case r := <-e.queue:
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			case <-e.stop:
+				stopping = true
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if stopping {
+			e.flush(batch)
+			return
+		}
+		e.batches <- batch
+	}
+}
+
+// flush drains every request still in the admission queue into final
+// batches (plus the partially filled one handed in) and dispatches them.
+// Admission is already closed by the time stop is closed — Shutdown flips
+// the draining flag under the write lock first — so the queue can only
+// shrink here.
+func (e *Engine) flush(batch []*request) {
+	for {
+		select {
+		case r := <-e.queue:
+			batch = append(batch, r)
+			if len(batch) == e.opts.BatchCap {
+				e.batches <- batch
+				batch = nil
+			}
+		default:
+			if len(batch) > 0 {
+				e.batches <- batch
+			}
+			return
+		}
+	}
+}

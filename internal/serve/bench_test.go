@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wisegraph/internal/dataset"
+	"wisegraph/internal/nn"
+)
+
+// BenchmarkPredict measures the sequential per-request cost of the full
+// serving path — admission, sampling, gather, plan-reuse partition,
+// forward, demux — on a realistic dataset replica. Run with -cpuprofile
+// to see where a request's time goes (the per-subgraph matmul dominates;
+// see the serving section of EXPERIMENTS.md).
+func BenchmarkPredict(b *testing.B) {
+	ds, err := dataset.Load("AR", dataset.Options{Scale: 1600, Seed: 1, Homophily: 0.85, FeatureNoise: 0.8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := nn.NewModel(nn.Config{
+		Kind: nn.SAGE, InDim: ds.Dim(), Hidden: 64, OutDim: ds.Classes(), Layers: 3, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(ds, m, Options{Workers: 1, BatchCap: 1, BatchDelay: time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Shutdown(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Predict(context.Background(), []int32{int32(i % ds.Graph.NumVertices)}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

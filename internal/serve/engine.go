@@ -1,0 +1,453 @@
+// Package serve is the online inference subsystem: it loads a checkpointed
+// model plus its graph, freezes an inference context (CSR, one-shot-tuned
+// joint plan reused across every request, per-worker partitioners and
+// RNGs), and answers node-classification queries through the gTask
+// execution path.
+//
+// The core is a dynamic micro-batcher: concurrent requests are coalesced —
+// up to a size cap or a fill deadline, whichever comes first — into one
+// sampled-subgraph forward pass whose results are demultiplexed back to
+// the callers. Batch size is a workload-partition knob chosen online, the
+// serving-side analogue of WiseGraph's operation-partition dimension.
+// Around it sits the robustness machinery a production endpoint needs:
+// a bounded admission queue with load shedding, per-request deadlines and
+// context cancellation, a fixed worker pool, and graceful drain on
+// shutdown (admitted requests are answered; new ones are rejected).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/dataset"
+	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/kernels"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+	"wisegraph/internal/train"
+)
+
+// Sentinel errors surfaced to transport layers (mapped to HTTP statuses).
+var (
+	// ErrOverloaded means the admission queue is full: the request was
+	// shed immediately instead of queuing unboundedly (HTTP 429).
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrDraining means the engine is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Options tune the engine. Zero values pick serving defaults.
+type Options struct {
+	// Workers is the number of forward-pass workers, each with its own
+	// model replica, RNG, partitioner and execution context (default 2).
+	Workers int
+	// BatchCap is the most requests one micro-batch coalesces (default 16).
+	BatchCap int
+	// BatchDelay is how long the batcher waits for a batch to fill after
+	// its first request arrives (default 2ms). Lower favors latency,
+	// higher favors throughput.
+	BatchDelay time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are shed
+	// with ErrOverloaded (default 4×BatchCap).
+	QueueDepth int
+	// Deadline is the default per-request deadline applied when the
+	// caller's context has none (default 2s).
+	Deadline time.Duration
+	// MaxNodes bounds the node count of a single request (default 256).
+	MaxNodes int
+	// Fanouts are the neighbor-sampling fan-outs, one per model layer
+	// (default 10 per layer).
+	Fanouts []int
+	// Spec is the simulated accelerator (default A100).
+	Spec *device.Spec
+	// Plan is a pre-tuned joint plan; nil runs a one-shot tune on a
+	// representative sampled subgraph at startup (§6.3 reuse).
+	Plan *joint.Result
+	// Seed derives the per-worker sampling RNG streams.
+	Seed uint64
+}
+
+func (o Options) withDefaults(layers int) Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.BatchCap <= 0 {
+		o.BatchCap = 16
+	}
+	if o.BatchDelay <= 0 {
+		o.BatchDelay = 2 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.BatchCap
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 2 * time.Second
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 256
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = make([]int, layers)
+		for i := range o.Fanouts {
+			o.Fanouts[i] = 10
+		}
+	}
+	if o.Spec == nil {
+		spec := device.A100()
+		o.Spec = &spec
+	}
+	return o
+}
+
+// Prediction is the answer for one request: the predicted class per
+// queried node and, when asked for, the raw logits rows.
+type Prediction struct {
+	Classes []int32
+	Logits  [][]float32
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+type request struct {
+	ctx        context.Context
+	nodes      []int32
+	wantLogits bool
+	enqueued   time.Time
+	done       chan result // buffered(1); completed exactly once
+}
+
+// Engine is the serving engine. Build with NewEngine, query with Predict,
+// stop with Shutdown.
+type Engine struct {
+	ds    *dataset.Dataset
+	csr   *graph.CSR
+	model *nn.Model // parameter source for worker replicas
+	plan  *joint.Result
+	opts  Options
+
+	// admitMu orders admission against the drain flip: Predict admits
+	// under RLock, Shutdown flips draining under Lock, so once Shutdown
+	// holds the lock no new request can slip into the queue.
+	admitMu  sync.RWMutex
+	draining bool
+
+	queue    chan *request
+	stop     chan struct{} // closed once by Shutdown
+	stopOnce sync.Once
+	batches  chan []*request
+	workerWG sync.WaitGroup
+
+	inflight atomic.Int64
+	stats    *Stats
+	drained  chan struct{} // closed when workers have fully exited
+
+	// testHookBatchStart, when non-nil, runs before each micro-batch
+	// executes. Tests use it to stall or pace workers deterministically
+	// (overload is impossible to provoke reliably by timing alone on a
+	// single-CPU host); production code never sets it.
+	testHookBatchStart func()
+}
+
+// NewEngine freezes an inference context over ds and model and starts the
+// batcher plus the worker pool. The model is not used directly after this
+// call: each worker owns a replica (parameters copied, activation caches
+// private) so concurrent forwards never share mutable state.
+func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, error) {
+	if model.Cfg.InDim != ds.Dim() {
+		return nil, fmt.Errorf("serve: model expects %d input features, dataset has %d", model.Cfg.InDim, ds.Dim())
+	}
+	if model.Cfg.OutDim < ds.Classes() {
+		return nil, fmt.Errorf("serve: model has %d outputs, dataset has %d classes", model.Cfg.OutDim, ds.Classes())
+	}
+	opts = opts.withDefaults(model.Cfg.Layers)
+	e := &Engine{
+		ds:      ds,
+		csr:     ds.Graph.BuildCSRByDst(),
+		model:   model,
+		opts:    opts,
+		queue:   make(chan *request, opts.QueueDepth),
+		stop:    make(chan struct{}),
+		batches: make(chan []*request, opts.Workers),
+		stats:   newStats(opts.BatchCap),
+		drained: make(chan struct{}),
+	}
+	e.plan = opts.Plan
+	if e.plan == nil {
+		e.plan = e.tunePlan()
+	}
+	if !kernels.ValidPlanFor(model.Cfg.Kind, e.plan.GraphPlan) {
+		return nil, fmt.Errorf("serve: plan %v cannot execute %v", e.plan.GraphPlan, model.Cfg.Kind)
+	}
+	go e.batcher()
+	for w := 0; w < opts.Workers; w++ {
+		replica, err := e.newReplica()
+		if err != nil {
+			return nil, err
+		}
+		e.workerWG.Add(1)
+		go e.worker(w, replica)
+	}
+	go func() {
+		e.workerWG.Wait()
+		close(e.drained)
+	}()
+	return e, nil
+}
+
+// tunePlan runs the one-shot joint optimization on a representative
+// sampled subgraph — the §6.3 pattern: search once, reuse the plan for
+// every request with an O(E) partition.
+func (e *Engine) tunePlan() *joint.Result {
+	v := e.ds.Graph.NumVertices
+	n := e.opts.BatchCap * e.opts.MaxNodes
+	if n > v {
+		n = v
+	}
+	if n < 1 {
+		n = 1
+	}
+	seeds := make([]int32, n)
+	stride := v / n
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range seeds {
+		seeds[i] = int32(i * stride % v)
+	}
+	rng := tensor.NewRNG(e.opts.Seed ^ 0x73657276) // "serv"
+	sub := graph.NeighborSample(e.ds.Graph, e.csr, seeds, e.opts.Fanouts, rng)
+	hidden := e.model.Cfg.Hidden
+	return joint.Search(sub.Graph, e.model.Cfg.Kind, hidden, hidden, e.model.Cfg.NumTypes,
+		joint.Options{Spec: *e.opts.Spec})
+}
+
+// newReplica stamps out a private copy of the model for one worker.
+func (e *Engine) newReplica() (*nn.Model, error) {
+	replica, err := nn.NewModel(e.model.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := replica.CopyParamsFrom(e.model); err != nil {
+		return nil, err
+	}
+	return replica, nil
+}
+
+// Predict answers a node-classification query for the given parent-graph
+// vertex ids. It blocks until the request's micro-batch completes, the
+// context is done, or the request is shed at admission.
+func (e *Engine) Predict(ctx context.Context, nodes []int32, wantLogits bool) (*Prediction, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("serve: empty node list")
+	}
+	if len(nodes) > e.opts.MaxNodes {
+		return nil, fmt.Errorf("serve: %d nodes exceeds per-request cap %d", len(nodes), e.opts.MaxNodes)
+	}
+	v := int32(e.ds.Graph.NumVertices)
+	for _, n := range nodes {
+		if n < 0 || n >= v {
+			return nil, fmt.Errorf("serve: node %d out of range [0,%d)", n, v)
+		}
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Deadline)
+		defer cancel()
+	}
+	r := &request{
+		ctx:        ctx,
+		nodes:      nodes,
+		wantLogits: wantLogits,
+		enqueued:   time.Now(),
+		done:       make(chan result, 1),
+	}
+
+	e.admitMu.RLock()
+	if e.draining {
+		e.admitMu.RUnlock()
+		e.stats.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case e.queue <- r:
+		e.inflight.Add(1)
+		e.stats.admitted.Add(1)
+		e.admitMu.RUnlock()
+	default:
+		e.admitMu.RUnlock()
+		e.stats.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case res := <-r.done:
+		if res.err != nil {
+			return nil, res.err
+		}
+		return &res.pred, nil
+	case <-ctx.Done():
+		// The request stays in the pipeline; the worker finishes it (and
+		// decrements in-flight) when its batch comes up.
+		return nil, ctx.Err()
+	}
+}
+
+// finish completes a request exactly once: delivers the result, records
+// latency, and decrements the in-flight count.
+func (e *Engine) finish(r *request, res result) {
+	select {
+	case r.done <- res:
+	default: // already finished (cannot happen: finish is called once)
+	}
+	e.stats.recordDone(time.Since(r.enqueued))
+	e.inflight.Add(-1)
+}
+
+// worker executes micro-batches with per-worker state: a model replica,
+// an RNG stream, a reusable partitioner, and a simulated-device context.
+// Nothing mutable is shared between workers, so the pool scales without
+// locks on the compute path.
+func (e *Engine) worker(id int, replica *nn.Model) {
+	defer e.workerWG.Done()
+	rng := tensor.NewRNG(e.opts.Seed ^ (uint64(id+1) * 0x9e3779b97f4a7c15))
+	pt := core.NewPartitioner()
+	defer pt.Release()
+	ectx := exec.NewCtx(device.New(*e.opts.Spec))
+	for batch := range e.batches {
+		e.runBatch(batch, replica, rng, pt, ectx)
+	}
+}
+
+// runBatch is one coalesced forward pass: dedupe seeds across requests,
+// sample the fan-out subgraph, partition it under the frozen plan, run the
+// gTask forward, and demultiplex logits rows back to each caller.
+func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, pt *core.Partitioner, ectx *exec.Ctx) {
+	if h := e.testHookBatchStart; h != nil {
+		h()
+	}
+	// Drop requests whose deadline already passed while queued.
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			e.stats.canceled.Add(1)
+			e.finish(r, result{err: err})
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	e.stats.recordBatch(len(live))
+
+	// Dedupe seeds across the batch, remembering each request's rows.
+	// NeighborSample interns seeds first, in order, so seed i is local
+	// vertex i of the subgraph.
+	seedOf := make(map[int32]int32, len(live)*4)
+	var seeds []int32
+	rows := make([][]int32, len(live))
+	for i, r := range live {
+		rows[i] = make([]int32, len(r.nodes))
+		for j, n := range r.nodes {
+			id, ok := seedOf[n]
+			if !ok {
+				id = int32(len(seeds))
+				seedOf[n] = id
+				seeds = append(seeds, n)
+			}
+			rows[i][j] = id
+		}
+	}
+
+	sub := graph.NeighborSample(e.ds.Graph, e.csr, seeds, e.opts.Fanouts, rng)
+	gc := nn.NewGraphCtx(sub.Graph)
+	x := tensor.GatherRows(tensor.Get(len(sub.Vertices), e.ds.Dim()), e.ds.Features, sub.Vertices)
+	part := train.ReusePlanWith(pt, e.plan, sub.Graph)
+	logits, err := kernels.RunModel(ectx, gc, replica, x, part, e.plan.OpPlan)
+	if err != nil {
+		tensor.Put(x)
+		for _, r := range live {
+			e.finish(r, result{err: fmt.Errorf("serve: forward failed: %w", err)})
+		}
+		return
+	}
+
+	for i, r := range live {
+		pred := Prediction{Classes: make([]int32, len(rows[i]))}
+		if r.wantLogits {
+			pred.Logits = make([][]float32, len(rows[i]))
+		}
+		for j, row := range rows[i] {
+			lr := logits.Row(int(row))
+			pred.Classes[j] = argmax(lr)
+			if r.wantLogits {
+				pred.Logits[j] = append([]float32(nil), lr...)
+			}
+		}
+		e.finish(r, result{pred: pred})
+	}
+	tensor.Put(x)
+	tensor.Put(logits)
+}
+
+func argmax(row []float32) int32 {
+	best, bi := row[0], 0
+	for j, v := range row[1:] {
+		if v > best {
+			best, bi = v, j+1
+		}
+	}
+	return int32(bi)
+}
+
+// Shutdown drains the engine: new requests are rejected with ErrDraining,
+// everything already admitted is answered, the batcher flushes the queue
+// without waiting out fill deadlines, and workers exit once the last
+// micro-batch completes. Returns ctx.Err() if the deadline passes first.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.admitMu.Lock()
+	e.draining = true
+	e.admitMu.Unlock()
+	e.stopOnce.Do(func() { close(e.stop) })
+	select {
+	case <-e.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (e *Engine) Draining() bool {
+	e.admitMu.RLock()
+	defer e.admitMu.RUnlock()
+	return e.draining
+}
+
+// InFlight returns the number of admitted-but-unanswered requests.
+func (e *Engine) InFlight() int64 { return e.inflight.Load() }
+
+// QueueDepth returns the current admission-queue occupancy.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Plan exposes the frozen joint plan (for logging and tests).
+func (e *Engine) Plan() *joint.Result { return e.plan }
+
+// Options exposes the resolved options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Stats returns a point-in-time metrics snapshot (the /statsz payload).
+func (e *Engine) Stats() Snapshot {
+	return e.stats.snapshot(e.inflight.Load(), len(e.queue))
+}

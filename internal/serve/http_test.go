@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wisegraph/internal/nn"
+)
+
+func TestHTTPHandler(t *testing.T) {
+	ds := testDataset(t, 60, 240, 12, 5, 1, 1)
+	e := testEngine(t, ds, testModel(t, ds, nn.SAGE), Options{Workers: 1})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	t.Run("predict", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/predict", "application/json",
+			strings.NewReader(`{"nodes":[0,1,2],"logits":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		var pr PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Classes) != 3 || len(pr.Logits) != 3 {
+			t.Fatalf("got %d classes, %d logits rows", len(pr.Classes), len(pr.Logits))
+		}
+		if pr.LatencyMs <= 0 {
+			t.Error("latencyMs not reported")
+		}
+	})
+
+	t.Run("bad-json", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("bad-node", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/predict", "application/json",
+			strings.NewReader(`{"nodes":[9999]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("method", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/predict")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		if h.Status != "ok" || h.Vertices != 60 || h.Classes != 5 || h.Model == "" {
+			t.Fatalf("healthz = %+v", h)
+		}
+	})
+
+	t.Run("statsz", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Completed == 0 || snap.Batches == 0 {
+			t.Fatalf("statsz shows no traffic after predict: %+v", snap)
+		}
+	})
+
+	t.Run("draining", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+		}
+		resp, err = http.Post(srv.URL+"/predict", "application/json",
+			strings.NewReader(`{"nodes":[0]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining predict status %d, want 503", resp.StatusCode)
+		}
+	})
+}
+
+func TestStatusFor(t *testing.T) {
+	cases := map[error]int{
+		ErrOverloaded:            http.StatusTooManyRequests,
+		ErrDraining:              http.StatusServiceUnavailable,
+		context.DeadlineExceeded: http.StatusGatewayTimeout,
+		context.Canceled:         499,
+	}
+	for err, want := range cases {
+		if got := statusFor(err); got != want {
+			t.Errorf("statusFor(%v) = %d, want %d", err, got, want)
+		}
+	}
+}

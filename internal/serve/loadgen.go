@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisegraph/internal/tensor"
+)
+
+// LoadOptions configure a closed-loop load run.
+type LoadOptions struct {
+	// Clients is the number of closed-loop virtual users; each issues its
+	// next request as soon as the previous one answers (no think time), so
+	// offered load rises until the engine's admission queue pushes back.
+	Clients int
+	// NodesPerReq is how many node ids each request carries.
+	NodesPerReq int
+	// Duration is how long the run offers load.
+	Duration time.Duration
+	// Seed derives the per-client RNG streams.
+	Seed uint64
+	// Zipf skews node popularity: node id r is drawn with probability
+	// ∝ 1/(r+1)^Zipf. Zero means uniform. Serving traffic is typically
+	// hotspot-skewed (YCSB-style), which is the regime where micro-batch
+	// coalescing pays: duplicate and overlapping hot-node queries are
+	// sampled, gathered and computed once per batch.
+	Zipf float64
+}
+
+// LoadReport summarizes one closed-loop load run.
+type LoadReport struct {
+	Clients    int
+	Duration   time.Duration
+	Completed  uint64
+	Shed       uint64  // 429s: load the engine refused instead of stalling on
+	Errors     uint64  // non-shed failures
+	Throughput float64 // completed requests/second
+	MeanLat    time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("clients=%d dur=%v done=%d shed=%d err=%d qps=%.1f p50=%v p95=%v p99=%v",
+		r.Clients, r.Duration.Round(time.Millisecond), r.Completed, r.Shed, r.Errors,
+		r.Throughput, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}
+
+// shedBackoff is how long a closed-loop client sleeps after being shed, so
+// a full queue degrades into bounded retry pressure instead of a busy spin.
+const shedBackoff = 500 * time.Microsecond
+
+// nodePicker draws node ids under the configured popularity distribution.
+// It is immutable after construction and shared by every client.
+type nodePicker struct {
+	n   int
+	cum []float64 // nil ⇒ uniform
+}
+
+func newNodePicker(n int, zipf float64) *nodePicker {
+	p := &nodePicker{n: n}
+	if zipf <= 0 {
+		return p
+	}
+	p.cum = make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), zipf)
+		p.cum[r] = total
+	}
+	return p
+}
+
+func (p *nodePicker) pick(rng *tensor.RNG) int32 {
+	if p.cum == nil {
+		return int32(rng.Intn(p.n))
+	}
+	u := rng.Float64() * p.cum[p.n-1]
+	return int32(sort.SearchFloat64s(p.cum, u))
+}
+
+// RunClosedLoop drives the engine in-process with closed-loop load.
+func RunClosedLoop(e *Engine, o LoadOptions) LoadReport {
+	picker := newNodePicker(e.ds.Graph.NumVertices, o.Zipf)
+	issue := func(rng *tensor.RNG) error {
+		nodes := make([]int32, o.NodesPerReq)
+		for i := range nodes {
+			nodes[i] = picker.pick(rng)
+		}
+		_, err := e.Predict(context.Background(), nodes, false)
+		return err
+	}
+	isShed := func(err error) bool { return errors.Is(err, ErrOverloaded) }
+	return runClosedLoop(o, issue, isShed)
+}
+
+// RunClosedLoopHTTP is RunClosedLoop over the wire: clients POST /predict
+// against baseURL. maxNode bounds the node ids (the client does not know
+// the graph size; pass what the server reports or a known bound).
+func RunClosedLoopHTTP(baseURL string, maxNode int, o LoadOptions) LoadReport {
+	// The default transport keeps only 2 idle connections per host; with
+	// dozens of closed-loop clients that means constant dial/teardown and
+	// the generator bottlenecks on connection churn instead of the server.
+	hc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * o.Clients,
+			MaxIdleConnsPerHost: 2 * o.Clients,
+			IdleConnTimeout:     30 * time.Second,
+		},
+	}
+	url := baseURL + "/predict"
+	picker := newNodePicker(maxNode, o.Zipf)
+	issue := func(rng *tensor.RNG) error {
+		nodes := make([]int32, o.NodesPerReq)
+		for i := range nodes {
+			nodes[i] = picker.pick(rng)
+		}
+		body, _ := json.Marshal(PredictRequest{Nodes: nodes})
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var pr PredictResponse
+		if resp.StatusCode != http.StatusOK {
+			var er errorResponse
+			json.NewDecoder(resp.Body).Decode(&er)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				return fmt.Errorf("%w: %s", ErrOverloaded, er.Error)
+			}
+			return fmt.Errorf("http %d: %s", resp.StatusCode, er.Error)
+		}
+		return json.NewDecoder(resp.Body).Decode(&pr)
+	}
+	isShed := func(err error) bool { return errors.Is(err, ErrOverloaded) }
+	return runClosedLoop(o, issue, isShed)
+}
+
+func runClosedLoop(o LoadOptions, issue func(rng *tensor.RNG) error, isShed func(error) bool) LoadReport {
+	var (
+		hist       Histogram
+		completed  atomic.Uint64
+		shed, errs atomic.Uint64
+		wg         sync.WaitGroup
+		deadline   = time.Now().Add(o.Duration)
+	)
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(o.Seed ^ (uint64(c+1) * 0x2545f4914f6cdd1d))
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				err := issue(rng)
+				switch {
+				case err == nil:
+					completed.Add(1)
+					hist.Observe(time.Since(start))
+				case isShed(err):
+					shed.Add(1)
+					time.Sleep(shedBackoff)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	done := completed.Load()
+	return LoadReport{
+		Clients:    o.Clients,
+		Duration:   o.Duration,
+		Completed:  done,
+		Shed:       shed.Load(),
+		Errors:     errs.Load(),
+		Throughput: float64(done) / o.Duration.Seconds(),
+		MeanLat:    hist.Mean(),
+		P50:        hist.Quantile(0.50),
+		P95:        hist.Quantile(0.95),
+		P99:        hist.Quantile(0.99),
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram: power-of-two buckets over
+// nanoseconds, each an atomic counter. Observation is one atomic add on
+// the hot path (no locks, no allocation); quantiles are computed from a
+// snapshot of the counters, so they are approximate to within one bucket
+// (~2× resolution), which is plenty for p50/p95/p99 serving dashboards.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// histBuckets covers 1 ns .. ~2.3 h (2^63 ns overflows long before that
+// matters; bucket b holds durations in [2^(b-1), 2^b) ns).
+const histBuckets = 43
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1])
+// from a point-in-time snapshot of the buckets.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for b, c := range counts {
+		cum += c
+		if cum > rank {
+			if b == 0 {
+				return 1
+			}
+			// upper bound of the bucket range [2^(b-1), 2^b)
+			return time.Duration(uint64(1) << uint(b))
+		}
+	}
+	return time.Duration(uint64(1) << uint(histBuckets-1))
+}
+
+// qpsRing tracks completions per wall-clock second over a short window so
+// /statsz can report recent throughput, not just the lifetime average.
+// Slots are (second, count) atomics; a slot is lazily reset by the first
+// marker of a new second (CAS decides the winner, losers just add).
+type qpsRing struct {
+	secs   [qpsSlots]atomic.Int64
+	counts [qpsSlots]atomic.Uint64
+}
+
+const (
+	qpsSlots  = 16
+	qpsWindow = 10 // seconds summed by Recent
+)
+
+// Mark records one completion at the given wall-clock second.
+func (r *qpsRing) Mark(sec int64) {
+	i := int(sec % qpsSlots)
+	if old := r.secs[i].Load(); old != sec {
+		if r.secs[i].CompareAndSwap(old, sec) {
+			r.counts[i].Store(0)
+		}
+	}
+	r.counts[i].Add(1)
+}
+
+// Recent returns completions/second averaged over the last full window
+// (excluding the in-progress second, which would bias low).
+func (r *qpsRing) Recent(sec int64) float64 {
+	var total uint64
+	for i := 0; i < qpsSlots; i++ {
+		s := r.secs[i].Load()
+		if s >= sec-qpsWindow && s < sec {
+			total += r.counts[i].Load()
+		}
+	}
+	return float64(total) / qpsWindow
+}
+
+// Stats aggregates every serving counter. All fields are atomics updated
+// lock-free on the request path; Snapshot assembles a JSON-friendly view.
+type Stats struct {
+	start time.Time
+
+	admitted  atomic.Uint64 // entered the admission queue
+	completed atomic.Uint64 // got a response (including per-request errors)
+	shed      atomic.Uint64 // 429: queue full
+	rejected  atomic.Uint64 // 503: draining
+	canceled  atomic.Uint64 // request context expired before compute
+	batches   atomic.Uint64
+
+	// batchSizes[n] counts micro-batches that coalesced n requests
+	// (index 0 unused; len = BatchCap+1).
+	batchSizes []atomic.Uint64
+
+	latency Histogram
+	qps     qpsRing
+}
+
+func newStats(batchCap int) *Stats {
+	return &Stats{start: time.Now(), batchSizes: make([]atomic.Uint64, batchCap+1)}
+}
+
+func (s *Stats) recordBatch(n int) {
+	s.batches.Add(1)
+	if n >= len(s.batchSizes) {
+		n = len(s.batchSizes) - 1
+	}
+	s.batchSizes[n].Add(1)
+}
+
+func (s *Stats) recordDone(lat time.Duration) {
+	s.completed.Add(1)
+	s.latency.Observe(lat)
+	s.qps.Mark(time.Now().Unix())
+}
+
+// Snapshot is the /statsz payload.
+type Snapshot struct {
+	UptimeSeconds    float64        `json:"uptimeSeconds"`
+	Admitted         uint64         `json:"admitted"`
+	Completed        uint64         `json:"completed"`
+	Shed             uint64         `json:"shed"`
+	RejectedDraining uint64         `json:"rejectedDraining"`
+	Canceled         uint64         `json:"canceled"`
+	InFlight         int64          `json:"inFlight"`
+	QueueDepth       int            `json:"queueDepth"`
+	Batches          uint64         `json:"batches"`
+	AvgBatchSize     float64        `json:"avgBatchSize"`
+	BatchSizeDist    map[int]uint64 `json:"batchSizeDist"`
+	LifetimeQPS      float64        `json:"lifetimeQPS"`
+	RecentQPS        float64        `json:"recentQPS"`
+	LatencyMeanMs    float64        `json:"latencyMeanMs"`
+	LatencyP50Ms     float64        `json:"latencyP50Ms"`
+	LatencyP95Ms     float64        `json:"latencyP95Ms"`
+	LatencyP99Ms     float64        `json:"latencyP99Ms"`
+}
+
+func (s *Stats) snapshot(inFlight int64, queueDepth int) Snapshot {
+	up := time.Since(s.start).Seconds()
+	completed := s.completed.Load()
+	dist := make(map[int]uint64)
+	var sizeSum uint64
+	for n := range s.batchSizes {
+		if c := s.batchSizes[n].Load(); c > 0 {
+			dist[n] = c
+			sizeSum += uint64(n) * c
+		}
+	}
+	batches := s.batches.Load()
+	avg := 0.0
+	if batches > 0 {
+		avg = float64(sizeSum) / float64(batches)
+	}
+	lifetime := 0.0
+	if up > 0 {
+		lifetime = float64(completed) / up
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	return Snapshot{
+		UptimeSeconds:    up,
+		Admitted:         s.admitted.Load(),
+		Completed:        completed,
+		Shed:             s.shed.Load(),
+		RejectedDraining: s.rejected.Load(),
+		Canceled:         s.canceled.Load(),
+		InFlight:         inFlight,
+		QueueDepth:       queueDepth,
+		Batches:          batches,
+		AvgBatchSize:     avg,
+		BatchSizeDist:    dist,
+		LifetimeQPS:      lifetime,
+		RecentQPS:        s.qps.Recent(time.Now().Unix()),
+		LatencyMeanMs:    ms(s.latency.Mean()),
+		LatencyP50Ms:     ms(s.latency.Quantile(0.50)),
+		LatencyP95Ms:     ms(s.latency.Quantile(0.95)),
+		LatencyP99Ms:     ms(s.latency.Quantile(0.99)),
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+)
+
+// TestConcurrentPredictRace hammers one engine from many goroutines while
+// metrics and health accessors run concurrently. Its value is under
+// `go test -race`: it exercises every piece of shared serving state — the
+// frozen joint plan, the graph's lazy degree caches, the admission
+// lock/queue, per-worker RNG and partitioner isolation, and the lock-free
+// stats — and fails if any of them races.
+func TestConcurrentPredictRace(t *testing.T) {
+	ds := testDataset(t, 80, 320, 12, 5, 1, 1)
+	e := testEngine(t, ds, testModel(t, ds, nn.SAGE), Options{
+		Workers: 4, BatchCap: 8, BatchDelay: time.Millisecond, QueueDepth: 128,
+	})
+
+	const (
+		goroutines = 12
+		perClient  = 25
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < goroutines; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(uint64(c + 1))
+			for i := 0; i < perClient; i++ {
+				n := 1 + rng.Intn(4)
+				nodes := make([]int32, n)
+				for j := range nodes {
+					nodes[j] = int32(rng.Intn(80))
+				}
+				pred, err := e.Predict(context.Background(), nodes, c%3 == 0)
+				switch {
+				case err == nil:
+					if len(pred.Classes) != n {
+						t.Errorf("client %d: got %d classes, want %d", c, len(pred.Classes), n)
+						return
+					}
+				case errors.Is(err, ErrOverloaded):
+					time.Sleep(200 * time.Microsecond)
+				default:
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Concurrent observers over the same shared state.
+	stopObs := make(chan struct{})
+	var obsWG sync.WaitGroup
+	obsWG.Add(1)
+	go func() {
+		defer obsWG.Done()
+		for {
+			select {
+			case <-stopObs:
+				return
+			default:
+				_ = e.Stats()
+				_ = e.QueueDepth()
+				_ = e.Draining()
+				_ = e.InFlight()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stopObs)
+	obsWG.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := e.InFlight(); got != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", got)
+	}
+}
+
+// TestConcurrentShutdownRace races Shutdown against a stream of Predicts:
+// every request must resolve (answer, shed, or draining) and the drain
+// must still reach zero in-flight.
+func TestConcurrentShutdownRace(t *testing.T) {
+	ds := testDataset(t, 60, 240, 12, 5, 1, 1)
+	e := testEngine(t, ds, testModel(t, ds, nn.SAGE), Options{
+		Workers: 2, BatchCap: 4, BatchDelay: time.Millisecond, QueueDepth: 32,
+	})
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, err := e.Predict(context.Background(), []int32{int32((c*20 + i) % 60)}, false)
+				if err != nil && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDraining) {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if got := e.InFlight(); got != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", got)
+	}
+}

@@ -58,7 +58,11 @@ func TestPipelineCloseTerminates(t *testing.T) {
 func TestTrainPipelinedConverges(t *testing.T) {
 	s, _ := pipelineSetup(t)
 	plan := s.TunePlans(device.A100(), 1)
-	const iters = 80
+	// 80 iterations sit right on the 10% improvement bar: batch order is
+	// timing-dependent across workers, and an unlucky schedule (e.g.
+	// under -race on one core) can land just short. 240 steps put the
+	// expected improvement well past the threshold for every ordering.
+	const iters = 240
 	losses := s.TrainPipelined(plan, 3, iters)
 	if len(losses) != iters {
 		t.Fatalf("got %d losses", len(losses))
@@ -69,14 +73,14 @@ func TestTrainPipelinedConverges(t *testing.T) {
 		}
 	}
 	// batch order is nondeterministic across workers, so compare wide
-	// windows: mean of the last 15 must undercut the first 15 clearly
+	// windows: mean of the last 30 must undercut the first 30 clearly
 	head, tail := 0.0, 0.0
-	for i := 0; i < 15; i++ {
+	for i := 0; i < 30; i++ {
 		head += losses[i]
 		tail += losses[len(losses)-1-i]
 	}
 	if tail >= head*0.9 {
-		t.Fatalf("pipelined training did not improve: head %.3f tail %.3f", head/15, tail/15)
+		t.Fatalf("pipelined training did not improve: head %.3f tail %.3f", head/30, tail/30)
 	}
 }
 

@@ -28,4 +28,47 @@ echo "== parity/determinism under -race (GOMAXPROCS=$NPROC)"
 GOMAXPROCS="$NPROC" go test -race -count=1 -run "$PARITY" \
   ./internal/core/ ./internal/graph/ ./internal/joint/
 
+# The serving engine's concurrency machinery (admission lock, micro-batch
+# coalescing, drain protocol, lock-free metrics) is exercised by a
+# dedicated suite that must stay clean under the race detector at both
+# scheduler extremes.
+SERVE='Concurrent|Shed|Drain|Parity|Canceled'
+echo "== serving concurrency under -race (GOMAXPROCS=1)"
+GOMAXPROCS=1 go test -race -count=1 -run "$SERVE" ./internal/serve/
+echo "== serving concurrency under -race (GOMAXPROCS=$NPROC)"
+GOMAXPROCS="$NPROC" go test -race -count=1 -run "$SERVE" ./internal/serve/
+
+# End-to-end serving smoke test: train a tiny checkpoint, serve it over
+# HTTP on an ephemeral port, drive real load, then SIGTERM and assert the
+# graceful drain left zero requests in flight.
+echo "== serve smoke test (train -> serve -> bench -> drain)"
+SMOKE=".smoke"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$SMOKE"
+}
+trap cleanup EXIT
+rm -rf "$SMOKE" && mkdir -p "$SMOKE"
+go build -o "$SMOKE/" ./cmd/wisegraph-train ./cmd/wisegraph-serve ./cmd/wgserve-bench
+"$SMOKE/wisegraph-train" -dataset AR -scale 400 -sampled -epochs 2 \
+  -save-checkpoint "$SMOKE/model.ckpt" >/dev/null
+"$SMOKE/wisegraph-serve" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
+  -addr 127.0.0.1:0 >"$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's#.*listening on http://##p' "$SMOKE/serve.log")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: serve did not start"; cat "$SMOKE/serve.log"; exit 1; }
+"$SMOKE/wgserve-bench" -url "http://$ADDR" -clients 8 -duration 2s -zipf 1.2 >/dev/null
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: serve exited non-zero"; cat "$SMOKE/serve.log"; exit 1; }
+SERVE_PID=""
+grep -q 'drained: in-flight=0' "$SMOKE/serve.log" \
+  || { echo "FAIL: drain left requests in flight"; cat "$SMOKE/serve.log"; exit 1; }
+echo "serve smoke OK"
+
 echo "OK"

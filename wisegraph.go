@@ -19,6 +19,7 @@ package wisegraph
 
 import (
 	"io"
+	"net/http"
 
 	"wisegraph/internal/bench"
 	"wisegraph/internal/core"
@@ -28,6 +29,7 @@ import (
 	"wisegraph/internal/graph"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/serve"
 	"wisegraph/internal/train"
 )
 
@@ -73,6 +75,17 @@ func DatasetNames() []string {
 
 // ModelConfig configures a model (see internal/nn.Config).
 type ModelConfig = nn.Config
+
+// Model is a GNN model: a stack of graph-convolution layers with
+// checkpoint save/load (v2 checkpoints embed the ModelConfig).
+type Model = nn.Model
+
+// LoadModelFromCheckpoint reconstructs a model from a v2 checkpoint alone
+// (the artifact written by Model.SaveCheckpoint or
+// `wisegraph-train -save-checkpoint`).
+func LoadModelFromCheckpoint(r io.Reader) (*Model, error) {
+	return nn.LoadModelFromCheckpoint(r)
+}
 
 // Trainer trains a model on a full graph.
 type Trainer = train.FullGraph
@@ -128,6 +141,26 @@ func VertexCentricPlan() GraphPlan { return core.VertexCentric() }
 
 // EdgeCentricPlan is uniq(edge-id)=1.
 func EdgeCentricPlan() GraphPlan { return core.EdgeCentric() }
+
+// ServeOptions tune the online inference engine (see internal/serve).
+type ServeOptions = serve.Options
+
+// InferenceEngine answers node-classification queries with dynamic
+// micro-batching, admission control and graceful drain.
+type InferenceEngine = serve.Engine
+
+// NewInferenceEngine freezes an inference context (graph CSR, one-shot
+// tuned joint plan, per-worker partitioners/RNGs/model replicas) and
+// starts the serving worker pool.
+func NewInferenceEngine(ds *Dataset, m *Model, opts ServeOptions) (*InferenceEngine, error) {
+	return serve.NewEngine(ds, m, opts)
+}
+
+// NewServeHandler exposes an inference engine over HTTP
+// (/predict, /healthz, /statsz).
+func NewServeHandler(e *InferenceEngine) http.Handler {
+	return serve.NewHandler(e)
+}
 
 // Cluster models a multi-device setup.
 type Cluster = dist.Cluster
