@@ -31,6 +31,7 @@ import (
 	"wisegraph"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
 	"wisegraph/internal/serve"
 )
 
@@ -57,8 +58,14 @@ func main() {
 		loadDur    = flag.Duration("loadgen-duration", 5*time.Second, "in-process load duration")
 		loadNodes  = flag.Int("loadgen-nodes", 1, "node ids per in-process load request")
 		loadZipf   = flag.Float64("loadgen-zipf", 0, "node popularity skew for in-process load (0 = uniform)")
+		traceRing  = flag.Int("trace-ring", obs.DefaultRingSize, "span ring-buffer capacity for /debug/trace (0 disables tracing)")
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	if *traceRing > 0 {
+		obs.Enable(*traceRing)
+	}
 
 	ds, err := wisegraph.LoadDataset(*dsName, wisegraph.DatasetOptions{
 		Scale: *scale, Seed: *seed, Homophily: 0.85, FeatureNoise: *noise,
@@ -139,7 +146,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: serve.NewHandler(engine)}
+	var handlerOpts []serve.HandlerOption
+	if *pprofFlag {
+		handlerOpts = append(handlerOpts, serve.WithPprof())
+	}
+	srv := &http.Server{Handler: serve.NewHandler(engine, handlerOpts...)}
 	fmt.Printf("wisegraph-serve listening on http://%s\n", ln.Addr())
 
 	errCh := make(chan error, 1)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"wisegraph"
+	"wisegraph/internal/obs"
 )
 
 func main() {
@@ -38,8 +39,13 @@ func main() {
 		loadCkpt  = flag.String("load-checkpoint", "", "restore a model checkpoint before training")
 		saveModel = flag.String("save-model", "", "alias for -save-checkpoint")
 		loadModel = flag.String("load-model", "", "alias for -load-checkpoint")
+		traceOut  = flag.String("trace", "", "write phase spans as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		obs.Enable(obs.DefaultRingSize)
+		defer writeTrace(*traceOut)
+	}
 	if *savePlan != "" {
 		*tune = true
 	}
@@ -150,6 +156,21 @@ func writeCheckpoint(m *wisegraph.Model, path string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote checkpoint %s\n", path)
+}
+
+// writeTrace dumps the span ring to path as Chrome trace-event JSON.
+func writeTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.WriteChromeTrace(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote trace %s (%d spans)\n", path, len(obs.Spans()))
 }
 
 func restoreCheckpoint(m *wisegraph.Model, path string) {

@@ -179,21 +179,34 @@ func LPTMakespan(times []float64, units int) float64 {
 	return Makespan(s, units)
 }
 
+// KernelStats accumulates the timing-model accounting for one kernel
+// name — the per-kernel breakdown the observability layer exposes on
+// /metrics (FeatGraph-style per-kernel characterization).
+type KernelStats struct {
+	Launches   int64
+	SimSeconds float64
+	FLOPs      float64
+	Bytes      float64
+}
+
 // Device accumulates simulated time and traffic across kernel launches.
 // It is safe for concurrent use.
 type Device struct {
 	Spec Spec
 
-	mu      sync.Mutex
-	simTime float64
-	kernels int64
-	flops   float64
-	bytes   float64
-	byCat   [numCategories]float64
+	mu       sync.Mutex
+	simTime  float64
+	kernels  int64
+	flops    float64
+	bytes    float64
+	byCat    [numCategories]float64
+	byKernel map[string]*KernelStats
 }
 
 // New returns a device with the given spec.
-func New(spec Spec) *Device { return &Device{Spec: spec} }
+func New(spec Spec) *Device {
+	return &Device{Spec: spec, byKernel: make(map[string]*KernelStats)}
+}
 
 // Launch accounts kernel k and, if body is non-nil, executes it for real.
 // The modeled time includes the fixed launch overhead — the cost the
@@ -212,6 +225,20 @@ func (d *Device) Launch(k Kernel, body func()) {
 	if k.Cat >= 0 && k.Cat < numCategories {
 		d.byCat[k.Cat] += t
 	}
+	ks := d.byKernel[k.Name]
+	if ks == nil {
+		// One allocation per distinct kernel name for the device's
+		// lifetime; steady-state launches only update counters in place.
+		ks = &KernelStats{}
+		if d.byKernel == nil {
+			d.byKernel = make(map[string]*KernelStats)
+		}
+		d.byKernel[k.Name] = ks
+	}
+	ks.Launches++
+	ks.SimSeconds += t
+	ks.FLOPs += k.FLOPs
+	ks.Bytes += k.Bytes
 	d.mu.Unlock()
 }
 
@@ -248,11 +275,23 @@ func (d *Device) Stats() Stats {
 	return Stats{SimSeconds: d.simTime, Kernels: d.kernels, FLOPs: d.flops, Bytes: d.bytes, ByCategory: by}
 }
 
+// KernelStats returns a snapshot of the per-kernel-name accounting.
+func (d *Device) KernelStats() map[string]KernelStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]KernelStats, len(d.byKernel))
+	for name, ks := range d.byKernel {
+		out[name] = *ks
+	}
+	return out
+}
+
 // Reset zeroes all counters.
 func (d *Device) Reset() {
 	d.mu.Lock()
 	d.simTime, d.kernels, d.flops, d.bytes = 0, 0, 0, 0
 	d.byCat = [numCategories]float64{}
+	d.byKernel = make(map[string]*KernelStats)
 	d.mu.Unlock()
 }
 

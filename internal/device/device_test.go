@@ -181,3 +181,46 @@ func TestPropLPTQuality(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestKernelStats checks the per-kernel-name accounting that feeds the
+// /metrics per-gTask kernel counters.
+func TestKernelStats(t *testing.T) {
+	d := New(A100())
+	k1 := Kernel{Name: "gtask.fused", Cat: CatNeural, FLOPs: 1e9, Bytes: 1e6}
+	k2 := Kernel{Name: "sage.self", Cat: CatNeural, FLOPs: 2e9, Bytes: 2e6, TensorCore: true}
+	d.Launch(k1, nil)
+	d.Launch(k1, nil)
+	d.Launch(k2, nil)
+
+	ks := d.KernelStats()
+	if len(ks) != 2 {
+		t.Fatalf("got %d kernel entries, want 2: %v", len(ks), ks)
+	}
+	fused := ks["gtask.fused"]
+	if fused.Launches != 2 || fused.FLOPs != 2e9 || fused.Bytes != 2e6 {
+		t.Errorf("gtask.fused stats = %+v", fused)
+	}
+	wantT := 2 * (d.Spec.LaunchOverhead + d.Spec.Time(k1))
+	if math.Abs(fused.SimSeconds-wantT) > 1e-12 {
+		t.Errorf("gtask.fused SimSeconds = %v, want %v", fused.SimSeconds, wantT)
+	}
+	if ks["sage.self"].Launches != 1 {
+		t.Errorf("sage.self launches = %d, want 1", ks["sage.self"].Launches)
+	}
+	// Snapshot is a copy: mutating it must not affect the device.
+	fused.Launches = 99
+	if d.KernelStats()["gtask.fused"].Launches != 2 {
+		t.Error("KernelStats snapshot aliases internal state")
+	}
+	// Zero-value Device (no New) must not panic.
+	var dz Device
+	dz.Spec = A100()
+	dz.Launch(k1, nil)
+	if dz.KernelStats()["gtask.fused"].Launches != 1 {
+		t.Error("zero-value Device did not account the kernel")
+	}
+	d.Reset()
+	if len(d.KernelStats()) != 0 {
+		t.Error("Reset did not clear kernel stats")
+	}
+}

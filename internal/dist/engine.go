@@ -7,6 +7,7 @@ import (
 
 	"wisegraph/internal/graph"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
 	"wisegraph/internal/tensor"
 )
 
@@ -128,6 +129,8 @@ func (e *Engine) Unshard(parts []*tensor.Tensor) *tensor.Tensor {
 // from global vertex id to the received row (backed by remote tensors'
 // copies). Accounts the deduplicated communication volume.
 func (e *Engine) exchange(parts []*tensor.Tensor) []map[int32][]float32 {
+	sp := obs.Begin(obs.StageCollective, obs.NewID())
+	defer sp.End()
 	n := e.C.N
 	out := make([]map[int32][]float32, n)
 	var wg sync.WaitGroup

@@ -37,6 +37,12 @@ type Ctx struct {
 	PaperScale float64
 	// MemCap is the device memory in bytes (default A100 40 GB).
 	MemCap float64
+	// TraceID, when non-zero, groups the spans an executor records under
+	// one logical request/step in the observability layer (internal/obs).
+	// Callers that own a trace (a serve micro-batch, a train step) set it
+	// before invoking an executor so the exec-stage span lands on the same
+	// timeline as the caller's sample/partition/demux spans.
+	TraceID uint64
 
 	peakWorkspace float64
 }

@@ -10,6 +10,7 @@ import (
 	"wisegraph/internal/exec"
 	"wisegraph/internal/graph"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
 	"wisegraph/internal/tensor"
 )
 
@@ -22,6 +23,8 @@ func RunModel(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor, par
 	if !ValidPlanFor(m.Cfg.Kind, part.Plan) {
 		return nil, fmt.Errorf("kernels: plan %v cannot execute %v", part.Plan, m.Cfg.Kind)
 	}
+	sp := obs.Begin(obs.StageExec, ctx.TraceID)
+	defer sp.End()
 	cur := x
 	for li, layer := range m.Layers() {
 		sh := LayerShape{Kind: m.Cfg.Kind, F: layer.InDim(), Fp: layer.OutDim(), Types: m.Cfg.NumTypes}

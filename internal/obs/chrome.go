@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteChromeTrace writes the current ring contents as Chrome
+// trace-event JSON (the object form, {"traceEvents": [...]}), loadable
+// in chrome://tracing and Perfetto. Each span is a complete ("X") event;
+// the unit-of-work id becomes the thread id, so the stages of one
+// request batch or training step line up on one row.
+func WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, r := range Spans() {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		// ts/dur are microseconds (the trace-event convention).
+		if _, err := fmt.Fprintf(bw,
+			`{"name":%q,"cat":"wisegraph","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d}`,
+			r.Stage.String(), float64(r.Start)/1e3, float64(r.Dur)/1e3, r.ID); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram: power-of-two buckets over
+// nanoseconds, each an atomic counter. Observation is one atomic add on
+// the hot path (no locks, no allocation); quantiles are computed from a
+// snapshot of the counters with geometric interpolation inside the
+// selected bucket, so they are exact at bucket boundaries and log-linear
+// within (resolution one power-of-two bucket, interpolated).
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// NumBuckets covers 1 ns .. ~2.3 h (2^63 ns overflows long before that
+// matters; bucket b holds durations in [2^(b-1), 2^b) ns).
+const NumBuckets = 43
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Snapshot returns a point-in-time copy of the bucket counters plus the
+// total count and nanosecond sum. The counters are read individually, so
+// a snapshot taken under concurrent Observes can be off by the in-flight
+// observations (each bucket is internally consistent).
+func (h *Histogram) Snapshot() (counts [NumBuckets]uint64, count, sumNs uint64) {
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		count += counts[i]
+	}
+	return counts, count, h.sum.Load()
+}
+
+// BucketUpperNs returns the exclusive upper bound of bucket b in
+// nanoseconds (bucket b holds [2^(b-1), 2^b); bucket 0 holds {0}∪… up
+// to 1 ns).
+func BucketUpperNs(b int) uint64 { return uint64(1) << uint(b) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from a point-in-time
+// snapshot of the buckets. The fractional rank is located in its bucket
+// and the value interpolated geometrically — lo·2^f for rank fraction f —
+// which is exact for log-uniform data within the bucket and bounds the
+// error to well under the bucket's 2× width (the previous implementation
+// returned the bucket's upper bound, biasing p50 high by up to 2×).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	counts, total, _ := h.Snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	last := 0
+	for b := range counts {
+		if counts[b] > 0 {
+			last = b
+		}
+	}
+	var cum float64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc >= target || b == last {
+			f := (target - cum) / fc
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			if b == 0 {
+				return 1
+			}
+			lo := float64(uint64(1) << uint(b-1))
+			return time.Duration(lo * math.Pow(2, f))
+		}
+		cum += fc
+	}
+	return time.Duration(BucketUpperNs(last))
+}

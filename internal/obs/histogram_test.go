@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	wantSum := time.Duration(90*1000 + 10*1_000_000)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("Sum = %v, want %v", got, wantSum)
+	}
+	if got := h.Mean(); got != wantSum/100 {
+		t.Errorf("Mean = %v, want %v", got, wantSum/100)
+	}
+	// p50 lands in the 1µs bucket [512ns, 1024ns) and must be interior:
+	// the upper-bound bug returned exactly 1024ns.
+	p50 := h.Quantile(0.50)
+	if p50 < 512*time.Nanosecond || p50 >= 1024*time.Nanosecond {
+		t.Errorf("p50 = %v, want within [512ns, 1024ns)", p50)
+	}
+	// p99 lands in the 1ms bucket [2^19, 2^20).
+	p99 := h.Quantile(0.99)
+	if p99 < time.Duration(1<<19) || p99 > time.Duration(1<<20) {
+		t.Errorf("p99 = %v, want within [%v, %v]", p99, time.Duration(1<<19), time.Duration(1<<20))
+	}
+	if p50 > p99 {
+		t.Error("p50 > p99")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to 0
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("zero-duration quantile = %v, want 1ns", got)
+	}
+	// Far beyond the top bucket still lands in the last bucket; the
+	// interpolated value stays inside it.
+	var h2 Histogram
+	h2.Observe(time.Duration(1<<62) + 5)
+	lo := time.Duration(1) << (NumBuckets - 2)
+	hi := time.Duration(1) << (NumBuckets - 1)
+	if got := h2.Quantile(0.5); got < lo || got > hi {
+		t.Errorf("overflow quantile = %v, want within [%v, %v]", got, lo, hi)
+	}
+	// q is clamped.
+	if h2.Quantile(-1) > h2.Quantile(2) {
+		t.Error("clamped quantiles out of order")
+	}
+}
+
+// TestQuantileInterpolationPinned pins p50/p95/p99 against the exact
+// quantiles of a known log-uniform distribution — the distribution for
+// which geometric in-bucket interpolation is the right model — and
+// requires agreement within 5%. The upper-bound implementation this
+// replaces was off by up to 2× (one full bucket).
+func TestQuantileInterpolationPinned(t *testing.T) {
+	const n = 20000
+	var h Histogram
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// log-uniform over [1µs, 1.024ms] — spans buckets 10..20.
+		v := 1000 * math.Pow(2, 10*float64(i)/float64(n-1))
+		vals[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		exact := vals[int(q*float64(n-1))]
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("q=%.2f: interpolated %.0fns vs exact %.0fns (%.1f%% off, want <5%%)",
+				q, got, exact, 100*rel)
+		}
+	}
+	// The old upper-bound estimate for p50 would have been 2^15.5-ish
+	// rounded up to a bucket bound; check we are not pinned to a bound.
+	p50 := uint64(h.Quantile(0.5))
+	for b := 0; b < NumBuckets; b++ {
+		if p50 == BucketUpperNs(b) {
+			t.Errorf("p50 = %d sits exactly on a bucket bound — interpolation not applied", p50)
+		}
+	}
+}
+
+// TestQuantileSingleObservation: one sample lands on the geometric
+// midpoint of its bucket at q=0.5 (lo·√2).
+func TestQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(700 * time.Nanosecond) // bucket 10: [512, 1024)
+	want := 512 * math.Sqrt2
+	if got := float64(h.Quantile(0.5)); math.Abs(got-want) > 1 {
+		t.Errorf("single-sample p50 = %v, want geometric midpoint %.0f", got, want)
+	}
+	if got := h.Quantile(0); got != 512*time.Nanosecond {
+		t.Errorf("q=0 = %v, want bucket lower bound 512ns", got)
+	}
+	if got := h.Quantile(1); got != 1024*time.Nanosecond {
+		t.Errorf("q=1 = %v, want bucket upper bound 1.024µs", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)
+	h.Observe(time.Microsecond)
+	counts, count, sumNs := h.Snapshot()
+	if count != 2 || sumNs != 2000 {
+		t.Fatalf("Snapshot count=%d sum=%d, want 2/2000", count, sumNs)
+	}
+	if counts[10] != 2 { // 1000ns → bucket 10
+		t.Errorf("bucket 10 = %d, want 2", counts[10])
+	}
+}

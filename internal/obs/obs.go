@@ -1,0 +1,203 @@
+// Package obs is the observability layer: lock-free, zero-dependency
+// phase tracing and metrics threaded through the whole stack. Per-stage
+// spans (sample → partition → gTask exec → collective → demux) are
+// recorded into a fixed ring buffer and accumulated into per-stage
+// latency histograms; the ring exports as Chrome trace-event JSON
+// (chrome://tracing, Perfetto) and the histograms feed the Prometheus
+// /metrics endpoint.
+//
+// The hot path is allocation-free by the same discipline as the serving
+// metrics: a Span is a stack value, Begin is one atomic pointer load
+// (plus a clock read when tracing is on), and End is a handful of atomic
+// stores into a preallocated slot. When tracing is disabled the entire
+// cost of an instrumented region is the Begin's single atomic load.
+//
+// Tracing state is process-global, like runtime/trace: instrumentation
+// points call Begin/End unconditionally and binaries opt in with Enable.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies an instrumented phase of the pipeline.
+type Stage uint8
+
+// The five pipeline stages plus two umbrella stages that bracket a whole
+// unit of work (a serve micro-batch, a training step).
+const (
+	// StageSample is neighbor sampling (subgraph construction).
+	StageSample Stage = iota
+	// StagePartition is the O(E) gTask partition under the frozen plan.
+	StagePartition
+	// StageExec is the gTask forward/backward execution.
+	StageExec
+	// StageCollective is data movement: the feature gather on one device,
+	// the all-to-all halo exchange and gradient all-reduce across devices.
+	StageCollective
+	// StageDemux is request coalescing bookkeeping: cross-request seed
+	// dedup going in, logit-row demultiplexing coming out.
+	StageDemux
+	// StageBatch brackets one serve micro-batch end to end.
+	StageBatch
+	// StageStep brackets one training step end to end.
+	StageStep
+	// NumStages is the number of distinct stages.
+	NumStages
+)
+
+// String names the stage (also the Chrome trace event name and the
+// Prometheus stage label).
+func (s Stage) String() string {
+	switch s {
+	case StageSample:
+		return "sample"
+	case StagePartition:
+		return "partition"
+	case StageExec:
+		return "exec"
+	case StageCollective:
+		return "collective"
+	case StageDemux:
+		return "demux"
+	case StageBatch:
+		return "batch"
+	case StageStep:
+		return "step"
+	}
+	return "unknown"
+}
+
+// Record is one completed span, as read back from the ring.
+type Record struct {
+	Stage Stage
+	// ID groups the spans of one unit of work (request batch, train step).
+	ID uint64
+	// Start is the span's start time relative to the trace epoch.
+	Start time.Duration
+	// Dur is the span's duration.
+	Dur time.Duration
+}
+
+// slot is one ring entry. Fields are individually atomic so writers never
+// take a lock and concurrent readers are race-free; a reader that catches
+// a slot mid-overwrite (only possible after the ring wraps) may see one
+// record's metadata with another's timing, which is acceptable for
+// diagnostics and avoided in practice by sizing the ring to the window of
+// interest.
+type slot struct {
+	// meta packs (id << 9) | (stage << 1) | valid.
+	meta  atomic.Uint64
+	start atomic.Int64 // ns since ring epoch
+	dur   atomic.Int64 // ns
+}
+
+type ringBuf struct {
+	slots []slot
+	next  atomic.Uint64
+	epoch time.Time
+}
+
+// DefaultRingSize is the span capacity Enable uses when given n <= 0.
+const DefaultRingSize = 1 << 14
+
+var (
+	ring       atomic.Pointer[ringBuf]
+	stageHists [NumStages]Histogram
+	idCounter  atomic.Uint64
+)
+
+// Enable turns tracing on with a fresh ring of n spans (DefaultRingSize
+// if n <= 0). Calling it again replaces the ring and resets the epoch;
+// the per-stage histograms keep accumulating across Enable calls.
+func Enable(n int) {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	ring.Store(&ringBuf{slots: make([]slot, n), epoch: time.Now()})
+}
+
+// Disable turns tracing off and drops the ring. In-flight spans begun
+// before Disable still record into the old ring (harmless; it is
+// unreachable afterwards and garbage-collected).
+func Disable() { ring.Store(nil) }
+
+// Enabled reports whether tracing is on.
+func Enabled() bool { return ring.Load() != nil }
+
+// NewID returns a fresh nonzero unit-of-work id (batch id, step id).
+func NewID() uint64 { return idCounter.Add(1) }
+
+// Span is an open span. It is a plain stack value: Begin/End allocate
+// nothing.
+type Span struct {
+	rb    *ringBuf
+	start time.Time
+	id    uint64
+	stage Stage
+}
+
+// Begin opens a span for the given stage and unit-of-work id. When
+// tracing is disabled it costs one atomic load and returns an inert span.
+func Begin(stage Stage, id uint64) Span {
+	rb := ring.Load()
+	if rb == nil {
+		return Span{}
+	}
+	return Span{rb: rb, start: time.Now(), id: id, stage: stage}
+}
+
+// End closes the span: it records the duration into the stage histogram
+// and the ring, and returns the duration (0 for inert spans).
+func (s Span) End() time.Duration {
+	if s.rb == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	stageHists[s.stage].Observe(d)
+	i := (s.rb.next.Add(1) - 1) % uint64(len(s.rb.slots))
+	sl := &s.rb.slots[i]
+	sl.start.Store(int64(s.start.Sub(s.rb.epoch)))
+	sl.dur.Store(int64(d))
+	sl.meta.Store(s.id<<9 | uint64(s.stage)<<1 | 1)
+	return d
+}
+
+// StageHistogram returns the cumulative latency histogram for a stage.
+// Histograms record whenever tracing is enabled and persist across
+// Enable/Disable cycles (they are counters, not a window).
+func StageHistogram(stage Stage) *Histogram {
+	return &stageHists[stage]
+}
+
+// Spans returns the ring contents oldest-first (nil when disabled). The
+// snapshot is taken without stopping writers, so spans recorded during
+// the scan may be missed or duplicated at the wrap boundary.
+func Spans() []Record {
+	rb := ring.Load()
+	if rb == nil {
+		return nil
+	}
+	n := rb.next.Load()
+	size := uint64(len(rb.slots))
+	lo := uint64(0)
+	if n > size {
+		lo = n - size
+	}
+	out := make([]Record, 0, n-lo)
+	for i := lo; i < n; i++ {
+		sl := &rb.slots[i%size]
+		m := sl.meta.Load()
+		if m&1 == 0 {
+			continue
+		}
+		out = append(out, Record{
+			Stage: Stage((m >> 1) & 0xff),
+			ID:    m >> 9,
+			Start: time.Duration(sl.start.Load()),
+			Dur:   time.Duration(sl.dur.Load()),
+		})
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecording(t *testing.T) {
+	Enable(16)
+	defer Disable()
+
+	id := NewID()
+	sp := Begin(StageSample, id)
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Errorf("span duration %v < slept 1ms", d)
+	}
+	Begin(StageExec, id).End()
+
+	var got []Record
+	for _, r := range Spans() {
+		if r.ID == id {
+			got = append(got, r)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d spans for id %d, want 2", len(got), id)
+	}
+	if got[0].Stage != StageSample || got[1].Stage != StageExec {
+		t.Errorf("stages = %v, %v; want sample, exec", got[0].Stage, got[1].Stage)
+	}
+	if got[0].Dur < time.Millisecond {
+		t.Errorf("recorded dur %v < 1ms", got[0].Dur)
+	}
+	if got[1].Start < got[0].Start {
+		t.Errorf("second span starts (%v) before first (%v)", got[1].Start, got[0].Start)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	Enable(4)
+	defer Disable()
+	for i := 0; i < 10; i++ {
+		Begin(StagePartition, uint64(1000+i)).End()
+	}
+	recs := Spans()
+	if len(recs) != 4 {
+		t.Fatalf("ring of 4 returned %d records", len(recs))
+	}
+	// Oldest-first: the last four ids survive.
+	for i, r := range recs {
+		if want := uint64(1000 + 6 + i); r.ID != want {
+			t.Errorf("record %d id = %d, want %d", i, r.ID, want)
+		}
+	}
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	sp := Begin(StageExec, 1)
+	if sp.End() != 0 {
+		t.Error("inert span returned nonzero duration")
+	}
+	if Spans() != nil {
+		t.Error("Spans() non-nil while disabled")
+	}
+	if Enabled() {
+		t.Error("Enabled() true after Disable")
+	}
+}
+
+// TestSpanAllocFree pins the hot-path discipline: Begin+End allocate
+// nothing, enabled or not.
+func TestSpanAllocFree(t *testing.T) {
+	Enable(1024)
+	defer Disable()
+	if n := testing.AllocsPerRun(200, func() {
+		Begin(StageExec, 7).End()
+	}); n != 0 {
+		t.Errorf("enabled Begin/End allocates %.1f/op, want 0", n)
+	}
+	Disable()
+	if n := testing.AllocsPerRun(200, func() {
+		Begin(StageExec, 7).End()
+	}); n != 0 {
+		t.Errorf("disabled Begin/End allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestStageHistogramAccumulates(t *testing.T) {
+	Enable(16)
+	defer Disable()
+	before := StageHistogram(StageCollective).Count()
+	Begin(StageCollective, NewID()).End()
+	Begin(StageCollective, NewID()).End()
+	if got := StageHistogram(StageCollective).Count(); got != before+2 {
+		t.Errorf("stage histogram count = %d, want %d", got, before+2)
+	}
+}
+
+// chromeTrace mirrors the trace-event JSON shape for decoding.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  uint64  `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	Enable(64)
+	defer Disable()
+	id := NewID()
+	sp := Begin(StageSample, id)
+	time.Sleep(100 * time.Microsecond)
+	sp.End()
+	Begin(StageDemux, id).End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var mine int
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "wisegraph" || ev.Pid != 1 {
+			t.Errorf("bad event shape: %+v", ev)
+		}
+		if ev.Tid == id {
+			mine++
+			if ev.Name != "sample" && ev.Name != "demux" {
+				t.Errorf("unexpected stage %q for id %d", ev.Name, id)
+			}
+		}
+	}
+	if mine != 2 {
+		t.Errorf("found %d events for id %d, want 2", mine, id)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	Disable()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 0 {
+		t.Errorf("disabled trace has %d events", len(tr.TraceEvents))
+	}
+}
+
+// TestConcurrentSpansRace exercises writers against readers and
+// Enable/Disable flips; its value is under -race.
+func TestConcurrentSpansRace(t *testing.T) {
+	Enable(256)
+	defer Disable()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := NewID()
+				sp := Begin(Stage(i%int(NumStages)), id)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = Spans()
+			var buf bytes.Buffer
+			_ = WriteChromeTrace(&buf)
+			_ = StageHistogram(StageExec).Quantile(0.99)
+			if i%10 == 9 {
+				Enable(256) // swap rings under load
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkSpan(b *testing.B) {
+	b.Run("enabled", func(b *testing.B) {
+		Enable(1 << 12)
+		defer Disable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Begin(StageExec, 1).End()
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		Disable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Begin(StageExec, 1).End()
+		}
+	})
+}

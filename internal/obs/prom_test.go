@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample matches one exposition-format sample line.
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+|NaN|\+Inf)$`)
+
+// parseProm validates every line of a text exposition and returns the
+// samples as name{labels} → value.
+func parseProm(t *testing.T, data []byte) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line does not parse as a Prometheus sample: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[m[1]+m[2]] = v
+	}
+	return out
+}
+
+func TestPromWriterCountersAndGauges(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("x_total", "", 3)
+	p.Counter("y_total", `kernel="a"`, 1)
+	p.Counter("y_total", `kernel="b"`, 2)
+	p.Gauge("z", "", -1.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.Bytes())
+	if samples["x_total"] != 3 || samples[`y_total{kernel="a"}`] != 1 || samples[`y_total{kernel="b"}`] != 2 || samples["z"] != -1.5 {
+		t.Fatalf("samples = %v", samples)
+	}
+	// One TYPE line per family, even with several label sets.
+	if got := strings.Count(buf.String(), "# TYPE y_total counter"); got != 1 {
+		t.Errorf("y_total TYPE lines = %d, want 1", got)
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 5; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Millisecond)
+
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Histogram("lat_seconds", `stage="exec"`, &h)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.Bytes())
+	if samples[`lat_seconds_count{stage="exec"}`] != 6 {
+		t.Fatalf("count sample missing: %v", samples)
+	}
+	if samples[`lat_seconds_bucket{stage="exec",le="+Inf"}`] != 6 {
+		t.Fatalf("+Inf bucket != count: %v", samples)
+	}
+	// Buckets are cumulative and monotone.
+	var prev float64
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		v, _ := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if v < prev {
+			t.Fatalf("bucket counts not monotone at %q", line)
+		}
+		prev = v
+	}
+}
+
+func TestPromWriterBatchSizeHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	bounds := []float64{1, 2, 3, 4}
+	counts := []uint64{0, 3, 0, 2}
+	p.HistogramFromBuckets("batch_size", "", bounds, counts, 2*3+4*2)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.Bytes())
+	if samples[`batch_size_bucket{le="2"}`] != 3 {
+		t.Errorf("le=2 bucket = %v, want 3", samples[`batch_size_bucket{le="2"}`])
+	}
+	if samples[`batch_size_bucket{le="4"}`] != 5 || samples[`batch_size_bucket{le="+Inf"}`] != 5 {
+		t.Errorf("cumulative tail wrong: %v", samples)
+	}
+	if samples["batch_size_count"] != 5 || samples["batch_size_sum"] != 14 {
+		t.Errorf("sum/count wrong: %v", samples)
+	}
+}
+
+func TestStageHistogramsEmitAllStages(t *testing.T) {
+	Enable(16)
+	defer Disable()
+	Begin(StageSample, NewID()).End()
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.StageHistograms("wisegraph_stage_duration_seconds")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, buf.Bytes())
+	for s := Stage(0); s < NumStages; s++ {
+		key := `wisegraph_stage_duration_seconds_count{stage="` + s.String() + `"}`
+		if _, ok := samples[key]; !ok {
+			t.Errorf("stage %v missing from exposition", s)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"wisegraph/internal/joint"
 	"wisegraph/internal/kernels"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
 	"wisegraph/internal/tensor"
 	"wisegraph/internal/train"
 )
@@ -152,6 +153,10 @@ type Engine struct {
 	stats    *Stats
 	drained  chan struct{} // closed when workers have fully exited
 
+	// devs are the workers' simulated devices, retained so /metrics can
+	// aggregate the timing model's per-kernel counters across the pool.
+	devs []*device.Device
+
 	// testHookBatchStart, when non-nil, runs before each micro-batch
 	// executes. Tests use it to stall or pace workers deterministically
 	// (overload is impossible to provoke reliably by timing alone on a
@@ -195,8 +200,10 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		if err != nil {
 			return nil, err
 		}
+		dev := device.New(*opts.Spec)
+		e.devs = append(e.devs, dev)
 		e.workerWG.Add(1)
-		go e.worker(w, replica)
+		go e.worker(w, replica, exec.NewCtx(dev))
 	}
 	go func() {
 		e.workerWG.Wait()
@@ -314,16 +321,28 @@ func (e *Engine) finish(r *request, res result) {
 	e.inflight.Add(-1)
 }
 
+// cancel resolves a request whose context expired before its micro-batch
+// ran: the error is delivered and in-flight decremented, but the request
+// counts as canceled, not completed — its latency is its queue timeout,
+// which must not pollute the served-latency histogram.
+func (e *Engine) cancel(r *request, err error) {
+	select {
+	case r.done <- result{err: err}:
+	default:
+	}
+	e.stats.recordCanceled()
+	e.inflight.Add(-1)
+}
+
 // worker executes micro-batches with per-worker state: a model replica,
 // an RNG stream, a reusable partitioner, and a simulated-device context.
 // Nothing mutable is shared between workers, so the pool scales without
 // locks on the compute path.
-func (e *Engine) worker(id int, replica *nn.Model) {
+func (e *Engine) worker(id int, replica *nn.Model, ectx *exec.Ctx) {
 	defer e.workerWG.Done()
 	rng := tensor.NewRNG(e.opts.Seed ^ (uint64(id+1) * 0x9e3779b97f4a7c15))
 	pt := core.NewPartitioner()
 	defer pt.Release()
-	ectx := exec.NewCtx(device.New(*e.opts.Spec))
 	for batch := range e.batches {
 		e.runBatch(batch, replica, rng, pt, ectx)
 	}
@@ -336,12 +355,13 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 	if h := e.testHookBatchStart; h != nil {
 		h()
 	}
-	// Drop requests whose deadline already passed while queued.
+	// Drop requests whose deadline already passed while queued: they are
+	// canceled, never completed, and their timed-out queue latencies stay
+	// out of the served-latency histogram.
 	live := batch[:0]
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
-			e.stats.canceled.Add(1)
-			e.finish(r, result{err: err})
+			e.cancel(r, err)
 			continue
 		}
 		live = append(live, r)
@@ -351,9 +371,15 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 	}
 	e.stats.recordBatch(len(live))
 
+	batchID := obs.NewID()
+	ectx.TraceID = batchID // the exec stage is recorded inside RunModel
+	spBatch := obs.Begin(obs.StageBatch, batchID)
+
 	// Dedupe seeds across the batch, remembering each request's rows.
 	// NeighborSample interns seeds first, in order, so seed i is local
-	// vertex i of the subgraph.
+	// vertex i of the subgraph. The mux direction of coalescing counts
+	// as demux time (same bookkeeping, opposite direction).
+	sp := obs.Begin(obs.StageDemux, batchID)
 	seedOf := make(map[int32]int32, len(live)*4)
 	var seeds []int32
 	rows := make([][]int32, len(live))
@@ -369,13 +395,26 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 			rows[i][j] = id
 		}
 	}
+	sp.End()
 
+	sp = obs.Begin(obs.StageSample, batchID)
 	sub := graph.NeighborSample(e.ds.Graph, e.csr, seeds, e.opts.Fanouts, rng)
-	gc := nn.NewGraphCtx(sub.Graph)
+	sp.End()
+
+	sp = obs.Begin(obs.StageCollective, batchID)
 	x := tensor.GatherRows(tensor.Get(len(sub.Vertices), e.ds.Dim()), e.ds.Features, sub.Vertices)
+	sp.End()
+
+	// Graph-ctx construction is O(V+E) indexing over the sampled subgraph,
+	// so it is accounted under the partition stage.
+	sp = obs.Begin(obs.StagePartition, batchID)
 	part := train.ReusePlanWith(pt, e.plan, sub.Graph)
+	gc := nn.NewGraphCtx(sub.Graph)
+	sp.End()
+
 	logits, err := kernels.RunModel(ectx, gc, replica, x, part, e.plan.OpPlan)
 	if err != nil {
+		spBatch.End()
 		tensor.Put(x)
 		for _, r := range live {
 			e.finish(r, result{err: fmt.Errorf("serve: forward failed: %w", err)})
@@ -383,6 +422,7 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 		return
 	}
 
+	sp = obs.Begin(obs.StageDemux, batchID)
 	for i, r := range live {
 		pred := Prediction{Classes: make([]int32, len(rows[i]))}
 		if r.wantLogits {
@@ -397,6 +437,8 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 		}
 		e.finish(r, result{pred: pred})
 	}
+	sp.End()
+	spBatch.End()
 	tensor.Put(x)
 	tensor.Put(logits)
 }

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"time"
+
+	"wisegraph/internal/obs"
 )
 
 // PredictRequest is the /predict request body.
@@ -38,12 +41,32 @@ type HealthResponse struct {
 	Classes  int    `json:"classes"`
 }
 
+// HandlerOption customizes the serve mux beyond the always-on routes.
+type HandlerOption func(*http.ServeMux)
+
+// WithPprof mounts the stdlib net/http/pprof profiler under /debug/pprof/.
+// It is opt-in (a flag on wisegraph-serve) because profile endpoints can
+// stall the process and should not be exposed by default.
+func WithPprof() HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
 // NewHandler exposes an engine over stdlib net/http:
 //
-//	POST /predict — classify nodes (JSON in/out)
-//	GET  /healthz — liveness + drain state
-//	GET  /statsz  — serving metrics snapshot
-func NewHandler(e *Engine) http.Handler {
+//	POST /predict     — classify nodes (JSON in/out)
+//	GET  /healthz     — liveness + drain state
+//	GET  /statsz      — serving metrics snapshot (JSON)
+//	GET  /metrics     — Prometheus text exposition
+//	GET  /debug/trace — recent spans as Chrome trace-event JSON
+//
+// Options add routes (e.g. WithPprof).
+func NewHandler(e *Engine, options ...HandlerOption) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -94,6 +117,23 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := e.WriteMetrics(w); err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !obs.Enabled() {
+			writeErr(w, http.StatusNotFound, "tracing disabled (ring size 0)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w)
+	})
+	for _, opt := range options {
+		opt(mux)
+	}
 	return mux
 }
 

@@ -1,81 +1,22 @@
 package serve
 
 import (
-	"math/bits"
+	"io"
+	"sort"
 	"sync/atomic"
 	"time"
+
+	"wisegraph/internal/device"
+	"wisegraph/internal/obs"
 )
 
-// Histogram is a lock-free latency histogram: power-of-two buckets over
-// nanoseconds, each an atomic counter. Observation is one atomic add on
-// the hot path (no locks, no allocation); quantiles are computed from a
-// snapshot of the counters, so they are approximate to within one bucket
-// (~2× resolution), which is plenty for p50/p95/p99 serving dashboards.
-type Histogram struct {
-	buckets [histBuckets]atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64 // nanoseconds
-}
+// Histogram is the lock-free power-of-two latency histogram, shared with
+// the observability layer (internal/obs) so serving latencies and stage
+// timings use one implementation and one quantile estimator.
+type Histogram = obs.Histogram
 
-// histBuckets covers 1 ns .. ~2.3 h (2^63 ns overflows long before that
-// matters; bucket b holds durations in [2^(b-1), 2^b) ns).
-const histBuckets = 43
-
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	b := bits.Len64(uint64(d))
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sum.Add(uint64(d))
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Mean returns the average observed duration.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1])
-// from a point-in-time snapshot of the buckets.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	var counts [histBuckets]uint64
-	var total uint64
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var cum uint64
-	for b, c := range counts {
-		cum += c
-		if cum > rank {
-			if b == 0 {
-				return 1
-			}
-			// upper bound of the bucket range [2^(b-1), 2^b)
-			return time.Duration(uint64(1) << uint(b))
-		}
-	}
-	return time.Duration(uint64(1) << uint(histBuckets-1))
-}
+// histBuckets is kept for the serve tests' bucket-geometry assertions.
+const histBuckets = obs.NumBuckets
 
 // qpsRing tracks completions per wall-clock second over a short window so
 // /statsz can report recent throughput, not just the lifetime average.
@@ -103,25 +44,39 @@ func (r *qpsRing) Mark(sec int64) {
 }
 
 // Recent returns completions/second averaged over the last full window
-// (excluding the in-progress second, which would bias low).
-func (r *qpsRing) Recent(sec int64) float64 {
+// (excluding the in-progress second, which would bias low). The divisor
+// is capped at the full seconds of uptime so a freshly started server
+// (or a short bench run) reports its actual recent rate instead of a
+// near-zero number diluted by seconds that never happened.
+func (r *qpsRing) Recent(sec int64, uptime float64) float64 {
+	window := int64(qpsWindow)
+	if up := int64(uptime); up < window {
+		window = up
+	}
+	if window < 1 {
+		window = 1
+	}
 	var total uint64
 	for i := 0; i < qpsSlots; i++ {
 		s := r.secs[i].Load()
-		if s >= sec-qpsWindow && s < sec {
+		if s >= sec-window && s < sec {
 			total += r.counts[i].Load()
 		}
 	}
-	return float64(total) / qpsWindow
+	return float64(total) / float64(window)
 }
 
 // Stats aggregates every serving counter. All fields are atomics updated
 // lock-free on the request path; Snapshot assembles a JSON-friendly view.
+//
+// Invariant: every admitted request is eventually counted in exactly one
+// of completed or canceled, so admitted = completed + canceled + in-flight
+// at all times (shed and rejected requests are never admitted).
 type Stats struct {
 	start time.Time
 
 	admitted  atomic.Uint64 // entered the admission queue
-	completed atomic.Uint64 // got a response (including per-request errors)
+	completed atomic.Uint64 // computed a response (including per-request errors)
 	shed      atomic.Uint64 // 429: queue full
 	rejected  atomic.Uint64 // 503: draining
 	canceled  atomic.Uint64 // request context expired before compute
@@ -147,10 +102,19 @@ func (s *Stats) recordBatch(n int) {
 	s.batchSizes[n].Add(1)
 }
 
+// recordDone counts one computed response. Only completed requests feed
+// the latency histogram and QPS ring; canceled requests go through
+// recordCanceled so their queue-timeout latencies cannot pollute p99.
 func (s *Stats) recordDone(lat time.Duration) {
 	s.completed.Add(1)
 	s.latency.Observe(lat)
 	s.qps.Mark(time.Now().Unix())
+}
+
+// recordCanceled counts one request whose context expired before its
+// micro-batch ran.
+func (s *Stats) recordCanceled() {
+	s.canceled.Add(1)
 }
 
 // Snapshot is the /statsz payload.
@@ -208,10 +172,99 @@ func (s *Stats) snapshot(inFlight int64, queueDepth int) Snapshot {
 		AvgBatchSize:     avg,
 		BatchSizeDist:    dist,
 		LifetimeQPS:      lifetime,
-		RecentQPS:        s.qps.Recent(time.Now().Unix()),
+		RecentQPS:        s.qps.Recent(time.Now().Unix(), up),
 		LatencyMeanMs:    ms(s.latency.Mean()),
 		LatencyP50Ms:     ms(s.latency.Quantile(0.50)),
 		LatencyP95Ms:     ms(s.latency.Quantile(0.95)),
 		LatencyP99Ms:     ms(s.latency.Quantile(0.99)),
 	}
+}
+
+// WriteMetrics writes the full Prometheus text exposition for this
+// engine: the serving counters, the request-latency and batch-size
+// histograms, the per-stage timing histograms from the observability
+// layer, and the per-kernel counters aggregated across the worker pool's
+// simulated devices.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	s := e.stats
+	p := obs.NewPromWriter(w)
+	p.Gauge("wisegraph_serve_uptime_seconds", "", time.Since(s.start).Seconds())
+	p.Counter("wisegraph_serve_admitted_total", "", float64(s.admitted.Load()))
+	p.Counter("wisegraph_serve_completed_total", "", float64(s.completed.Load()))
+	p.Counter("wisegraph_serve_canceled_total", "", float64(s.canceled.Load()))
+	p.Counter("wisegraph_serve_shed_total", "", float64(s.shed.Load()))
+	p.Counter("wisegraph_serve_rejected_draining_total", "", float64(s.rejected.Load()))
+	p.Counter("wisegraph_serve_batches_total", "", float64(s.batches.Load()))
+	p.Gauge("wisegraph_serve_in_flight", "", float64(e.inflight.Load()))
+	p.Gauge("wisegraph_serve_queue_depth", "", float64(len(e.queue)))
+	up := time.Since(s.start).Seconds()
+	p.Gauge("wisegraph_serve_recent_qps", "", s.qps.Recent(time.Now().Unix(), up))
+	p.Histogram("wisegraph_serve_latency_seconds", "", &s.latency)
+
+	// Batch-size distribution as an explicit-bounds histogram.
+	bounds := make([]float64, 0, len(s.batchSizes)-1)
+	counts := make([]uint64, 0, len(s.batchSizes)-1)
+	var sizeSum float64
+	for n := 1; n < len(s.batchSizes); n++ {
+		c := s.batchSizes[n].Load()
+		bounds = append(bounds, float64(n))
+		counts = append(counts, c)
+		sizeSum += float64(n) * float64(c)
+	}
+	p.HistogramFromBuckets("wisegraph_serve_batch_size", "", bounds, counts, sizeSum)
+
+	// Per-stage timings (sample/partition/exec/collective/demux/batch/step).
+	p.StageHistograms("wisegraph_stage_duration_seconds")
+
+	// Per-kernel counters from the timing model, across all workers.
+	agg, kernels := e.DeviceStats()
+	names := make([]string, 0, len(kernels))
+	for name := range kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ks := kernels[name]
+		l := `kernel="` + name + `"`
+		p.Counter("wisegraph_device_kernel_launches_total", l, float64(ks.Launches))
+		p.Counter("wisegraph_device_kernel_sim_seconds_total", l, ks.SimSeconds)
+		p.Counter("wisegraph_device_kernel_flops_total", l, ks.FLOPs)
+		p.Counter("wisegraph_device_kernel_bytes_total", l, ks.Bytes)
+	}
+	cats := make([]string, 0, len(agg.ByCategory))
+	for cat := range agg.ByCategory {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		p.Counter("wisegraph_device_sim_seconds_total", `category="`+cat+`"`, agg.ByCategory[cat])
+	}
+	p.Counter("wisegraph_device_kernels_total", "", float64(agg.Kernels))
+	return p.Err()
+}
+
+// DeviceStats aggregates the simulated-device accounting across the
+// worker pool: summed device stats and merged per-kernel counters.
+func (e *Engine) DeviceStats() (device.Stats, map[string]device.KernelStats) {
+	total := device.Stats{ByCategory: map[string]float64{}}
+	kernels := map[string]device.KernelStats{}
+	for _, d := range e.devs {
+		st := d.Stats()
+		total.SimSeconds += st.SimSeconds
+		total.Kernels += st.Kernels
+		total.FLOPs += st.FLOPs
+		total.Bytes += st.Bytes
+		for cat, v := range st.ByCategory {
+			total.ByCategory[cat] += v
+		}
+		for name, ks := range d.KernelStats() {
+			m := kernels[name]
+			m.Launches += ks.Launches
+			m.SimSeconds += ks.SimSeconds
+			m.FLOPs += ks.FLOPs
+			m.Bytes += ks.Bytes
+			kernels[name] = m
+		}
+	}
+	return total, kernels
 }

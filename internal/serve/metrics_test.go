@@ -22,13 +22,14 @@ func TestHistogramQuantiles(t *testing.T) {
 	if got := h.Mean(); got != wantMean {
 		t.Errorf("Mean = %v, want %v", got, wantMean)
 	}
-	if got := h.Quantile(0.50); got != 1024*time.Nanosecond {
-		t.Errorf("p50 = %v, want 1.024µs", got)
+	// Interpolated quantiles land inside their bucket, not on its upper
+	// bound (the old estimator pinned p50 to 1024ns — up to 2× high).
+	if got := h.Quantile(0.50); got < 512*time.Nanosecond || got >= 1024*time.Nanosecond {
+		t.Errorf("p50 = %v, want within [512ns, 1024ns)", got)
 	}
-	if got := h.Quantile(0.99); got != time.Duration(1<<20) {
-		t.Errorf("p99 = %v, want %v", got, time.Duration(1<<20))
+	if got := h.Quantile(0.99); got < time.Duration(1<<19) || got > time.Duration(1<<20) {
+		t.Errorf("p99 = %v, want within [%v, %v]", got, time.Duration(1<<19), time.Duration(1<<20))
 	}
-	// Quantiles are upper bounds: p50 must not exceed p99.
 	if h.Quantile(0.5) > h.Quantile(0.99) {
 		t.Error("p50 > p99")
 	}
@@ -44,11 +45,14 @@ func TestHistogramEdgeCases(t *testing.T) {
 	if got := h.Quantile(0.5); got != 1 {
 		t.Errorf("zero-duration quantile = %v, want 1ns", got)
 	}
-	// Far beyond the top bucket still lands in the last bucket.
+	// Far beyond the top bucket still lands in the last bucket; the
+	// interpolated estimate stays inside it.
 	var h2 Histogram
 	h2.Observe(time.Duration(1<<62) + 5)
-	if got := h2.Quantile(0.5); got != time.Duration(1)<<(histBuckets-1) {
-		t.Errorf("overflow quantile = %v, want top bucket bound", got)
+	lo := time.Duration(1) << (histBuckets - 2)
+	hi := time.Duration(1) << (histBuckets - 1)
+	if got := h2.Quantile(0.5); got < lo || got > hi {
+		t.Errorf("overflow quantile = %v, want within [%v, %v]", got, lo, hi)
 	}
 }
 
@@ -60,18 +64,41 @@ func TestQPSRing(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		r.Mark(101)
 	}
-	if got := r.Recent(102); got != 1.0 { // 10 completions over the 10s window
-		t.Errorf("Recent(102) = %v, want 1.0", got)
+	if got := r.Recent(102, 60); got != 1.0 { // 10 completions over the 10s window
+		t.Errorf("Recent(102, 60) = %v, want 1.0", got)
 	}
 	// The in-progress second is excluded.
 	r.Mark(102)
-	if got := r.Recent(102); got != 1.0 {
-		t.Errorf("Recent(102) after marking sec 102 = %v, want 1.0", got)
+	if got := r.Recent(102, 60); got != 1.0 {
+		t.Errorf("Recent(102, 60) after marking sec 102 = %v, want 1.0", got)
 	}
 	// Slot reuse: second 116 maps onto 100's slot and resets it.
 	r.Mark(116)
-	if got := r.Recent(117); got != 0.1 { // only sec 116 in [107,117)
-		t.Errorf("Recent(117) = %v, want 0.1", got)
+	if got := r.Recent(117, 60); got != 0.1 { // only sec 116 in [107,117)
+		t.Errorf("Recent(117, 60) = %v, want 0.1", got)
+	}
+}
+
+// TestQPSRingShortUptime is the regression test for the window bug: a
+// server up for 2 seconds that completed 10 requests in those seconds
+// was reporting 1 QPS (10/window) instead of 5 (10/uptime).
+func TestQPSRingShortUptime(t *testing.T) {
+	var r qpsRing
+	for i := 0; i < 5; i++ {
+		r.Mark(100)
+		r.Mark(101)
+	}
+	if got := r.Recent(102, 2.9); got != 5.0 {
+		t.Errorf("Recent with 2.9s uptime = %v, want 10/2 = 5.0", got)
+	}
+	// Sub-second uptime divides by 1, never 0: only the last full second
+	// (101, 5 marks) is summed.
+	if got := r.Recent(102, 0.4); got != 5.0 {
+		t.Errorf("Recent with 0.4s uptime = %v, want 5/1 = 5.0", got)
+	}
+	// Uptime past the window reverts to the full-window average.
+	if got := r.Recent(102, 3600); got != 1.0 {
+		t.Errorf("Recent with long uptime = %v, want 1.0", got)
 	}
 }
 

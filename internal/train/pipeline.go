@@ -7,6 +7,7 @@ import (
 	"wisegraph/internal/graph"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
 	"wisegraph/internal/tensor"
 )
 
@@ -68,16 +69,25 @@ func NewPipeline(s *Sampled, plan *joint.Result, workers, depth int) *Pipeline {
 					seeds = append(seeds, s.DS.TrainMask[cursor])
 					cursor = (cursor + workers) % len(s.DS.TrainMask)
 				}
+				id := obs.NewID()
+				sp := obs.Begin(obs.StageSample, id)
 				sub := graph.NeighborSample(s.DS.Graph, csr, seeds, s.Fanouts, rng)
+				sp.End()
+				sp = obs.Begin(obs.StagePartition, id)
 				part := ReusePlanWith(pt, plan, sub.Graph)
+				sp.End()
 				mask := make([]int32, sub.NumSeeds)
 				for i := range mask {
 					mask[i] = int32(i)
 				}
+				sp = obs.Begin(obs.StageCollective, id)
+				x := sub.GatherFeatures(s.DS.Features)
+				labels := sub.GatherLabels(s.DS.Labels)
+				sp.End()
 				b := &PreparedBatch{
 					Sub:    sub,
-					X:      sub.GatherFeatures(s.DS.Features),
-					Labels: sub.GatherLabels(s.DS.Labels),
+					X:      x,
+					Labels: labels,
 					Mask:   mask,
 					Part:   part,
 				}
@@ -135,8 +145,13 @@ func (s *Sampled) TrainPipelined(plan *joint.Result, workers, iters int) []float
 		if b == nil {
 			break
 		}
+		id := obs.NewID()
+		step := obs.Begin(obs.StageStep, id)
 		gc := nn.NewGraphCtx(b.Sub.Graph)
+		sp := obs.Begin(obs.StageExec, id)
 		losses = append(losses, s.Model.TrainStep(gc, b.X, b.Labels, b.Mask, s.Opt))
+		sp.End()
+		step.End()
 	}
 	return losses
 }

@@ -16,6 +16,7 @@ import (
 	"wisegraph/internal/joint"
 	"wisegraph/internal/kernels"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
 	"wisegraph/internal/tensor"
 )
 
@@ -62,7 +63,13 @@ func NewFullGraph(ds *dataset.Dataset, cfg nn.Config, lr float64) (*FullGraph, e
 
 // Epoch runs one full-graph training epoch and returns the loss.
 func (t *FullGraph) Epoch() float64 {
-	return t.Model.TrainStep(t.GC, t.DS.Features, t.DS.Labels, t.DS.TrainMask, t.Opt)
+	id := obs.NewID()
+	step := obs.Begin(obs.StageStep, id)
+	sp := obs.Begin(obs.StageExec, id)
+	loss := t.Model.TrainStep(t.GC, t.DS.Features, t.DS.Labels, t.DS.TrainMask, t.Opt)
+	sp.End()
+	step.End()
+	return loss
 }
 
 // Run trains for epochs epochs, evaluating validation/test accuracy each
@@ -174,15 +181,25 @@ func (s *Sampled) NextBatch() *graph.Subgraph {
 // Iteration samples a subgraph and runs one training step on it,
 // returning the loss over the seed vertices.
 func (s *Sampled) Iteration() float64 {
+	id := obs.NewID()
+	step := obs.Begin(obs.StageStep, id)
+	sp := obs.Begin(obs.StageSample, id)
 	sub := s.NextBatch()
+	sp.End()
 	gc := nn.NewGraphCtx(sub.Graph)
+	sp = obs.Begin(obs.StageCollective, id)
 	x := sub.GatherFeatures(s.DS.Features)
 	labels := sub.GatherLabels(s.DS.Labels)
+	sp.End()
 	s.mask = s.mask[:0]
 	for i := 0; i < sub.NumSeeds; i++ {
 		s.mask = append(s.mask, int32(i))
 	}
-	return s.Model.TrainStep(gc, x, labels, s.mask, s.Opt)
+	sp = obs.Begin(obs.StageExec, id)
+	loss := s.Model.TrainStep(gc, x, labels, s.mask, s.Opt)
+	sp.End()
+	step.End()
+	return loss
 }
 
 // TunePlans runs the joint search on a few sampled subgraphs and returns

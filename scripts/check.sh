@@ -38,6 +38,14 @@ GOMAXPROCS=1 go test -race -count=1 -run "$SERVE" ./internal/serve/
 echo "== serving concurrency under -race (GOMAXPROCS=$NPROC)"
 GOMAXPROCS="$NPROC" go test -race -count=1 -run "$SERVE" ./internal/serve/
 
+# The observability layer's lock-free tracer and histograms are written to
+# by every pipeline stage concurrently; its suite must stay clean under
+# the race detector at both scheduler extremes.
+echo "== observability under -race (GOMAXPROCS=1)"
+GOMAXPROCS=1 go test -race -count=1 ./internal/obs/
+echo "== observability under -race (GOMAXPROCS=$NPROC)"
+GOMAXPROCS="$NPROC" go test -race -count=1 ./internal/obs/
+
 # End-to-end serving smoke test: train a tiny checkpoint, serve it over
 # HTTP on an ephemeral port, drive real load, then SIGTERM and assert the
 # graceful drain left zero requests in flight.
@@ -52,7 +60,9 @@ trap cleanup EXIT
 rm -rf "$SMOKE" && mkdir -p "$SMOKE"
 go build -o "$SMOKE/" ./cmd/wisegraph-train ./cmd/wisegraph-serve ./cmd/wgserve-bench
 "$SMOKE/wisegraph-train" -dataset AR -scale 400 -sampled -epochs 2 \
-  -save-checkpoint "$SMOKE/model.ckpt" >/dev/null
+  -save-checkpoint "$SMOKE/model.ckpt" -trace "$SMOKE/train.trace" >/dev/null
+grep -q '"traceEvents"' "$SMOKE/train.trace" \
+  || { echo "FAIL: wisegraph-train -trace wrote no trace events"; exit 1; }
 "$SMOKE/wisegraph-serve" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
   -addr 127.0.0.1:0 >"$SMOKE/serve.log" 2>&1 &
 SERVE_PID=$!
@@ -64,6 +74,30 @@ for _ in $(seq 1 100); do
 done
 [ -n "$ADDR" ] || { echo "FAIL: serve did not start"; cat "$SMOKE/serve.log"; exit 1; }
 "$SMOKE/wgserve-bench" -url "http://$ADDR" -clients 8 -duration 2s -zipf 1.2 >/dev/null
+
+# Scrape /metrics while the server is live: the exposition must parse,
+# every serving counter must be present, and all values non-negative.
+curl -sf "http://$ADDR/metrics" >"$SMOKE/metrics.txt" \
+  || { echo "FAIL: /metrics scrape failed"; cat "$SMOKE/serve.log"; exit 1; }
+for metric in wisegraph_serve_uptime_seconds wisegraph_serve_admitted_total \
+  wisegraph_serve_completed_total wisegraph_serve_canceled_total \
+  wisegraph_serve_shed_total wisegraph_serve_rejected_draining_total \
+  wisegraph_serve_batches_total wisegraph_serve_in_flight \
+  wisegraph_serve_queue_depth wisegraph_serve_recent_qps \
+  wisegraph_serve_latency_seconds_count wisegraph_serve_batch_size_count \
+  wisegraph_stage_duration_seconds_count wisegraph_device_kernels_total; do
+  grep -q "^$metric" "$SMOKE/metrics.txt" \
+    || { echo "FAIL: /metrics missing $metric"; cat "$SMOKE/metrics.txt"; exit 1; }
+done
+awk '/^#/ || NF == 0 { next }
+  { v = $NF }
+  v != "+Inf" && v != "NaN" && v + 0 < 0 { print "negative metric: " $0; bad = 1 }
+  END { exit bad }' "$SMOKE/metrics.txt" \
+  || { echo "FAIL: /metrics has negative values"; exit 1; }
+# A micro-batch traced end to end is reachable over HTTP too.
+curl -sf "http://$ADDR/debug/trace" | grep -q '"traceEvents"' \
+  || { echo "FAIL: /debug/trace not serving trace JSON"; exit 1; }
+echo "metrics scrape OK"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo "FAIL: serve exited non-zero"; cat "$SMOKE/serve.log"; exit 1; }
 SERVE_PID=""
