@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"wisegraph"
+	"wisegraph/internal/fault"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/nn"
 	"wisegraph/internal/obs"
@@ -60,8 +61,18 @@ func main() {
 		loadZipf   = flag.Float64("loadgen-zipf", 0, "node popularity skew for in-process load (0 = uniform)")
 		traceRing  = flag.Int("trace-ring", obs.DefaultRingSize, "span ring-buffer capacity for /debug/trace (0 disables tracing)")
 		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		faultSpec  = flag.String("fault-spec", "", "deterministic fault-injection schedule, e.g. seed=42;serve.batch:error=0.05,latency=0.1,delay=2ms")
+		batchTmo   = flag.Duration("batch-timeout", 500*time.Millisecond, "per-micro-batch execution budget (governs injected stragglers)")
 	)
 	flag.Parse()
+	if *faultSpec != "" {
+		sched, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fault.Set(sched)
+		fmt.Printf("fault injection: %s\n", sched)
+	}
 
 	if *traceRing > 0 {
 		obs.Enable(*traceRing)
@@ -84,12 +95,13 @@ func main() {
 		m.Cfg.Kind, m.Cfg.InDim, m.Cfg.Hidden, m.Cfg.OutDim, m.Cfg.Layers, m.NumParams())
 
 	opts := serve.Options{
-		Workers:    *workers,
-		BatchCap:   *batchCap,
-		BatchDelay: *batchDelay,
-		QueueDepth: *queueDepth,
-		Deadline:   *deadline,
-		Seed:       *seed,
+		Workers:      *workers,
+		BatchCap:     *batchCap,
+		BatchDelay:   *batchDelay,
+		QueueDepth:   *queueDepth,
+		Deadline:     *deadline,
+		BatchTimeout: *batchTmo,
+		Seed:         *seed,
 	}
 	if *fanout != "" {
 		opts.Fanouts, err = parseFanouts(*fanout)

@@ -16,7 +16,9 @@ import (
 	"strings"
 
 	"wisegraph"
+	"wisegraph/internal/fault"
 	"wisegraph/internal/obs"
+	"wisegraph/internal/train"
 )
 
 func main() {
@@ -40,8 +42,20 @@ func main() {
 		saveModel = flag.String("save-model", "", "alias for -save-checkpoint")
 		loadModel = flag.String("load-model", "", "alias for -load-checkpoint")
 		traceOut  = flag.String("trace", "", "write phase spans as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+		faultSpec = flag.String("fault-spec", "", "deterministic fault-injection schedule, e.g. seed=42;train.step:error=0.05;nn.checkpoint:error=0.01")
+		autoCkpt  = flag.String("auto-checkpoint", "", "train-state file for periodic auto-checkpoint and fault recovery (full-graph mode)")
+		ckptEvery = flag.Int("checkpoint-every", 5, "epochs between auto-checkpoints")
+		resume    = flag.Bool("resume", false, "resume from -auto-checkpoint when the file exists")
 	)
 	flag.Parse()
+	if *faultSpec != "" {
+		sched, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fault.Set(sched)
+		fmt.Printf("fault injection: %s\n", sched)
+	}
 	if *traceOut != "" {
 		obs.Enable(obs.DefaultRingSize)
 		defer writeTrace(*traceOut)
@@ -122,9 +136,30 @@ func main() {
 			fmt.Printf("wrote plan to %s\n", *savePlan)
 		}
 	}
-	for _, st := range tr.Run(*epochs) {
-		fmt.Printf("epoch %3d  loss %.4f  val %.3f  test %.3f  (%v)\n",
-			st.Epoch, st.Loss, st.ValAcc, st.TestAcc, st.Duration.Round(1e6))
+	if *autoCkpt != "" {
+		if !*resume {
+			os.Remove(*autoCkpt)
+		}
+		rep, err := tr.RunResilient(*epochs, *ckptEvery, &train.FileStore{Path: *autoCkpt})
+		if err != nil {
+			fatal(err)
+		}
+		if rep.ResumedFrom >= 0 {
+			fmt.Printf("resumed from epoch %d (%s)\n", rep.ResumedFrom, *autoCkpt)
+		}
+		for _, st := range rep.Stats {
+			fmt.Printf("epoch %3d  loss %.4f  val %.3f  test %.3f  (%v)\n",
+				st.Epoch, st.Loss, st.ValAcc, st.TestAcc, st.Duration.Round(1e6))
+		}
+		if rep.Recoveries > 0 || rep.SaveFailures > 0 {
+			fmt.Printf("resilience: %d recoveries, %d checkpoint-save failures\n",
+				rep.Recoveries, rep.SaveFailures)
+		}
+	} else {
+		for _, st := range tr.Run(*epochs) {
+			fmt.Printf("epoch %3d  loss %.4f  val %.3f  test %.3f  (%v)\n",
+				st.Epoch, st.Loss, st.ValAcc, st.TestAcc, st.Duration.Round(1e6))
+		}
 	}
 	if m, err := tr.Metrics(ds.TestMask); err == nil {
 		fmt.Printf("test metrics: %v\n", m)

@@ -71,10 +71,17 @@ func main() {
 	}
 	fmt.Printf("  per-layer placements chosen: %v\n", tr.Placements)
 	for ep := 0; ep < 10; ep++ {
-		loss := tr.Step()
+		loss, err := tr.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
 		if ep%3 == 0 || ep == 9 {
+			acc, err := tr.Accuracy(ds.TestMask)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  epoch %2d  loss %.4f  test acc %.3f  (comm so far %.1f MB)\n",
-				ep, loss, tr.Accuracy(ds.TestMask), eng.CommBytes()/1e6)
+				ep, loss, acc, eng.CommBytes()/1e6)
 		}
 	}
 }

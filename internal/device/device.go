@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"wisegraph/internal/fault"
 )
 
 // Spec describes a simulated accelerator.
@@ -201,6 +203,13 @@ type Device struct {
 	bytes    float64
 	byCat    [numCategories]float64
 	byKernel map[string]*KernelStats
+
+	// fault accounting: injected launch failures are modeled as a
+	// relaunch (the launch overhead and kernel time are paid twice) and
+	// injected stragglers as extra kernel time. The numeric work always
+	// runs exactly once — faults perturb the timing model, never results.
+	relaunches       int64
+	stragglerSeconds float64
 }
 
 // New returns a device with the given spec.
@@ -217,7 +226,22 @@ func (d *Device) Launch(k Kernel, body func()) {
 		body()
 	}
 	t := d.Spec.LaunchOverhead + d.Spec.Time(k)
+	var relaunch int64
+	var straggle float64
+	if f := fault.Check(fault.SiteDeviceLaunch); f != nil {
+		switch f.Kind {
+		case fault.KindError, fault.KindCorrupt:
+			// Failed (or corrupted-and-discarded) launch: the retry pays
+			// the whole kernel again.
+			relaunch, t = 1, 2*t
+		case fault.KindLatency:
+			straggle = f.Delay.Seconds()
+			t += straggle
+		}
+	}
 	d.mu.Lock()
+	d.relaunches += relaunch
+	d.stragglerSeconds += straggle
 	d.simTime += t
 	d.kernels++
 	d.flops += k.FLOPs
@@ -260,6 +284,10 @@ type Stats struct {
 	FLOPs      float64
 	Bytes      float64
 	ByCategory map[string]float64
+	// Relaunches counts injected launch failures absorbed by relaunching;
+	// StragglerSeconds is the simulated time injected latency spikes added.
+	Relaunches       int64
+	StragglerSeconds float64
 }
 
 // Stats returns a snapshot.
@@ -272,7 +300,10 @@ func (d *Device) Stats() Stats {
 			by[c.String()] = d.byCat[c]
 		}
 	}
-	return Stats{SimSeconds: d.simTime, Kernels: d.kernels, FLOPs: d.flops, Bytes: d.bytes, ByCategory: by}
+	return Stats{
+		SimSeconds: d.simTime, Kernels: d.kernels, FLOPs: d.flops, Bytes: d.bytes, ByCategory: by,
+		Relaunches: d.relaunches, StragglerSeconds: d.stragglerSeconds,
+	}
 }
 
 // KernelStats returns a snapshot of the per-kernel-name accounting.
@@ -290,6 +321,7 @@ func (d *Device) KernelStats() map[string]KernelStats {
 func (d *Device) Reset() {
 	d.mu.Lock()
 	d.simTime, d.kernels, d.flops, d.bytes = 0, 0, 0, 0
+	d.relaunches, d.stragglerSeconds = 0, 0
 	d.byCat = [numCategories]float64{}
 	d.byKernel = make(map[string]*KernelStats)
 	d.mu.Unlock()

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"wisegraph/internal/fault"
 	"wisegraph/internal/graph"
 	"wisegraph/internal/nn"
 	"wisegraph/internal/obs"
@@ -34,6 +37,10 @@ type Engine struct {
 	// accounting
 	mu        sync.Mutex
 	commBytes float64
+
+	// resilience accounting for the exchange path (see fetchWithRetry)
+	retries atomic.Uint64 // failed fetch attempts that were retried
+	hedges  atomic.Uint64 // straggling fetches abandoned for a re-issue
 }
 
 // NewEngine partitions g's vertices into c.N contiguous blocks and
@@ -124,39 +131,121 @@ func (e *Engine) Unshard(parts []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// Retry ladder for the exchange path. A peer fetch gets exchangeAttempts
+// tries; failed attempts back off exponentially from backoffBase with
+// deterministic jitter, and a fetch the injector marks as straggling
+// longer than hedgeAfter is abandoned and re-issued immediately (the
+// hedge) instead of being waited out — safe because fetches are
+// idempotent row copies.
+const (
+	exchangeAttempts = 5
+	backoffBase      = 100 * time.Microsecond
+	hedgeAfter       = time.Millisecond
+)
+
+// Resilience reports the exchange path's retry and hedge counts.
+func (e *Engine) Resilience() (retries, hedges uint64) {
+	return e.retries.Load(), e.hedges.Load()
+}
+
+// fetchPeer copies device d's remote needs from peer p's block into recv
+// and returns the bytes moved. It is idempotent: a retried or hedged
+// fetch overwrites the same keys with the same rows, which is what makes
+// the resilience ladder numerics-preserving.
+func (e *Engine) fetchPeer(d, p int, src *tensor.Tensor, recv map[int32][]float32) float64 {
+	lo := e.blockStart[p]
+	f := src.RowSize()
+	var vol float64
+	for _, v := range e.remoteNeeds[d][p] {
+		row := recv[v]
+		if row == nil {
+			row = make([]float32, f)
+			recv[v] = row
+		}
+		copy(row, src.Row(int(v-lo)))
+		vol += float64(f) * 4
+	}
+	return vol
+}
+
+// fetchWithRetry runs one peer fetch under the fault injector's
+// dist.exchange site: injected errors and detected corruption are retried
+// with exponential backoff plus jitter, short straggles are waited out,
+// and long straggles are hedged (abandoned and re-issued). Bounded: after
+// exchangeAttempts failed attempts the error surfaces to the caller.
+func (e *Engine) fetchWithRetry(d, p int, src *tensor.Tensor, recv map[int32][]float32) error {
+	backoff := backoffBase
+	for attempt := 0; attempt < exchangeAttempts; attempt++ {
+		f := fault.Check(fault.SiteExchange)
+		if f != nil && f.Kind == fault.KindLatency {
+			if f.Delay >= hedgeAfter {
+				// Hedge: don't wait out the straggler — re-issue at once.
+				// The abandoned attempt costs nothing here because the
+				// simulated transfer never started computing.
+				e.hedges.Add(1)
+				f = fault.Check(fault.SiteExchange)
+			} else {
+				time.Sleep(f.Delay)
+				f = nil
+			}
+		}
+		if f != nil && f.Kind == fault.KindLatency {
+			// The hedge itself straggles: wait it out, it still succeeds.
+			time.Sleep(f.Delay)
+			f = nil
+		}
+		if f == nil {
+			e.account(e.fetchPeer(d, p, src, recv))
+			return nil
+		}
+		// Injected error or corruption-detected: back off and retry.
+		e.retries.Add(1)
+		if attempt < exchangeAttempts-1 {
+			jitter := time.Duration(uint64(backoff) * (f.Seq%128 + 128) / 256)
+			time.Sleep(jitter)
+			backoff *= 2
+		} else {
+			return fmt.Errorf("dist: exchange fetch dev%d<-dev%d failed after %d attempts: %w",
+				d, p, exchangeAttempts, f.Err())
+		}
+	}
+	return nil
+}
+
 // exchange performs the all-to-all feature fetch: device d receives the
 // rows of its remote needs from their owners. Returns, per device, a map
 // from global vertex id to the received row (backed by remote tensors'
-// copies). Accounts the deduplicated communication volume.
-func (e *Engine) exchange(parts []*tensor.Tensor) []map[int32][]float32 {
+// copies). Accounts the deduplicated communication volume. Per-peer
+// fetches run through the retry/hedge ladder; the error is non-nil only
+// when a fetch exhausted its attempts under fault injection.
+func (e *Engine) exchange(parts []*tensor.Tensor) ([]map[int32][]float32, error) {
 	sp := obs.Begin(obs.StageCollective, obs.NewID())
 	defer sp.End()
 	n := e.C.N
 	out := make([]map[int32][]float32, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for d := 0; d < n; d++ {
 		go func(d int) {
 			defer wg.Done()
 			recv := map[int32][]float32{}
-			var vol float64
 			for p := 0; p < n; p++ {
-				src := parts[p]
-				lo := e.blockStart[p]
-				f := src.RowSize()
-				for _, v := range e.remoteNeeds[d][p] {
-					row := make([]float32, f)
-					copy(row, src.Row(int(v-lo)))
-					recv[v] = row
-					vol += float64(f) * 4
+				if err := e.fetchWithRetry(d, p, parts[p], recv); err != nil {
+					errs[d] = err
+					return
 				}
 			}
 			out[d] = recv
-			e.account(vol)
 		}(d)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // aggregate runs the normalized sum aggregation out[dst] += w·in[src] on
@@ -207,7 +296,10 @@ func (e *Engine) GCNForward(layer *nn.GCNLayer, xParts []*tensor.Tensor, strat S
 	invDeg := invDegWeights(e.G)
 	switch strat {
 	case DPPre:
-		recv := e.exchange(xParts) // f-wide halo rows
+		recv, err := e.exchange(xParts) // f-wide halo rows
+		if err != nil {
+			return nil, err
+		}
 		// locally transform owned rows AND received halo rows
 		n := e.C.N
 		xw := make([]*tensor.Tensor, n)
@@ -245,7 +337,10 @@ func (e *Engine) GCNForward(layer *nn.GCNLayer, xParts []*tensor.Tensor, strat S
 			}(d)
 		}
 		wg.Wait()
-		recv := e.exchange(xw) // fp-wide transformed halo rows
+		recv, err := e.exchange(xw) // fp-wide transformed halo rows
+		if err != nil {
+			return nil, err
+		}
 		agg := e.aggregate(xw, recv, layer.OutDim(), invDeg)
 		for _, a := range agg {
 			tensor.AddBias(a, layer.B.Value)
@@ -258,9 +353,12 @@ func (e *Engine) GCNForward(layer *nn.GCNLayer, xParts []*tensor.Tensor, strat S
 
 // SAGEForward runs one distributed SAGE layer: mean-aggregate the raw
 // features (f-wide exchange), then transform locally.
-func (e *Engine) SAGEForward(layer *nn.SAGELayer, xParts []*tensor.Tensor) []*tensor.Tensor {
+func (e *Engine) SAGEForward(layer *nn.SAGELayer, xParts []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	invDeg := invDegWeights(e.G)
-	recv := e.exchange(xParts)
+	recv, err := e.exchange(xParts)
+	if err != nil {
+		return nil, err
+	}
 	agg := e.aggregate(xParts, recv, layer.InDim(), invDeg)
 	n := e.C.N
 	out := make([]*tensor.Tensor, n)
@@ -276,7 +374,7 @@ func (e *Engine) SAGEForward(layer *nn.SAGELayer, xParts []*tensor.Tensor) []*te
 		}(d)
 	}
 	wg.Wait()
-	return out
+	return out, nil
 }
 
 // GCNBackward runs the distributed backward of GCNForward (either

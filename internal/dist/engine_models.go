@@ -11,7 +11,7 @@ import (
 // SAGEBackward runs the distributed backward of SAGEForward: given
 // per-device d(loss)/d(out) it accumulates the layer's gradients (weight
 // partials all-reduced) and returns per-device d(loss)/dx.
-func (e *Engine) SAGEBackward(layer *nn.SAGELayer, xParts, dOutParts []*tensor.Tensor) []*tensor.Tensor {
+func (e *Engine) SAGEBackward(layer *nn.SAGELayer, xParts, dOutParts []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	n := e.C.N
 	invDeg := invDegWeights(e.G)
 	f := layer.InDim()
@@ -19,7 +19,10 @@ func (e *Engine) SAGEBackward(layer *nn.SAGELayer, xParts, dOutParts []*tensor.T
 		accumBias(layer.B.Grad, dOutParts[d])
 	}
 	// recompute the forward aggregation (needed for dWneigh)
-	recv := e.exchange(xParts)
+	recv, err := e.exchange(xParts)
+	if err != nil {
+		return nil, err
+	}
 	agg := e.aggregate(xParts, recv, f, invDeg)
 
 	// local dense gradients + dAgg
@@ -87,7 +90,7 @@ func (e *Engine) SAGEBackward(layer *nn.SAGELayer, xParts, dOutParts []*tensor.T
 			e.account(float64(len(row)) * 4)
 		}
 	}
-	return dx
+	return dx, nil
 }
 
 // GATForward runs one distributed GAT layer. Destinations are block-
@@ -95,7 +98,7 @@ func (e *Engine) SAGEBackward(layer *nn.SAGELayer, xParts, dOutParts []*tensor.T
 // softmax normalization — is local to its owner; the exchange ships the
 // transformed rows (Z) of remote sources, whose attention projections are
 // then computed locally from the received rows.
-func (e *Engine) GATForward(layer *nn.GATLayer, xParts []*tensor.Tensor) []*tensor.Tensor {
+func (e *Engine) GATForward(layer *nn.GATLayer, xParts []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	n := e.C.N
 	heads := layer.Heads()
 	dh := layer.OutDim() / heads
@@ -112,7 +115,10 @@ func (e *Engine) GATForward(layer *nn.GATLayer, xParts []*tensor.Tensor) []*tens
 	wg.Wait()
 	// halo exchange of transformed rows (fp-wide — the DP-post placement;
 	// attention needs Z[src], never raw x[src])
-	recv := e.exchange(z)
+	recv, err := e.exchange(z)
+	if err != nil {
+		return nil, err
+	}
 
 	project := func(zr []float32, a *nn.Param, h int) float32 {
 		ar := a.Value.Row(h)
@@ -179,7 +185,7 @@ func (e *Engine) GATForward(layer *nn.GATLayer, xParts []*tensor.Tensor) []*tens
 		}(d)
 	}
 	wg.Wait()
-	return out
+	return out, nil
 }
 
 func exp64(x float64) float64 { return math.Exp(x) }

@@ -100,7 +100,11 @@ func TestSAGEForwardMatchesReference(t *testing.T) {
 	rng := tensor.NewRNG(7)
 	layer := nn.NewSAGELayer(rng, 10, 5)
 	want := layer.Forward(gc, x)
-	got := e.Unshard(e.SAGEForward(layer, e.Shard(x)))
+	parts, err := e.SAGEForward(layer, e.Shard(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Unshard(parts)
 	closeAll(t, got, want, 1e-4, "sage")
 }
 
@@ -221,7 +225,10 @@ func TestDistributedTrainingMatchesSingleDevice(t *testing.T) {
 
 	for step := 0; step < 5; step++ {
 		refLoss := ref.TrainStep(gc, x, labels, mask, refOpt)
-		distLoss := tr.Step()
+		distLoss, err := tr.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if math.Abs(refLoss-distLoss) > 1e-3*(1+math.Abs(refLoss)) {
 			t.Fatalf("step %d: loss diverged: ref %.6f vs dist %.6f", step, refLoss, distLoss)
 		}
@@ -239,7 +246,10 @@ func TestDistributedTrainingMatchesSingleDevice(t *testing.T) {
 	}
 	// and accuracies agree
 	refAcc := ref.Accuracy(gc, x, labels, mask)
-	distAcc := tr.Accuracy(mask)
+	distAcc, err := tr.Accuracy(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(refAcc-distAcc) > 0.02 {
 		t.Fatalf("accuracy diverged: %.3f vs %.3f", refAcc, distAcc)
 	}
@@ -270,8 +280,14 @@ func TestSAGEBackwardMatchesReference(t *testing.T) {
 	wantDX := ref.Backward(gc, dOut)
 
 	xParts := e.Shard(x)
-	_ = e.SAGEForward(dup, xParts)
-	gotDX := e.Unshard(e.SAGEBackward(dup, xParts, e.Shard(dOut)))
+	if _, err := e.SAGEForward(dup, xParts); err != nil {
+		t.Fatal(err)
+	}
+	dxParts, err := e.SAGEBackward(dup, xParts, e.Shard(dOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDX := e.Unshard(dxParts)
 	closeAll(t, gotDX, wantDX, 1e-3, "sage dX")
 	closeAll(t, dup.WSelf.Grad, ref.WSelf.Grad, 1e-2, "sage dWself")
 	closeAll(t, dup.WNeigh.Grad, ref.WNeigh.Grad, 1e-2, "sage dWneigh")
@@ -284,7 +300,11 @@ func TestGATForwardMatchesReference(t *testing.T) {
 	layer := nn.NewGATLayer(rng, 10, 8, 2)
 	want := layer.Forward(gc, x)
 	e.ResetComm()
-	got := e.Unshard(e.GATForward(layer, e.Shard(x)))
+	parts, err := e.GATForward(layer, e.Shard(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Unshard(parts)
 	closeAll(t, got, want, 2e-4, "gat distributed")
 	// attention exchanges the fp-wide transformed rows (DP-post volume)
 	gs := Analyze(e.G, 4)
@@ -320,7 +340,10 @@ func TestDistributedSAGETrainingMatchesSingleDevice(t *testing.T) {
 	}
 	for step := 0; step < 4; step++ {
 		refLoss := ref.TrainStep(gc, x, res.Block, mask, refOpt)
-		distLoss := tr.Step()
+		distLoss, err := tr.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if math.Abs(refLoss-distLoss) > 1e-3*(1+math.Abs(refLoss)) {
 			t.Fatalf("step %d: %.6f vs %.6f", step, refLoss, distLoss)
 		}

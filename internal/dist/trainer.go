@@ -65,8 +65,10 @@ func NewTrainer(e *Engine, m *nn.Model, features *tensor.Tensor, labels []int32,
 	return t, nil
 }
 
-// forward runs the distributed forward pass, caching per-layer activations.
-func (t *Trainer) forward() []*tensor.Tensor {
+// forward runs the distributed forward pass, caching per-layer
+// activations. The error is non-nil only when a halo exchange exhausted
+// its retry budget under fault injection.
+func (t *Trainer) forward() ([]*tensor.Tensor, error) {
 	cur := t.xParts
 	t.layerIn = t.layerIn[:0]
 	t.layerOut = t.layerOut[:0]
@@ -74,15 +76,15 @@ func (t *Trainer) forward() []*tensor.Tensor {
 	for li, l := range layers {
 		t.layerIn = append(t.layerIn, cur)
 		var out []*tensor.Tensor
+		var err error
 		switch lt := l.(type) {
 		case *nn.GCNLayer:
-			var err error
 			out, err = t.E.GCNForward(lt, cur, t.Placements[li])
-			if err != nil {
-				panic(err) // placements are restricted to executable strategies
-			}
 		case *nn.SAGELayer:
-			out = t.E.SAGEForward(lt, cur)
+			out, err = t.E.SAGEForward(lt, cur)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dist: layer %d forward: %w", li, err)
 		}
 		t.layerOut = append(t.layerOut, out)
 		if li < len(layers)-1 {
@@ -95,24 +97,28 @@ func (t *Trainer) forward() []*tensor.Tensor {
 			cur = out
 		}
 	}
-	return cur
+	return cur, nil
 }
 
 // Step runs one distributed training iteration and returns the global
 // training loss (identical to the single-device loss: the masked mean is
-// weighted by per-device counts).
-func (t *Trainer) Step() float64 {
+// weighted by per-device counts). The error is non-nil only when a halo
+// exchange exhausted its retry budget under fault injection; the step
+// applied no update in that case.
+func (t *Trainer) Step() (float64, error) {
 	t.Opt.ZeroGrads()
-	logits := t.forward()
+	logits, err := t.forward()
+	if err != nil {
+		return 0, err
+	}
 	// per-device masked cross-entropy with a global mean
 	n := t.E.C.N
 	grads := make([]*tensor.Tensor, n)
-	lossSum := 0.0
+	losses := make([]float64, n)
 	total := 0
 	for d := 0; d < n; d++ {
 		total += len(t.masks[d])
 	}
-	var mu sync.Mutex
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for d := 0; d < n; d++ {
@@ -126,13 +132,19 @@ func (t *Trainer) Step() float64 {
 			l := tensor.CrossEntropy(logits[d], localLabels, t.masks[d], grad)
 			w := float64(len(t.masks[d])) / float64(total)
 			tensor.Scale(grad, grad, float32(w))
-			mu.Lock()
-			lossSum += l * w
-			mu.Unlock()
+			losses[d] = l * w
 			grads[d] = grad
 		}(d)
 	}
 	wg.Wait()
+	// Reduce in device order after the join: float addition is not
+	// associative, and summing in goroutine completion order would make
+	// the reported loss depend on scheduling (the bit-identical fault
+	// parity test catches exactly this).
+	lossSum := 0.0
+	for d := 0; d < n; d++ {
+		lossSum += losses[d]
+	}
 	// distributed backward through the stack
 	layers := t.Model.Layers()
 	cur := grads
@@ -146,20 +158,27 @@ func (t *Trainer) Step() float64 {
 		case *nn.GCNLayer:
 			cur = t.E.GCNBackward(lt, t.layerIn[li], cur)
 		case *nn.SAGELayer:
-			cur = t.E.SAGEBackward(lt, t.layerIn[li], cur)
+			cur, err = t.E.SAGEBackward(lt, t.layerIn[li], cur)
+			if err != nil {
+				return 0, fmt.Errorf("dist: layer %d backward: %w", li, err)
+			}
 		}
 	}
 	t.Opt.Step()
-	return lossSum
+	return lossSum, nil
 }
 
 // Accuracy evaluates classification accuracy over the given global vertex
 // ids using the distributed forward pass.
-func (t *Trainer) Accuracy(mask []int32) float64 {
-	logits := t.E.Unshard(t.forward())
+func (t *Trainer) Accuracy(mask []int32) (float64, error) {
+	parts, err := t.forward()
+	if err != nil {
+		return 0, err
+	}
+	logits := t.E.Unshard(parts)
 	pred := tensor.ArgMaxRows(logits)
 	if len(mask) == 0 {
-		return 0
+		return 0, nil
 	}
 	correct := 0
 	for _, v := range mask {
@@ -167,5 +186,5 @@ func (t *Trainer) Accuracy(mask []int32) float64 {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(mask))
+	return float64(correct) / float64(len(mask)), nil
 }

@@ -1,0 +1,248 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drawSequence records the decision for the first n draws at site under s.
+func drawSequence(s *Schedule, site string, n int) []string {
+	var seq []string
+	WithSchedule(s, func() {
+		for i := 0; i < n; i++ {
+			f := Check(site)
+			if f == nil {
+				seq = append(seq, "-")
+			} else {
+				seq = append(seq, fmt.Sprintf("%v@%d:%v", f.Kind, f.Seq, f.Delay))
+			}
+		}
+	})
+	return seq
+}
+
+func chaosSchedule(seed uint64) *Schedule {
+	return &Schedule{Seed: seed, Sites: map[string]SiteConfig{
+		SiteExchange: {ErrorRate: 0.1, CorruptRate: 0.05, LatencyRate: 0.2, Delay: time.Millisecond},
+	}}
+}
+
+// TestDeterministicSequence pins the determinism guarantee: identical
+// seeds yield identical per-site fault sequences (kind, draw index and
+// jittered delay), different seeds yield different ones.
+func TestDeterministicSequence(t *testing.T) {
+	a := drawSequence(chaosSchedule(42), SiteExchange, 2000)
+	b := drawSequence(chaosSchedule(42), SiteExchange, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := drawSequence(chaosSchedule(43), SiteExchange, 2000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical 2000-draw sequences")
+	}
+}
+
+// TestConcurrentDrawsCoverSameDecisions checks the concurrency contract:
+// with goroutines racing for sequence numbers, the multiset of decisions
+// over N draws equals the sequential one (each seq number's decision is a
+// pure function, only the assignment to goroutines races).
+func TestConcurrentDrawsCoverSameDecisions(t *testing.T) {
+	const draws = 4000
+	want := map[string]int{}
+	for _, d := range drawSequence(chaosSchedule(7), SiteExchange, draws) {
+		want[d]++
+	}
+	got := map[string]int{}
+	var mu sync.Mutex
+	WithSchedule(chaosSchedule(7), func() {
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := map[string]int{}
+				for i := 0; i < draws/8; i++ {
+					f := Check(SiteExchange)
+					if f == nil {
+						local["-"]++
+					} else {
+						local[fmt.Sprintf("%v@%d:%v", f.Kind, f.Seq, f.Delay)]++
+					}
+				}
+				mu.Lock()
+				for k, v := range local {
+					got[k] += v
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	})
+	if len(got) != len(want) {
+		t.Fatalf("concurrent draws saw %d distinct decisions, sequential saw %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("decision %q: concurrent count %d vs sequential %d", k, got[k], v)
+		}
+	}
+}
+
+// TestRatesRoughlyHonored checks injected-fault frequencies against the
+// configured rates (law of large numbers, loose bounds).
+func TestRatesRoughlyHonored(t *testing.T) {
+	const draws = 20000
+	s := &Schedule{Seed: 5, Sites: map[string]SiteConfig{
+		"x": {ErrorRate: 0.1, CorruptRate: 0.02, LatencyRate: 0.3},
+	}}
+	var counts Counts
+	WithSchedule(s, func() {
+		for i := 0; i < draws; i++ {
+			Check("x")
+		}
+		counts = Snapshot()["x"]
+	})
+	if counts.Draws != draws {
+		t.Fatalf("draws %d, want %d", counts.Draws, draws)
+	}
+	check := func(name string, got uint64, rate float64) {
+		want := rate * draws
+		if float64(got) < 0.8*want || float64(got) > 1.2*want {
+			t.Errorf("%s: %d injections vs expected ~%.0f", name, got, want)
+		}
+	}
+	check("error", counts.Errors, 0.1)
+	check("corrupt", counts.Corrupts, 0.02)
+	check("latency", counts.Latencies, 0.3)
+}
+
+func TestDisabledIsNilAndFree(t *testing.T) {
+	Set(nil)
+	if Enabled() {
+		t.Fatal("Enabled after Set(nil)")
+	}
+	if f := Check(SiteExchange); f != nil {
+		t.Fatalf("Check with no schedule returned %+v", f)
+	}
+	if Snapshot() != nil {
+		t.Fatal("Snapshot with no schedule should be nil")
+	}
+}
+
+func TestUnconfiguredSiteNeverFires(t *testing.T) {
+	WithSchedule(chaosSchedule(1), func() {
+		for i := 0; i < 1000; i++ {
+			if f := Check(SiteServeBatch); f != nil {
+				t.Fatalf("unconfigured site fired: %+v", f)
+			}
+		}
+	})
+}
+
+func TestWithScheduleRestores(t *testing.T) {
+	outer := &Schedule{Seed: 9, Sites: map[string]SiteConfig{"a": {ErrorRate: 1}}}
+	Set(outer)
+	defer Set(nil)
+	WithSchedule(chaosSchedule(1), func() {
+		if Check("a") != nil {
+			t.Fatal("outer site visible inside WithSchedule")
+		}
+	})
+	if Check("a") == nil {
+		t.Fatal("outer schedule not restored")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=42;dist.exchange:error=0.05,latency=0.1,delay=2ms;serve.batch:error=0.02"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 {
+		t.Fatalf("seed %d", s.Seed)
+	}
+	ex := s.Sites[SiteExchange]
+	if ex.ErrorRate != 0.05 || ex.LatencyRate != 0.1 || ex.Delay != 2*time.Millisecond {
+		t.Fatalf("exchange cfg %+v", ex)
+	}
+	if s.Sites[SiteServeBatch].ErrorRate != 0.02 {
+		t.Fatalf("serve cfg %+v", s.Sites[SiteServeBatch])
+	}
+	rt, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", s.String(), err)
+	}
+	if rt.String() != s.String() {
+		t.Fatalf("round trip %q vs %q", rt.String(), s.String())
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"seed=42",                  // no sites
+		"dist.exchange",            // no rates
+		"dist.exchange:error=1.5",  // rate out of range
+		"dist.exchange:error=-0.1", // negative
+		"dist.exchange:bogus=0.1",  // unknown key
+		"dist.exchange:error=0.6,corrupt=0.6", // rates sum > 1
+		":error=0.1",                          // empty site
+		"seed=x;a:error=0.1",                  // bad seed
+		"a:delay=notaduration",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+	if s, err := Parse(""); err != nil || s != nil {
+		t.Errorf("empty spec: %v, %v", s, err)
+	}
+}
+
+func TestCheckErrAndIsInjected(t *testing.T) {
+	WithSchedule(&Schedule{Seed: 3, Sites: map[string]SiteConfig{"s": {ErrorRate: 1}}}, func() {
+		err := CheckErr("s")
+		if err == nil {
+			t.Fatal("rate-1 site did not error")
+		}
+		if !IsInjected(err) {
+			t.Fatalf("IsInjected(%v) = false", err)
+		}
+		if !IsInjected(fmt.Errorf("wrapped: %w", err)) {
+			t.Fatal("IsInjected through wrapping = false")
+		}
+	})
+	if IsInjected(errors.New("real")) {
+		t.Fatal("IsInjected(real error) = true")
+	}
+	if IsInjected(nil) {
+		t.Fatal("IsInjected(nil) = true")
+	}
+}
+
+// TestLatencyJitterBounded pins the deterministic jitter window.
+func TestLatencyJitterBounded(t *testing.T) {
+	s := &Schedule{Seed: 11, Sites: map[string]SiteConfig{"s": {LatencyRate: 1, Delay: 4 * time.Millisecond}}}
+	WithSchedule(s, func() {
+		for i := 0; i < 500; i++ {
+			f := Check("s")
+			if f == nil || f.Kind != KindLatency {
+				t.Fatalf("draw %d: %+v", i, f)
+			}
+			if f.Delay < 2*time.Millisecond || f.Delay >= 6*time.Millisecond {
+				t.Fatalf("delay %v outside [0.5, 1.5)x4ms", f.Delay)
+			}
+		}
+	})
+}

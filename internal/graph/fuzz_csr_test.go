@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzCSRBuild checks CSR construction against arbitrary COO edge lists:
+// whatever the input shape, the result must preserve the degree-sum
+// invariants (row pointers monotone, summing to E, each row's width equal
+// to the destination's in-degree) and be a faithful permutation of the
+// original edges (every slot's column, type and edge id agree with the
+// COO arrays; every edge appears exactly once).
+func FuzzCSRBuild(f *testing.F) {
+	f.Add(uint8(5), []byte{0, 1, 1, 2, 2, 0, 4, 4})
+	f.Add(uint8(1), []byte{0, 0})
+	f.Add(uint8(40), []byte{})
+	f.Add(uint8(3), []byte{2, 2, 2, 2, 2, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, vRaw uint8, edgeBytes []byte) {
+		v := int(vRaw%40) + 1
+		g := &Graph{NumVertices: v, NumTypes: 3}
+		for i := 0; i+1 < len(edgeBytes); i += 2 {
+			g.Src = append(g.Src, int32(int(edgeBytes[i])%v))
+			g.Dst = append(g.Dst, int32(int(edgeBytes[i+1])%v))
+			g.Type = append(g.Type, int32((i/2)%3))
+		}
+		e := g.NumEdges()
+		csr := g.BuildCSRByDst()
+
+		if len(csr.RowPtr) != v+1 {
+			t.Fatalf("RowPtr has %d entries for %d vertices", len(csr.RowPtr), v)
+		}
+		if csr.RowPtr[0] != 0 || int(csr.RowPtr[v]) != e {
+			t.Fatalf("RowPtr spans [%d,%d], want [0,%d]", csr.RowPtr[0], csr.RowPtr[v], e)
+		}
+		if len(csr.Col) != e || len(csr.EdgeID) != e || len(csr.EType) != e {
+			t.Fatalf("CSR arrays sized %d/%d/%d for %d edges", len(csr.Col), len(csr.EdgeID), len(csr.EType), e)
+		}
+
+		// Degree-sum invariant: each row's width is the in-degree counted
+		// directly from the COO destination array.
+		deg := make([]int32, v)
+		for _, d := range g.Dst {
+			deg[d]++
+		}
+		for u := 0; u < v; u++ {
+			lo, hi := csr.RowPtr[u], csr.RowPtr[u+1]
+			if hi < lo {
+				t.Fatalf("RowPtr not monotone at %d: %d > %d", u, lo, hi)
+			}
+			if hi-lo != deg[u] {
+				t.Fatalf("vertex %d row width %d, in-degree %d", u, hi-lo, deg[u])
+			}
+			// Slot fidelity: each slot mirrors one original edge whose
+			// destination is this row.
+			for s := lo; s < hi; s++ {
+				id := csr.EdgeID[s]
+				if id < 0 || int(id) >= e {
+					t.Fatalf("slot %d edge id %d out of range", s, id)
+				}
+				if g.Dst[id] != int32(u) {
+					t.Fatalf("slot %d in row %d maps to edge with dst %d", s, u, g.Dst[id])
+				}
+				if csr.Col[s] != g.Src[id] {
+					t.Fatalf("slot %d col %d, edge %d src %d", s, csr.Col[s], id, g.Src[id])
+				}
+				if csr.EType[s] != g.Type[id] {
+					t.Fatalf("slot %d type %d, edge %d type %d", s, csr.EType[s], id, g.Type[id])
+				}
+			}
+		}
+
+		// Permutation invariant: every COO edge lands in exactly one slot.
+		seen := make([]bool, e)
+		for _, id := range csr.EdgeID {
+			if seen[id] {
+				t.Fatalf("edge %d appears twice in CSR", id)
+			}
+			seen[id] = true
+		}
+
+		// Determinism: a second build must be identical (the parallel
+		// scatter documents byte-identical output for any worker count).
+		again := g.BuildCSRByDst()
+		for i := range csr.EdgeID {
+			if csr.EdgeID[i] != again.EdgeID[i] {
+				t.Fatalf("rebuild diverged at slot %d", i)
+			}
+		}
+	})
+}

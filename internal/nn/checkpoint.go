@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"wisegraph/internal/fault"
 )
 
 // checkpoint format: magic, version, then (v2) the model Config, then the
@@ -33,6 +35,9 @@ const (
 // (checkpoints are for inference and warm starts, matching common
 // GNN-framework practice).
 func (m *Model) SaveCheckpoint(w io.Writer) error {
+	if err := fault.CheckErr(fault.SiteCheckpoint); err != nil {
+		return fmt.Errorf("nn: checkpoint save: %w", err)
+	}
 	params := m.Params()
 	hdr := []uint32{ckptMagic, ckptVersion}
 	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
@@ -132,6 +137,9 @@ func readConfig(r io.Reader) (Config, error) {
 // readHeader consumes magic+version and, for v2, the Config block. ok
 // reports whether a config was present (v2).
 func readHeader(r io.Reader) (cfg Config, version uint32, ok bool, err error) {
+	if err := fault.CheckErr(fault.SiteCheckpoint); err != nil {
+		return Config{}, 0, false, fmt.Errorf("nn: checkpoint load: %w", err)
+	}
 	var hdr [2]uint32
 	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
 		return Config{}, 0, false, fmt.Errorf("nn: reading checkpoint header: %w", err)

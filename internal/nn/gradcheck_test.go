@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wisegraph/internal/tensor"
+)
+
+// This file is the dense gradient-check battery: where nn_test.go's
+// gradCheck probes three entries per parameter as a smoke test, these
+// table-driven cases stride through EVERY parameter of every model at
+// multiple depths, comparing the hand-written backward passes against
+// central finite differences of the (float64-accumulated) cross-entropy
+// loss under a relative-error tolerance.
+
+// gradCase is one model configuration to check.
+type gradCase struct {
+	kind   ModelKind
+	layers int
+	tol    float64
+}
+
+func (c gradCase) name() string { return fmt.Sprintf("%v-L%d", c.kind, c.layers) }
+
+// denseGradCheck checks analytic gradients for up to maxProbes entries of
+// every parameter, spread by stride so the probes cover the whole tensor
+// (corners and interior) instead of clustering at index 0.
+func denseGradCheck(t *testing.T, c gradCase) {
+	t.Helper()
+	g := testGraph()
+	gc := NewGraphCtx(g)
+	cfg := Config{
+		Kind: c.kind, InDim: 4, Hidden: 5, OutDim: 3,
+		Layers: c.layers, Heads: 2, NumTypes: 3, Seed: 31,
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nudge all parameters (biases included) off exact zeros so no
+	// pre-activation sits on the ReLU kink, where the subgradient and the
+	// symmetric difference quotient legitimately disagree.
+	prng := tensor.NewRNG(77)
+	for _, p := range m.Params() {
+		for i := range p.Value.Data() {
+			p.Value.Data()[i] += 0.05 * (prng.Float32() - 0.5)
+		}
+	}
+	x := testInput(7, 4, 13)
+	labels := []int32{2, 0, 1, 2, 0, 1, 2}
+	mask := []int32{0, 1, 3, 4, 6}
+
+	// CrossEntropy accumulates its loss in float64, which is what keeps
+	// the difference quotient usable at eps ~ 1e-3 under float32 params.
+	lossAt := func() float64 {
+		return m.Loss(m.Forward(gc, x), labels, mask, nil)
+	}
+
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	logits := m.Forward(gc, x)
+	grad := tensor.New(logits.Shape()...)
+	m.Loss(logits, labels, mask, grad)
+	m.Backward(gc, grad)
+
+	const (
+		eps       = 2e-3
+		maxProbes = 12
+	)
+	checked, failures := 0, 0
+	for _, p := range m.Params() {
+		n := p.Value.Len()
+		stride := n / maxProbes
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < n; i += stride {
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + eps
+			lp := lossAt()
+			p.Value.Data()[i] = orig - eps
+			lm := lossAt()
+			p.Value.Data()[i] = orig
+			num := (lp - lm) / (2 * eps)
+			ana := float64(p.Grad.Data()[i])
+			if math.Abs(num-ana) > c.tol*(1+math.Abs(num)) {
+				t.Errorf("%s: %s[%d]: analytic %.6g vs numeric %.6g", c.name(), p.Name, i, ana, num)
+				failures++
+				if failures > 8 {
+					t.Fatalf("%s: too many gradient mismatches, stopping", c.name())
+				}
+			}
+			checked++
+		}
+	}
+	if checked < len(m.Params()) {
+		t.Fatalf("%s: only %d probes over %d params", c.name(), checked, len(m.Params()))
+	}
+	t.Logf("%s: %d probes ok", c.name(), checked)
+}
+
+// TestDenseGradCheckAllModels runs the battery: all five models, shallow
+// and deep. The deep cases matter because backward bugs that cancel in a
+// single layer (wrong transpose, dropped normalization) compound and
+// surface once gradients flow through stacked aggregations.
+func TestDenseGradCheckAllModels(t *testing.T) {
+	cases := []gradCase{
+		{GCN, 1, 2e-2}, {GCN, 3, 2e-2},
+		{SAGE, 1, 2e-2}, {SAGE, 3, 2e-2},
+		{RGCN, 1, 2e-2}, {RGCN, 2, 2e-2},
+		// Attention and LSTM gates are less numerically tame: the float32
+		// forward under a 2e-3 bump warrants the looser tolerance.
+		{GAT, 1, 3e-2}, {GAT, 2, 4e-2},
+		{SAGELSTM, 1, 3e-2}, {SAGELSTM, 2, 4e-2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name(), func(t *testing.T) { denseGradCheck(t, c) })
+	}
+}
+
+// TestGradCheckLossGradientMatchesDifference checks d(loss)/d(logits)
+// itself — the seed of every backward pass — against central differences
+// on raw logits, without any model in the loop.
+func TestGradCheckLossGradientMatchesDifference(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	logits := tensor.New(6, 4)
+	tensor.Uniform(logits, rng, -2, 2)
+	labels := []int32{1, 3, 0, 2, 1, 0}
+	mask := []int32{0, 2, 3, 5}
+	grad := tensor.New(6, 4)
+	tensor.CrossEntropy(logits, labels, mask, grad)
+	const eps = 1e-3
+	for i := range logits.Data() {
+		orig := logits.Data()[i]
+		logits.Data()[i] = orig + eps
+		lp := tensor.CrossEntropy(logits, labels, mask, nil)
+		logits.Data()[i] = orig - eps
+		lm := tensor.CrossEntropy(logits, labels, mask, nil)
+		logits.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		ana := float64(grad.Data()[i])
+		if math.Abs(num-ana) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("dLogits[%d]: analytic %.6g vs numeric %.6g", i, ana, num)
+		}
+	}
+}

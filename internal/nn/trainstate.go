@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"wisegraph/internal/tensor"
+)
+
+// train-state format: magic, version, the model's dropout-RNG state, a
+// caller-supplied extra block (the training loop stores its epoch cursor
+// and any sampler RNG states there), an embedded v2 checkpoint, then the
+// optimizer state per parameter (step count plus Adam moments).
+//
+// A checkpoint (SaveCheckpoint) is enough to serve or warm-start; a train
+// state is enough to RESUME: restoring it reproduces the exact trajectory
+// the uninterrupted run would have taken, bit for bit, because nothing
+// that influences future steps — parameters, Adam m/v/step, the dropout
+// RNG stream — is left out.
+const (
+	trainMagic    = 0x57534754 // "WSGT"
+	trainVersion  = 1
+	trainMaxExtra = 1024
+)
+
+// SaveTrainState writes everything needed to resume training exactly:
+// the model parameters and config, the dropout RNG state, opt's Adam
+// moments and step counters, and the caller's extra words (epoch cursor,
+// sampler RNG states). Parameter order must match opt.Params on load.
+func (m *Model) SaveTrainState(w io.Writer, opt *Adam, extra []uint64) error {
+	if len(extra) > trainMaxExtra {
+		return fmt.Errorf("nn: %d extra words exceeds cap %d", len(extra), trainMaxExtra)
+	}
+	hdr := []uint32{trainMagic, trainVersion}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("nn: writing train-state header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, m.dropRNG.State()); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(extra))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, extra); err != nil {
+		return err
+	}
+	if err := m.SaveCheckpoint(w); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, math.Float64bits(opt.LR)); err != nil {
+		return err
+	}
+	for _, p := range opt.Params {
+		if err := binary.Write(w, binary.LittleEndian, uint64(p.step)); err != nil {
+			return err
+		}
+		has := uint8(0)
+		if p.m != nil {
+			has = 1
+		}
+		if err := binary.Write(w, binary.LittleEndian, has); err != nil {
+			return err
+		}
+		if has == 1 {
+			if err := binary.Write(w, binary.LittleEndian, p.m.Data()); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, p.v.Data()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadTrainState restores a state written by SaveTrainState into m and
+// opt, returning the caller's extra words. The model must match the
+// embedded checkpoint's architecture and opt.Params its parameter order.
+func (m *Model) LoadTrainState(r io.Reader, opt *Adam) ([]uint64, error) {
+	var hdr [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("nn: reading train-state header: %w", err)
+	}
+	if hdr[0] != trainMagic {
+		return nil, fmt.Errorf("nn: not a train state (magic %#x)", hdr[0])
+	}
+	if hdr[1] != trainVersion {
+		return nil, fmt.Errorf("nn: unsupported train-state version %d", hdr[1])
+	}
+	var dropState uint64
+	if err := binary.Read(r, binary.LittleEndian, &dropState); err != nil {
+		return nil, err
+	}
+	var nExtra uint32
+	if err := binary.Read(r, binary.LittleEndian, &nExtra); err != nil {
+		return nil, err
+	}
+	if nExtra > trainMaxExtra {
+		return nil, fmt.Errorf("nn: absurd extra count %d (corrupt train state)", nExtra)
+	}
+	extra := make([]uint64, nExtra)
+	if err := binary.Read(r, binary.LittleEndian, extra); err != nil {
+		return nil, err
+	}
+	if err := m.LoadCheckpoint(r); err != nil {
+		return nil, err
+	}
+	var lrBits uint64
+	if err := binary.Read(r, binary.LittleEndian, &lrBits); err != nil {
+		return nil, err
+	}
+	lr := math.Float64frombits(lrBits)
+	if math.IsNaN(lr) || math.IsInf(lr, 0) || lr <= 0 {
+		return nil, fmt.Errorf("nn: non-finite learning rate in train state")
+	}
+	for _, p := range opt.Params {
+		var step uint64
+		if err := binary.Read(r, binary.LittleEndian, &step); err != nil {
+			return nil, err
+		}
+		if step > 1<<40 {
+			return nil, fmt.Errorf("nn: %s: absurd step count %d (corrupt train state)", p.Name, step)
+		}
+		var has uint8
+		if err := binary.Read(r, binary.LittleEndian, &has); err != nil {
+			return nil, err
+		}
+		switch has {
+		case 0:
+			p.step = int(step)
+			p.m, p.v = nil, nil
+		case 1:
+			if p.m == nil {
+				p.m = tensor.New(p.Value.Shape()...)
+				p.v = tensor.New(p.Value.Shape()...)
+			}
+			if err := binary.Read(r, binary.LittleEndian, p.m.Data()); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, p.v.Data()); err != nil {
+				return nil, err
+			}
+			p.step = int(step)
+		default:
+			return nil, fmt.Errorf("nn: %s: bad moment flag %d (corrupt train state)", p.Name, has)
+		}
+	}
+	opt.LR = lr
+	m.dropRNG.SetState(dropState)
+	return extra, nil
+}

@@ -27,6 +27,7 @@ import (
 	"wisegraph/internal/dataset"
 	"wisegraph/internal/device"
 	"wisegraph/internal/exec"
+	"wisegraph/internal/fault"
 	"wisegraph/internal/graph"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/kernels"
@@ -62,6 +63,12 @@ type Options struct {
 	// Deadline is the default per-request deadline applied when the
 	// caller's context has none (default 2s).
 	Deadline time.Duration
+	// BatchTimeout is the per-micro-batch execution budget (default
+	// 500ms). The forward pass itself is not preemptible, so the budget
+	// governs the modeled stragglers the fault injector produces: an
+	// injected latency spike at or beyond it counts as a batch timeout
+	// and takes the degradation path instead of being slept through.
+	BatchTimeout time.Duration
 	// MaxNodes bounds the node count of a single request (default 256).
 	MaxNodes int
 	// Fanouts are the neighbor-sampling fan-outs, one per model layer
@@ -91,6 +98,9 @@ func (o Options) withDefaults(layers int) Options {
 	}
 	if o.Deadline <= 0 {
 		o.Deadline = 2 * time.Second
+	}
+	if o.BatchTimeout <= 0 {
+		o.BatchTimeout = 500 * time.Millisecond
 	}
 	if o.MaxNodes <= 0 {
 		o.MaxNodes = 256
@@ -370,6 +380,30 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 		return
 	}
 	e.stats.recordBatch(len(live))
+	e.execBatch(live, replica, rng, pt, ectx, true)
+}
+
+// execBatch executes one micro-batch over live requests. When the batch
+// fails — an injected serve.batch fault, a modeled straggler overrunning
+// the BatchTimeout budget, or the forward pass itself erroring — it
+// degrades gracefully: one retry at half batch size (fresh fault draws)
+// while mayRetry holds, after which the requests are failed.
+func (e *Engine) execBatch(live []*request, replica *nn.Model, rng *tensor.RNG, pt *core.Partitioner, ectx *exec.Ctx, mayRetry bool) {
+	if f := fault.Check(fault.SiteServeBatch); f != nil {
+		if f.Kind == fault.KindLatency {
+			if f.Delay >= e.opts.BatchTimeout {
+				e.stats.batchTimeouts.Add(1)
+				e.failBatch(live, replica, rng, pt, ectx, mayRetry,
+					fmt.Errorf("serve: batch overran %v budget: %w", e.opts.BatchTimeout, f.Err()))
+				return
+			}
+			time.Sleep(f.Delay)
+		} else {
+			e.stats.batchFaults.Add(1)
+			e.failBatch(live, replica, rng, pt, ectx, mayRetry, f.Err())
+			return
+		}
+	}
 
 	batchID := obs.NewID()
 	ectx.TraceID = batchID // the exec stage is recorded inside RunModel
@@ -416,9 +450,8 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 	if err != nil {
 		spBatch.End()
 		tensor.Put(x)
-		for _, r := range live {
-			e.finish(r, result{err: fmt.Errorf("serve: forward failed: %w", err)})
-		}
+		e.stats.batchFaults.Add(1)
+		e.failBatch(live, replica, rng, pt, ectx, mayRetry, fmt.Errorf("serve: forward failed: %w", err))
 		return
 	}
 
@@ -441,6 +474,26 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 	spBatch.End()
 	tensor.Put(x)
 	tensor.Put(logits)
+}
+
+// failBatch resolves a failed micro-batch. With retry budget left it
+// splits the batch in half and re-executes each half once — the graceful-
+// degradation path: a fault that poisons a big coalesced batch should not
+// fail every rider when smaller batches would have succeeded. Out of
+// budget, every request is completed with the failure.
+func (e *Engine) failBatch(live []*request, replica *nn.Model, rng *tensor.RNG, pt *core.Partitioner, ectx *exec.Ctx, mayRetry bool, err error) {
+	if mayRetry {
+		e.stats.degraded.Add(1)
+		mid := (len(live) + 1) / 2
+		e.execBatch(live[:mid], replica, rng, pt, ectx, false)
+		if mid < len(live) {
+			e.execBatch(live[mid:], replica, rng, pt, ectx, false)
+		}
+		return
+	}
+	for _, r := range live {
+		e.finish(r, result{err: err})
+	}
 }
 
 func argmax(row []float32) int32 {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wisegraph/internal/device"
+	"wisegraph/internal/fault"
 	"wisegraph/internal/obs"
 )
 
@@ -82,6 +83,11 @@ type Stats struct {
 	canceled  atomic.Uint64 // request context expired before compute
 	batches   atomic.Uint64
 
+	// resilience counters (fault-injection aware)
+	batchFaults   atomic.Uint64 // batches failed by a fault or forward error
+	batchTimeouts atomic.Uint64 // batches whose modeled straggler overran BatchTimeout
+	degraded      atomic.Uint64 // graceful-degradation retries at half batch size
+
 	// batchSizes[n] counts micro-batches that coalesced n requests
 	// (index 0 unused; len = BatchCap+1).
 	batchSizes []atomic.Uint64
@@ -128,6 +134,9 @@ type Snapshot struct {
 	InFlight         int64          `json:"inFlight"`
 	QueueDepth       int            `json:"queueDepth"`
 	Batches          uint64         `json:"batches"`
+	BatchFaults      uint64         `json:"batchFaults"`
+	BatchTimeouts    uint64         `json:"batchTimeouts"`
+	DegradedRetries  uint64         `json:"degradedRetries"`
 	AvgBatchSize     float64        `json:"avgBatchSize"`
 	BatchSizeDist    map[int]uint64 `json:"batchSizeDist"`
 	LifetimeQPS      float64        `json:"lifetimeQPS"`
@@ -169,6 +178,9 @@ func (s *Stats) snapshot(inFlight int64, queueDepth int) Snapshot {
 		InFlight:         inFlight,
 		QueueDepth:       queueDepth,
 		Batches:          batches,
+		BatchFaults:      s.batchFaults.Load(),
+		BatchTimeouts:    s.batchTimeouts.Load(),
+		DegradedRetries:  s.degraded.Load(),
 		AvgBatchSize:     avg,
 		BatchSizeDist:    dist,
 		LifetimeQPS:      lifetime,
@@ -195,6 +207,9 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	p.Counter("wisegraph_serve_shed_total", "", float64(s.shed.Load()))
 	p.Counter("wisegraph_serve_rejected_draining_total", "", float64(s.rejected.Load()))
 	p.Counter("wisegraph_serve_batches_total", "", float64(s.batches.Load()))
+	p.Counter("wisegraph_serve_batch_faults_total", "", float64(s.batchFaults.Load()))
+	p.Counter("wisegraph_serve_batch_timeouts_total", "", float64(s.batchTimeouts.Load()))
+	p.Counter("wisegraph_serve_degraded_retries_total", "", float64(s.degraded.Load()))
 	p.Gauge("wisegraph_serve_in_flight", "", float64(e.inflight.Load()))
 	p.Gauge("wisegraph_serve_queue_depth", "", float64(len(e.queue)))
 	up := time.Since(s.start).Seconds()
@@ -215,6 +230,22 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 
 	// Per-stage timings (sample/partition/exec/collective/demux/batch/step).
 	p.StageHistograms("wisegraph_stage_duration_seconds")
+
+	// Fault-injection accounting (only present when a schedule is active).
+	if snap := fault.Snapshot(); snap != nil {
+		sites := make([]string, 0, len(snap))
+		for site := range snap {
+			sites = append(sites, site)
+		}
+		sort.Strings(sites)
+		for _, site := range sites {
+			c := snap[site]
+			p.Counter("wisegraph_fault_draws_total", `site="`+site+`"`, float64(c.Draws))
+			p.Counter("wisegraph_fault_injected_total", `site="`+site+`",kind="error"`, float64(c.Errors))
+			p.Counter("wisegraph_fault_injected_total", `site="`+site+`",kind="corrupt"`, float64(c.Corrupts))
+			p.Counter("wisegraph_fault_injected_total", `site="`+site+`",kind="latency"`, float64(c.Latencies))
+		}
+	}
 
 	// Per-kernel counters from the timing model, across all workers.
 	agg, kernels := e.DeviceStats()

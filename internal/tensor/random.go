@@ -15,6 +15,19 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal state, for checkpointing: a
+// generator restored with SetState continues the exact same stream, which
+// is what makes train-resume trajectories bit-identical.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

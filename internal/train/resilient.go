@@ -1,0 +1,218 @@
+package train
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wisegraph/internal/fault"
+)
+
+// Store persists train-state blobs for crash recovery. Save must be
+// atomic: a reader never observes a half-written blob, and a failed Save
+// leaves the previous blob intact.
+type Store interface {
+	// Save durably replaces the stored blob.
+	Save(data []byte) error
+	// Load returns the stored blob, or ok=false when nothing was saved.
+	Load() ([]byte, bool, error)
+}
+
+// MemStore keeps the blob in memory — the test and single-process store.
+type MemStore struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// Save replaces the stored blob.
+func (s *MemStore) Save(data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.data = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Load returns the stored blob.
+func (s *MemStore) Load() ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		return nil, false, nil
+	}
+	return append([]byte(nil), s.data...), true, nil
+}
+
+// FileStore persists the blob to one file, written via a temp file and
+// rename so a crash mid-save (kill -9 included) leaves either the old or
+// the new state, never a torn one.
+type FileStore struct{ Path string }
+
+// Save writes data to a sibling temp file and renames it over Path.
+func (s *FileStore) Save(data []byte) error {
+	dir := filepath.Dir(s.Path)
+	tmp, err := os.CreateTemp(dir, ".wsgt-*")
+	if err != nil {
+		return fmt.Errorf("train: checkpoint temp file: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("train: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("train: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, s.Path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("train: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the checkpoint file; a missing file is ok=false, not an error.
+func (s *FileStore) Load() ([]byte, bool, error) {
+	data, err := os.ReadFile(s.Path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// ResilientReport summarizes a RunResilient call.
+type ResilientReport struct {
+	Stats []EpochStats
+	// Recoveries counts restores after an injected (or real) epoch fault.
+	Recoveries int
+	// SaveFailures counts auto-checkpoints that failed (the previous
+	// checkpoint stays in force; training continues).
+	SaveFailures int
+	// ResumedFrom is the epoch the run restarted at when the store held a
+	// prior state (-1 when starting fresh).
+	ResumedFrom int
+}
+
+// TryEpoch runs one epoch and then consults the train.step fault site: a
+// drawn fault surfaces as an error AFTER the step mutated the model and
+// optimizer, modeling a crash mid-update. Recovery therefore cannot just
+// retry — it must restore the last checkpoint, which is exactly what
+// RunResilient does (and what the resume test proves reproduces the
+// unfaulted trajectory bit for bit).
+func (t *FullGraph) TryEpoch() (float64, error) {
+	loss := t.Epoch()
+	if err := fault.CheckErr(fault.SiteTrainStep); err != nil {
+		return 0, fmt.Errorf("train: epoch faulted: %w", err)
+	}
+	return loss, nil
+}
+
+// saveState serializes the full resumable state (params, Adam moments,
+// dropout RNG, the next epoch index) into store.
+func (t *FullGraph) saveState(store Store, nextEpoch int) error {
+	var buf bytes.Buffer
+	if err := t.Model.SaveTrainState(&buf, t.Opt, []uint64{uint64(nextEpoch)}); err != nil {
+		return err
+	}
+	return store.Save(buf.Bytes())
+}
+
+// loadState restores state from store, returning the epoch to resume at
+// and ok=false when the store is empty.
+func (t *FullGraph) loadState(store Store) (int, bool, error) {
+	data, ok, err := store.Load()
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	extra, err := t.Model.LoadTrainState(bytes.NewReader(data), t.Opt)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(extra) != 1 {
+		return 0, false, fmt.Errorf("train: train state carries %d extra words, want 1", len(extra))
+	}
+	return int(extra[0]), true, nil
+}
+
+// RunResilient is Run with auto-checkpointing and resume-on-fault: state
+// is saved to store every `every` epochs (and before epoch 0), an epoch
+// fault restores the latest checkpoint and replays from its epoch, and a
+// store already holding state resumes from it (the kill-and-restart
+// path). Because the checkpoint captures everything that influences the
+// trajectory — parameters, Adam moments and step counts, the dropout RNG
+// stream — the recovered run's per-epoch losses are bit-identical to an
+// uninterrupted run's.
+//
+// Checkpoint I/O itself is a fault site: a failed auto-save is counted
+// and tolerated (the previous checkpoint stays in force); a failed
+// restore is retried against the retry budget.
+func (t *FullGraph) RunResilient(epochs, every int, store Store) (*ResilientReport, error) {
+	if every < 1 {
+		every = 1
+	}
+	if store == nil {
+		store = &MemStore{}
+	}
+	rep := &ResilientReport{ResumedFrom: -1}
+	start := 0
+	if ep, ok, err := t.loadState(store); err != nil {
+		return nil, fmt.Errorf("train: resuming: %w", err)
+	} else if ok {
+		start, rep.ResumedFrom = ep, ep
+	} else if err := t.saveState(store, 0); err != nil {
+		return nil, fmt.Errorf("train: initial checkpoint: %w", err)
+	}
+	// The budget bounds pathological schedules (e.g. 100% fault rate)
+	// instead of looping forever; normal rates stay far under it.
+	budget := 3*epochs + 10
+	for ep := start; ep < epochs; {
+		began := time.Now()
+		loss, err := t.TryEpoch()
+		if err != nil {
+			rep.Recoveries++
+			if rep.Recoveries > budget {
+				return rep, fmt.Errorf("train: %d recoveries exceed budget %d, giving up: %w", rep.Recoveries, budget, err)
+			}
+			rep2, ok, lerr := t.loadState(store)
+			if lerr != nil || !ok {
+				// Restore itself faulted (or the store vanished): burn a
+				// recovery and try again rather than dying mid-repair.
+				continue
+			}
+			// Replayed epochs' stats are truncated so the report reads as
+			// one clean trajectory.
+			ep = rep2
+			if ep < len(rep.Stats) {
+				rep.Stats = rep.Stats[:ep]
+			}
+			continue
+		}
+		st := EpochStats{
+			Epoch:    ep,
+			Loss:     loss,
+			ValAcc:   t.Model.Accuracy(t.GC, t.DS.Features, t.DS.Labels, t.DS.ValMask),
+			TestAcc:  t.Model.Accuracy(t.GC, t.DS.Features, t.DS.Labels, t.DS.TestMask),
+			Duration: time.Since(began),
+		}
+		rep.Stats = append(rep.Stats, st)
+		ep++
+		if ep%every == 0 || ep == epochs {
+			if err := t.saveState(store, ep); err != nil {
+				rep.SaveFailures++ // previous checkpoint stays in force
+			}
+		}
+	}
+	return rep, nil
+}

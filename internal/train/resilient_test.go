@@ -1,0 +1,183 @@
+package train
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wisegraph/internal/fault"
+	"wisegraph/internal/nn"
+)
+
+// resilientTrainer builds a fresh full-graph trainer over the tiny
+// dataset with dropout on, so the RNG stream is part of the trajectory
+// and a resume that fails to restore it is caught immediately.
+func resilientTrainer(t *testing.T) *FullGraph {
+	t.Helper()
+	ds := tinyDataset(t)
+	tr, err := NewFullGraph(ds, nn.Config{
+		Kind: nn.SAGE, Hidden: 16, Layers: 2, Seed: 2, Dropout: 0.3,
+	}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func losses(stats []EpochStats) []float64 {
+	out := make([]float64, len(stats))
+	for i, s := range stats {
+		out[i] = s.Loss
+	}
+	return out
+}
+
+func requireBitIdentical(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d epochs, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: epoch %d loss %v, want %v (must be bit-identical)", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestResilientMatchesPlainRunWithoutFaults pins the baseline: with no
+// schedule installed, RunResilient is Run plus checkpoints — identical
+// losses, zero recoveries, fresh start.
+func TestResilientMatchesPlainRunWithoutFaults(t *testing.T) {
+	const epochs = 6
+	clean := losses(resilientTrainer(t).Run(epochs))
+	rep, err := resilientTrainer(t).RunResilient(epochs, 2, &MemStore{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recoveries != 0 || rep.SaveFailures != 0 || rep.ResumedFrom != -1 {
+		t.Fatalf("clean run reported recoveries=%d saveFailures=%d resumedFrom=%d",
+			rep.Recoveries, rep.SaveFailures, rep.ResumedFrom)
+	}
+	requireBitIdentical(t, losses(rep.Stats), clean, "unfaulted RunResilient")
+}
+
+// TestResilientRecoversBitIdenticalTrajectory is the resilience
+// acceptance test: under a 25% per-epoch fault rate (each fault firing
+// AFTER the epoch mutated params, moments and the dropout RNG), the
+// recovered trajectory must match the uninterrupted run bit for bit —
+// proving the checkpoint captures every input to the next epoch.
+func TestResilientRecoversBitIdenticalTrajectory(t *testing.T) {
+	const epochs = 8
+	clean := losses(resilientTrainer(t).Run(epochs))
+	var rep *ResilientReport
+	var err error
+	fault.WithSchedule(&fault.Schedule{
+		Seed:  77,
+		Sites: map[string]fault.SiteConfig{fault.SiteTrainStep: {ErrorRate: 0.25}},
+	}, func() {
+		rep, err = resilientTrainer(t).RunResilient(epochs, 2, &MemStore{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("schedule injected no epoch faults; recovery path untested")
+	}
+	requireBitIdentical(t, losses(rep.Stats), clean, "faulted RunResilient")
+	t.Logf("recovered from %d faults, trajectory bit-identical", rep.Recoveries)
+}
+
+// TestResilientResumesAcrossProcesses models kill-and-restart: one run
+// stops after 4 epochs, a brand-new trainer (fresh weights, fresh RNG)
+// resumes from the same store and must land exactly where an
+// uninterrupted 8-epoch run lands.
+func TestResilientResumesAcrossProcesses(t *testing.T) {
+	const half, epochs = 4, 8
+	clean := losses(resilientTrainer(t).Run(epochs))
+	store := &FileStore{Path: filepath.Join(t.TempDir(), "state.wsgt")}
+
+	first, err := resilientTrainer(t).RunResilient(half, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ResumedFrom != -1 {
+		t.Fatalf("fresh store resumed from %d", first.ResumedFrom)
+	}
+	second, err := resilientTrainer(t).RunResilient(epochs, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ResumedFrom != half {
+		t.Fatalf("resumed from epoch %d, want %d", second.ResumedFrom, half)
+	}
+	combined := append(losses(first.Stats), losses(second.Stats)...)
+	requireBitIdentical(t, combined, clean, "kill/restart trajectory")
+}
+
+// TestResilientBudgetExhaustion pins the give-up path: a 100% fault rate
+// can never complete, and must surface an injected error instead of
+// spinning forever.
+func TestResilientBudgetExhaustion(t *testing.T) {
+	fault.WithSchedule(&fault.Schedule{
+		Seed:  5,
+		Sites: map[string]fault.SiteConfig{fault.SiteTrainStep: {ErrorRate: 1}},
+	}, func() {
+		rep, err := resilientTrainer(t).RunResilient(3, 1, &MemStore{})
+		if err == nil {
+			t.Fatal("expected budget exhaustion at 100% fault rate")
+		}
+		if !fault.IsInjected(err) {
+			t.Fatalf("error lost its injected marker: %v", err)
+		}
+		if rep == nil || rep.Recoveries == 0 {
+			t.Fatal("no recoveries recorded before giving up")
+		}
+	})
+}
+
+// TestFileStoreAtomicSemantics checks the store contract directly: a
+// missing file is ok=false, Save replaces whole blobs, and no temp files
+// are left behind.
+func TestFileStoreAtomicSemantics(t *testing.T) {
+	dir := t.TempDir()
+	s := &FileStore{Path: filepath.Join(dir, "ckpt.bin")}
+	if _, ok, err := s.Load(); err != nil || ok {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	for _, blob := range [][]byte{[]byte("first"), []byte("second, longer blob")} {
+		if err := s.Save(blob); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := s.Load()
+		if err != nil || !ok || string(got) != string(blob) {
+			t.Fatalf("round trip: got %q ok=%v err=%v", got, ok, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("store dir holds %d entries (temp files leaked?)", len(entries))
+	}
+}
+
+// TestMemStoreDefensiveCopies checks the in-memory store does not alias
+// caller buffers in either direction.
+func TestMemStoreDefensiveCopies(t *testing.T) {
+	s := &MemStore{}
+	blob := []byte{1, 2, 3}
+	if err := s.Save(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = 99
+	got, ok, _ := s.Load()
+	if !ok || got[0] != 1 {
+		t.Fatalf("store aliased the saved buffer: %v", got)
+	}
+	got[1] = 42
+	again, _, _ := s.Load()
+	if again[1] != 2 {
+		t.Fatal("store aliased the loaded buffer")
+	}
+}

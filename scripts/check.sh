@@ -46,6 +46,29 @@ GOMAXPROCS=1 go test -race -count=1 ./internal/obs/
 echo "== observability under -race (GOMAXPROCS=$NPROC)"
 GOMAXPROCS="$NPROC" go test -race -count=1 ./internal/obs/
 
+# The fault-injection and resilience battery: deterministic injector,
+# distributed parity under straggler/error schedules, serving chaos drain
+# invariants, auto-checkpoint recovery, dense gradient checks. The
+# bit-identical claims must hold under the race detector at both
+# scheduler extremes — concurrency may reorder fault draws but never
+# change numerics or leak a request.
+FAULTS='Fault|Chaos|Resilient|GradCheck|ParityAcross|Store|Injected|Schedule|Sequence|Rates|Jitter|Exhaustion'
+echo "== fault/resilience battery under -race (GOMAXPROCS=1)"
+GOMAXPROCS=1 go test -race -count=1 -run "$FAULTS" \
+  ./internal/fault/ ./internal/dist/ ./internal/serve/ ./internal/train/ ./internal/nn/
+echo "== fault/resilience battery under -race (GOMAXPROCS=$NPROC)"
+GOMAXPROCS="$NPROC" go test -race -count=1 -run "$FAULTS" \
+  ./internal/fault/ ./internal/dist/ ./internal/serve/ ./internal/train/ ./internal/nn/
+
+# Fuzz smokes: a short budget on every fuzz target. Checkpoint decoding
+# must never panic on mutated bytes; CSR construction must preserve the
+# degree-sum and permutation invariants on arbitrary COO input.
+echo "== fuzz smokes (5s each)"
+go test ./internal/nn/ -run '^$' -fuzz '^FuzzCheckpointLoad$' -fuzztime=5s >/dev/null
+go test ./internal/nn/ -run '^$' -fuzz '^FuzzConfigRoundTrip$' -fuzztime=5s >/dev/null
+go test ./internal/graph/ -run '^$' -fuzz '^FuzzCSRBuild$' -fuzztime=5s >/dev/null
+echo "fuzz smokes OK"
+
 # End-to-end serving smoke test: train a tiny checkpoint, serve it over
 # HTTP on an ephemeral port, drive real load, then SIGTERM and assert the
 # graceful drain left zero requests in flight.
@@ -104,5 +127,37 @@ SERVE_PID=""
 grep -q 'drained: in-flight=0' "$SMOKE/serve.log" \
   || { echo "FAIL: drain left requests in flight"; cat "$SMOKE/serve.log"; exit 1; }
 echo "serve smoke OK"
+
+# Kill/restart resume smoke: a training run with per-epoch
+# auto-checkpoints is killed (-9) mid-run, then restarted with -resume.
+# The resumed run must pick up from the checkpoint and land on a final
+# epoch whose loss/val/test are bit-identical to an uninterrupted
+# reference run. The killed run is slowed by an injected per-epoch
+# latency fault (sleep only — latency draws never change numerics) so
+# the kill reliably lands mid-training on any machine.
+echo "== kill/restart resume smoke"
+TRAIN_ARGS=(-dataset AR -scale 400 -epochs 8 -hidden 16 -layers 2)
+"$SMOKE/wisegraph-train" "${TRAIN_ARGS[@]}" >"$SMOKE/ref.log"
+"$SMOKE/wisegraph-train" "${TRAIN_ARGS[@]}" \
+  -auto-checkpoint "$SMOKE/state.wsgt" -checkpoint-every 1 \
+  -fault-spec 'seed=1;train.step:latency=1,delay=200ms' \
+  >"$SMOKE/killed.log" 2>&1 &
+TRAIN_PID=$!
+sleep 0.6
+kill -9 "$TRAIN_PID" 2>/dev/null || true
+wait "$TRAIN_PID" 2>/dev/null || true
+[ -f "$SMOKE/state.wsgt" ] \
+  || { echo "FAIL: no auto-checkpoint on disk after kill"; exit 1; }
+"$SMOKE/wisegraph-train" "${TRAIN_ARGS[@]}" \
+  -auto-checkpoint "$SMOKE/state.wsgt" -resume >"$SMOKE/resumed.log"
+grep -q 'resumed from epoch' "$SMOKE/resumed.log" \
+  || { echo "FAIL: restart did not resume from the checkpoint"; cat "$SMOKE/resumed.log"; exit 1; }
+# Compare the final epoch line minus the (timing-dependent) duration.
+last_epoch() { grep '^epoch' "$1" | tail -1 | awk '{print $1,$2,$3,$4,$5,$6,$7,$8}'; }
+REF_LAST="$(last_epoch "$SMOKE/ref.log")"
+RES_LAST="$(last_epoch "$SMOKE/resumed.log")"
+[ -n "$REF_LAST" ] && [ "$REF_LAST" = "$RES_LAST" ] \
+  || { echo "FAIL: resumed trajectory diverged"; echo "ref: $REF_LAST"; echo "got: $RES_LAST"; exit 1; }
+echo "kill/restart resume OK"
 
 echo "OK"
