@@ -1,11 +1,13 @@
 package wisegraph
 
 import (
+	"fmt"
 	"testing"
 
 	"wisegraph/internal/bench"
 	"wisegraph/internal/core"
 	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/kernels"
 	"wisegraph/internal/nn"
@@ -174,6 +176,56 @@ func BenchmarkGTaskForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.GTaskTestAccuracy(plan); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineForward compares the execution engines on the real
+// forward numerics at the bandwidth-bound shape (F=64): ns/op, allocs/op,
+// and the engine's modeled bytes-moved per forward. Sub-benchmark names
+// carry the engine label so benchstat can diff blocked vs fused per model
+// (scripts/check.sh runs that comparison as a regression smoke).
+func BenchmarkEngineForward(b *testing.B) {
+	ds, err := LoadDataset("AR", DatasetOptions{Scale: 400, FeatureDim: 64, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gc := nn.NewGraphCtx(ds.Graph)
+	part := Partition(ds.Graph, core.VertexCentric())
+	for kind := nn.ModelKind(0); kind < nn.NumModels; kind++ {
+		op := kernels.Plan{Batched: true}
+		if kind == nn.RGCN {
+			op.Dedup = true
+		}
+		m, err := nn.NewModel(ModelConfig{
+			Kind: kind, InDim: ds.Dim(), Hidden: 64, OutDim: ds.Classes(),
+			Layers: 2, NumTypes: ds.Graph.NumTypes, Seed: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, engine := range kernels.EngineNames() {
+			eng, err := kernels.Select(engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bytes float64
+			for _, l := range m.Layers() {
+				sh := kernels.LayerShape{Kind: kind, F: l.InDim(), Fp: l.OutDim(), Types: ds.Graph.NumTypes}
+				bytes += eng.LayerBytes(sh, part, op)
+			}
+			b.Run(fmt.Sprintf("model=%s/F=64/engine=%s", kind, engine), func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := exec.NewCtx(device.New(device.A100()))
+				ctx.Engine = engine
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := kernels.RunModel(ctx, gc, m, ds.Features, part, op); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(bytes, "bytes-moved/op")
+			})
 		}
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +22,27 @@ import (
 	"time"
 
 	"wisegraph/internal/bench"
+	"wisegraph/internal/kernels"
 	"wisegraph/internal/parallel"
 )
+
+// benchResult is the BENCH_<id>.json schema: the table plus the run
+// configuration that produced it, so result trajectories are attributable
+// (in particular to the execution engine).
+type benchResult struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Engine     string     `json:"engine"`
+	Scale      int        `json:"scale,omitempty"`
+	Hidden     int        `json:"hidden,omitempty"`
+	Layers     int        `json:"layers,omitempty"`
+	Seed       uint64     `json:"seed"`
+	Quick      bool       `json:"quick,omitempty"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	DurationMS int64      `json:"duration_ms"`
+}
 
 func main() {
 	var (
@@ -34,10 +54,17 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "epochs for accuracy experiments (0 = 40)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		csvDir  = flag.String("csv", "", "directory to write CSV results into")
+		jsonDir = flag.String("json", "", "directory to write BENCH_<id>.json results into")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		workers = flag.Int("workers", 0, "CPU worker cap for parallel phases (0 = GOMAXPROCS)")
+		engine  = flag.String("engine", "", "execution engine for experiments that run real numerics: blocked|fused|device (default blocked)")
 	)
 	flag.Parse()
+
+	if _, err := kernels.Select(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *workers > 0 {
 		parallel.SetMaxWorkers(*workers)
@@ -52,7 +79,7 @@ func main() {
 
 	cfg := bench.Config{
 		Scale: *scale, Hidden: *hidden, Layers: *layers,
-		Epochs: *epochs, Seed: *seed, Quick: *quick,
+		Epochs: *epochs, Seed: *seed, Quick: *quick, Engine: *engine,
 	}
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -72,8 +99,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		t.Fprint(os.Stdout)
-		fmt.Printf("(%s ran in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s ran in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			res := benchResult{
+				ID: t.ID, Title: t.Title, Engine: cfg.EngineName(),
+				Scale: cfg.Scale, Hidden: cfg.Hidden, Layers: cfg.Layers,
+				Seed: cfg.Seed, Quick: cfg.Quick,
+				Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+				DurationMS: elapsed.Milliseconds(),
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)

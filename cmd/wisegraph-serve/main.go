@@ -63,6 +63,7 @@ func main() {
 		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		faultSpec  = flag.String("fault-spec", "", "deterministic fault-injection schedule, e.g. seed=42;serve.batch:error=0.05,latency=0.1,delay=2ms")
 		batchTmo   = flag.Duration("batch-timeout", 500*time.Millisecond, "per-micro-batch execution budget (governs injected stragglers)")
+		engineName = flag.String("engine", "blocked", "execution engine: blocked|fused|device (bitwise-identical; fused streams the SpMM)")
 	)
 	flag.Parse()
 	if *faultSpec != "" {
@@ -101,6 +102,7 @@ func main() {
 		QueueDepth:   *queueDepth,
 		Deadline:     *deadline,
 		BatchTimeout: *batchTmo,
+		Engine:       *engineName,
 		Seed:         *seed,
 	}
 	if *fanout != "" {

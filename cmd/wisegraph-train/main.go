@@ -43,6 +43,7 @@ func main() {
 		loadModel = flag.String("load-model", "", "alias for -load-checkpoint")
 		traceOut  = flag.String("trace", "", "write phase spans as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 		faultSpec = flag.String("fault-spec", "", "deterministic fault-injection schedule, e.g. seed=42;train.step:error=0.05;nn.checkpoint:error=0.01")
+		engine    = flag.String("engine", "blocked", "execution engine: blocked|fused|device (fused streams the SpMM without per-edge intermediates; all are bitwise-identical)")
 		autoCkpt  = flag.String("auto-checkpoint", "", "train-state file for periodic auto-checkpoint and fault recovery (full-graph mode)")
 		ckptEvery = flag.Int("checkpoint-every", 5, "epochs between auto-checkpoints")
 		resume    = flag.Bool("resume", false, "resume from -auto-checkpoint when the file exists")
@@ -94,6 +95,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if err := tr.UseEngine(*engine); err != nil {
+			fatal(err)
+		}
 		if *loadCkpt != "" {
 			restoreCheckpoint(tr.Model, *loadCkpt)
 		}
@@ -113,6 +117,9 @@ func main() {
 
 	tr, err := wisegraph.NewTrainer(ds, cfg, *lr)
 	if err != nil {
+		fatal(err)
+	}
+	if err := tr.UseEngine(*engine); err != nil {
 		fatal(err)
 	}
 	if *loadCkpt != "" {

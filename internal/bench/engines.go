@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/kernels"
+	"wisegraph/internal/nn"
+)
+
+// engineAttrs are the partition attributes the engines experiment indexes.
+var engineAttrs = []core.Attr{core.AttrSrcID, core.AttrDstID, core.AttrEdgeType, core.AttrDstDegree}
+
+// ExtEngines compares the pluggable execution engines on every model:
+// measured wall-clock of the real forward numerics (best of a few reps)
+// and each engine's modeled global-memory traffic for the aggregation
+// path. The blocked model walks memory roughly three times per edge
+// (gather pass, per-edge read-modify-write, per-edge weight refetch for
+// RGCN); the fused model streams every operand once plus one accumulator
+// load+store per destination run; "costmodel" is the composed micro-kernel
+// program's prediction for the paper's target kernel (what the device
+// engine accounts stage by stage).
+func ExtEngines(c Config) (*Table, error) {
+	ds, err := c.loadDataset("AR")
+	if err != nil {
+		return nil, err
+	}
+	hidden := c.hidden()
+	reps := 3
+	if c.Quick {
+		reps = 1
+	}
+	gc := nn.NewGraphCtx(ds.Graph)
+	gp := core.VertexCentric()
+	part := core.PartitionGraph(ds.Graph, gp, engineAttrs)
+	t := &Table{
+		ID:    "ext-engines",
+		Title: fmt.Sprintf("execution engines: blocked vs fused on AR, F=%d (wall ms of real numerics; modeled aggregation-path MB)", hidden),
+		Header: []string{"model", "blocked ms", "fused ms", "speedup",
+			"blocked MB", "fused MB", "bytes x", "costmodel MB"},
+	}
+	for _, kind := range evalModels() {
+		op := kernels.Plan{Batched: true}
+		if kind == nn.RGCN {
+			op.Dedup = true
+		}
+		m, err := nn.NewModel(nn.Config{
+			Kind: kind, InDim: ds.Dim(), Hidden: hidden, OutDim: ds.Classes(),
+			Layers: c.layers(), NumTypes: ds.Graph.NumTypes, Seed: c.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		layerBytes := func(engine string) (float64, error) {
+			eng, err := kernels.Select(engine)
+			if err != nil {
+				return 0, err
+			}
+			var total float64
+			for _, l := range m.Layers() {
+				sh := kernels.LayerShape{Kind: kind, F: l.InDim(), Fp: l.OutDim(), Types: m.Cfg.NumTypes}
+				total += eng.LayerBytes(sh, part, op)
+			}
+			return total, nil
+		}
+		wall := func(engine string) (float64, error) {
+			best := 0.0
+			for r := 0; r < reps; r++ {
+				ctx := exec.NewCtx(device.New(spec()))
+				ctx.Engine = engine
+				start := time.Now()
+				if _, err := kernels.RunModel(ctx, gc, m, ds.Features, part, op); err != nil {
+					return 0, err
+				}
+				if el := time.Since(start).Seconds(); r == 0 || el < best {
+					best = el
+				}
+			}
+			return best, nil
+		}
+		blockedT, err := wall("blocked")
+		if err != nil {
+			return nil, err
+		}
+		fusedT, err := wall("fused")
+		if err != nil {
+			return nil, err
+		}
+		blockedB, err := layerBytes("blocked")
+		if err != nil {
+			return nil, err
+		}
+		fusedB, err := layerBytes("fused")
+		if err != nil {
+			return nil, err
+		}
+		costB, err := layerBytes("device")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(kind.String(), ms(blockedT), ms(fusedT), f2(blockedT/fusedT),
+			f2(blockedB/1e6), f2(fusedB/1e6), f2(blockedB/fusedB), f2(costB/1e6))
+	}
+	t.Notes = append(t.Notes,
+		"engines are bitwise-identical (see TestEnginesBitwiseParityAcrossPlansAndWorkers); only dataflow differs",
+		"fused wins bytes-moved on the bandwidth-bound shapes (GCN/GraphSAGE at F>=64): one stream per edge plus one accumulator load+store per destination run, vs three memory walks per edge blocked",
+		"SAGE-LSTM shows bytes x = 1.00 by design: the recurrence already streams one source row per step with (h,c) register-resident, so there is nothing left to fuse",
+		"GAT's win is smaller: the score/softmax passes are shared between engines, so fusion only removes the aggregation pass's per-edge read-modify-write",
+		"wall-clock speedups on this CPU substrate are modest because the shared dense matmuls dominate; bytes-moved is the device-model win the paper targets",
+		"SAGE fused wall time can trail blocked here: its zero-materialization path trades the cache-blocked [V,F]x[F,F'] matmul for per-row vector-matrix products, a bandwidth-vs-FLOPs trade that pays on the modeled device, not on CPU",
+	)
+	return t, nil
+}

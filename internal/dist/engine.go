@@ -2,7 +2,7 @@ package dist
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +33,18 @@ type Engine struct {
 	// remoteNeeds[d] lists, per peer p, the unique remote sources device
 	// d needs from p (deduplicated — the paper's communication volume).
 	remoteNeeds [][][]int32
+
+	// exec selects the aggregation dataflow: ExecBlocked walks devEdges
+	// with a read-modify-write per edge, ExecFused streams each output row
+	// exactly once through aggPtr/aggEdges (built lazily below).
+	exec nn.Exec
+	// aggPtr[d]/aggEdges[d] group devEdges[d] by local destination row,
+	// stably — within a row, edges keep their devEdges order, so the
+	// floating-point accumulation order per row (the only order that
+	// affects bits) is identical to the blocked walk.
+	aggOnce  sync.Once
+	aggPtr   [][]int32
+	aggEdges [][]int32
 
 	// accounting
 	mu        sync.Mutex
@@ -75,6 +87,41 @@ func NewEngine(c Cluster, g *graph.Graph) *Engine {
 		}
 	}
 	return e
+}
+
+// UseExec selects the aggregation dataflow for subsequent forward passes
+// (nn.ExecFused streams destination rows; the default walks edges). Both
+// produce bit-identical outputs — see TestDistAggregateBlockedVsFused.
+func (e *Engine) UseExec(x nn.Exec) { e.exec = x }
+
+// buildAggIndex groups each device's in-edges by local destination row
+// with a counting sort that preserves devEdges order within a row.
+func (e *Engine) buildAggIndex() {
+	e.aggOnce.Do(func() {
+		n := e.C.N
+		e.aggPtr = make([][]int32, n)
+		e.aggEdges = make([][]int32, n)
+		for d := 0; d < n; d++ {
+			lo, hi := e.Block(d)
+			rows := int(hi - lo)
+			ptr := make([]int32, rows+1)
+			for _, ei := range e.devEdges[d] {
+				ptr[e.G.Dst[ei]-lo+1]++
+			}
+			for r := 0; r < rows; r++ {
+				ptr[r+1] += ptr[r]
+			}
+			edges := make([]int32, len(e.devEdges[d]))
+			next := append([]int32(nil), ptr[:rows]...)
+			for _, ei := range e.devEdges[d] {
+				r := e.G.Dst[ei] - lo
+				edges[next[r]] = ei
+				next[r]++
+			}
+			e.aggPtr[d] = ptr
+			e.aggEdges[d] = edges
+		}
+	})
 }
 
 // Owner returns the device owning vertex v.
@@ -250,9 +297,16 @@ func (e *Engine) exchange(parts []*tensor.Tensor) ([]map[int32][]float32, error)
 
 // aggregate runs the normalized sum aggregation out[dst] += w·in[src] on
 // every device over its own in-edges, resolving local rows directly and
-// remote rows from the exchanged table.
+// remote rows from the exchanged table. Under nn.ExecFused each output row
+// is streamed exactly once (all its contributions arrive consecutively via
+// the grouped index) instead of being re-read and re-written per edge; the
+// per-row accumulation order is unchanged, so the bits are too.
 func (e *Engine) aggregate(parts []*tensor.Tensor, recv []map[int32][]float32, width int, invDeg []float32) []*tensor.Tensor {
 	n := e.C.N
+	fused := e.exec == nn.ExecFused
+	if fused {
+		e.buildAggIndex()
+	}
 	out := make([]*tensor.Tensor, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -261,9 +315,8 @@ func (e *Engine) aggregate(parts []*tensor.Tensor, recv []map[int32][]float32, w
 			defer wg.Done()
 			lo, hi := e.Block(d)
 			agg := tensor.New(int(hi-lo), width)
-			for _, ei := range e.devEdges[d] {
+			addEdge := func(ei int32, or []float32) {
 				src := e.G.Src[ei]
-				dst := e.G.Dst[ei]
 				var row []float32
 				if sd := e.Owner(src); sd == d {
 					row = parts[d].Row(int(src - lo))
@@ -271,9 +324,21 @@ func (e *Engine) aggregate(parts []*tensor.Tensor, recv []map[int32][]float32, w
 					row = recv[d][src]
 				}
 				w := invDeg[ei]
-				or := agg.Row(int(dst - lo))
 				for j, v := range row {
 					or[j] += w * v
+				}
+			}
+			if fused {
+				ptr, edges := e.aggPtr[d], e.aggEdges[d]
+				for r := 0; r < int(hi-lo); r++ {
+					or := agg.Row(r)
+					for k := ptr[r]; k < ptr[r+1]; k++ {
+						addEdge(edges[k], or)
+					}
+				}
+			} else {
+				for _, ei := range e.devEdges[d] {
+					addEdge(ei, agg.Row(int(e.G.Dst[ei]-lo)))
 				}
 			}
 			out[d] = agg
@@ -481,6 +546,4 @@ func invDegWeights(g *graph.Graph) []float32 {
 	return w
 }
 
-func sortInt32s(xs []int32) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-}
+func sortInt32s(xs []int32) { slices.Sort(xs) }

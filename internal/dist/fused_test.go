@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"testing"
+
+	"wisegraph/internal/graph/gen"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+)
+
+// TestDistAggregateBlockedVsFused pins the fused aggregation dataflow to
+// the blocked one bit for bit: grouping a device's in-edges by output row
+// (stably) must not change any per-row accumulation order, for GCN under
+// both placements and for SAGE.
+func TestDistAggregateBlockedVsFused(t *testing.T) {
+	e, gc, x := engineSetup(t)
+	rng := tensor.NewRNG(21)
+	gcn := nn.NewGCNLayer(rng, 10, 6)
+	sage := nn.NewSAGELayer(rng, 10, 6)
+	_ = gc
+
+	type runFn func(e *Engine) *tensor.Tensor
+	runs := map[string]runFn{
+		"gcn-dppre": func(e *Engine) *tensor.Tensor {
+			parts, err := e.GCNForward(gcn, e.Shard(x), DPPre)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e.Unshard(parts)
+		},
+		"gcn-dppost": func(e *Engine) *tensor.Tensor {
+			parts, err := e.GCNForward(gcn, e.Shard(x), DPPost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e.Unshard(parts)
+		},
+		"sage": func(e *Engine) *tensor.Tensor {
+			parts, err := e.SAGEForward(sage, e.Shard(x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e.Unshard(parts)
+		},
+	}
+	for name, run := range runs {
+		want := run(e)
+		fusedE := NewEngine(e.C, e.G)
+		fusedE.UseExec(nn.ExecFused)
+		got := run(fusedE)
+		closeAll(t, got, want, 0, name)
+	}
+}
+
+// TestDistTrainingBlockedVsFusedBitwise trains the same model under both
+// aggregation dataflows and requires identical losses and parameters —
+// forward and backward (SAGEBackward recomputes the aggregation) must be
+// untouched by the fused streaming.
+func TestDistTrainingBlockedVsFusedBitwise(t *testing.T) {
+	res := gen.Generate(gen.Config{
+		NumVertices: 200, NumEdges: 1600, Kind: gen.PowerLaw, Skew: 0.9,
+		NumBlocks: 4, Homophily: 0.85, Seed: 14,
+	})
+	x := tensor.New(200, 8)
+	tensor.Uniform(x, tensor.NewRNG(15), -1, 1)
+	mask := make([]int32, 0, 100)
+	for v := int32(0); v < 200; v += 2 {
+		mask = append(mask, v)
+	}
+	train := func(exec nn.Exec) ([]float64, *nn.Model) {
+		m, err := nn.NewModel(nn.Config{Kind: nn.SAGE, InDim: 8, Hidden: 12, OutDim: 4, Layers: 2, Seed: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(NewCluster(4), res.Graph)
+		e.UseExec(exec)
+		tr, err := NewTrainer(e, m, x, res.Block, mask, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var losses []float64
+		for step := 0; step < 3; step++ {
+			loss, err := tr.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, loss)
+		}
+		return losses, m
+	}
+	wantLoss, wantM := train(nn.ExecBlocked)
+	gotLoss, gotM := train(nn.ExecFused)
+	for i := range wantLoss {
+		if gotLoss[i] != wantLoss[i] {
+			t.Fatalf("loss[%d] = %v, want %v", i, gotLoss[i], wantLoss[i])
+		}
+	}
+	wp, gp := wantM.Params(), gotM.Params()
+	for i := range wp {
+		for j, v := range wp[i].Value.Data() {
+			if gp[i].Value.Data()[j] != v {
+				t.Fatalf("param %s[%d] = %v, want %v", wp[i].Name, j, gp[i].Value.Data()[j], v)
+			}
+		}
+	}
+}

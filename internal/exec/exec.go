@@ -43,6 +43,15 @@ type Ctx struct {
 	// before invoking an executor so the exec-stage span lands on the same
 	// timeline as the caller's sample/partition/demux spans.
 	TraceID uint64
+	// Engine names the execution engine the gTask executor should run
+	// layers with: "" or "blocked" for the separate gather → matmul →
+	// scatter passes, "fused" for the streaming SpMM that never
+	// materializes per-edge intermediates, "device" for the simulated-
+	// device path with per-micro-kernel stats. The name is resolved by
+	// internal/kernels (exec cannot import it); an unknown name fails the
+	// executor call with a descriptive error rather than silently running
+	// the default.
+	Engine string
 
 	peakWorkspace float64
 }

@@ -3,9 +3,9 @@ package kernels
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"wisegraph/internal/core"
-	"wisegraph/internal/device"
 	"wisegraph/internal/dfg"
 	"wisegraph/internal/exec"
 	"wisegraph/internal/graph"
@@ -16,19 +16,24 @@ import (
 
 // RunModel executes a full forward pass with the gTask strategy: shared
 // dense transforms as per-layer tensor-core kernels, then one fused kernel
-// per layer whose work items are the partition's gTasks. The numeric
-// output is computed by the fused path itself (not delegated to the
-// reference), so tests can verify the gTask machinery end to end.
+// per layer whose work items are the partition's gTasks. The layer
+// execution itself goes through the Engine selected by ctx.Engine (see
+// engine.go); the numeric output is computed by the engine (not delegated
+// to the reference), so tests can verify the gTask machinery end to end.
 func RunModel(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
-	if !ValidPlanFor(m.Cfg.Kind, part.Plan) {
-		return nil, fmt.Errorf("kernels: plan %v cannot execute %v", part.Plan, m.Cfg.Kind)
+	eng, err := Select(ctx.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Probe(m.Cfg.Kind, part.Plan); err != nil {
+		return nil, err
 	}
 	sp := obs.Begin(obs.StageExec, ctx.TraceID)
 	defer sp.End()
 	cur := x
 	for li, layer := range m.Layers() {
 		sh := LayerShape{Kind: m.Cfg.Kind, F: layer.InDim(), Fp: layer.OutDim(), Types: m.Cfg.NumTypes}
-		out, err := runLayer(ctx, gc, layer, sh, cur, part, plan)
+		out, err := eng.RunLayer(ctx, gc, layer, sh, cur, part, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -51,46 +56,25 @@ func RunModel(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor, par
 	return cur, nil
 }
 
-// runLayer accounts and (optionally) computes one layer.
-func runLayer(ctx *exec.Ctx, gc *nn.GraphCtx, layer nn.Layer, sh LayerShape, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
-	// Shared dense transforms.
-	for _, k := range DenseKernels(sh, gc.NumVertices()) {
-		ctx.Launch(k, nil)
-	}
-	// Fused gTask kernel: one launch, tasks as work items.
-	costs := CostPartition(ctx.Dev.Spec, part, sh, plan)
-	times := make([]float64, len(costs))
-	var flops, bytes float64
-	for i, c := range costs {
-		times[i] = c.Seconds
-		flops += c.FLOPs
-		bytes += c.Bytes
-	}
-	ctx.Launch(device.Kernel{
-		Name: "gtask.fused", Cat: device.CatNeural,
-		FLOPs: flops, Bytes: bytes, UnitTimes: times,
-	}, nil)
-	if !ctx.Compute {
-		return nil, nil
-	}
-	out, err := computeLayer(gc, layer, x, part, plan)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// computeLayer is the real fused computation over gTasks.
-func computeLayer(gc *nn.GraphCtx, layer nn.Layer, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
-	g := gc.G
+// invDegOf returns the mean-normalization weight of an edge (1/in-degree
+// of its destination, 0 for isolated destinations).
+func invDegOf(g *graphT) func(int32) float32 {
 	inDeg := g.InDegrees()
-	invDeg := func(e int32) float32 {
+	return func(e int32) float32 {
 		d := inDeg[g.Dst[e]]
 		if d == 0 {
 			return 0
 		}
 		return 1 / float32(d)
 	}
+}
+
+// computeLayer is the blocked-engine computation over gTasks: separate
+// gather, transform and scatter-add passes with per-edge read-modify-write
+// accumulation.
+func computeLayer(gc *nn.GraphCtx, layer nn.Layer, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
+	g := gc.G
+	invDeg := invDegOf(g)
 	switch l := layer.(type) {
 	case *nn.GCNLayer:
 		xw := tensor.MatMul(tensor.Get(x.Dim(0), l.OutDim()), x, l.W.Value)
@@ -200,14 +184,17 @@ func computeRGCN(g *graphT, l *nn.RGCNLayer, x *tensor.Tensor, part *core.Partit
 	return out, nil
 }
 
-// computeGAT runs attention in three phases so softmax normalization is
-// exact regardless of how tasks split a destination's in-edges.
-func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Partition) (*tensor.Tensor, error) {
+// gatScores runs the GAT phases shared by every engine: the dense Z
+// transform, attention projections, per-edge leaky-ReLU scores, and the
+// per-(dst,head) stable softmax. The softmax runs over the whole edge set
+// (three passes) so normalization is exact regardless of how tasks split
+// a destination's in-edges. It returns Z, the normalized score numerators
+// and the per-destination sums; the caller owns all three (tensor.Put).
+func gatScores(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Partition) (z, score, sum *tensor.Tensor) {
 	g := gc.G
 	heads := l.Heads()
 	dh := l.OutDim() / heads
-	z := tensor.MatMul(tensor.Get(x.Dim(0), l.OutDim()), x, l.W.Value)
-	defer tensor.Put(z)
+	z = tensor.MatMul(tensor.Get(x.Dim(0), l.OutDim()), x, l.W.Value)
 	v := g.NumVertices
 	// projections
 	pl := tensor.Get(v, heads)
@@ -228,8 +215,7 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 		}
 	}
 	e := g.NumEdges()
-	score := tensor.Get(e, heads)
-	defer tensor.Put(score)
+	score = tensor.Get(e, heads)
 	forEachTaskEdge(part, func(ei int32) {
 		sr := score.Row(int(ei))
 		plr := pl.Row(int(g.Src[ei]))
@@ -257,8 +243,7 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 			}
 		}
 	}
-	sum := tensor.Get(v, heads)
-	defer tensor.Put(sum)
+	sum = tensor.Get(v, heads)
 	for ei := 0; ei < e; ei++ {
 		d := int(g.Dst[ei])
 		sr := score.Row(ei)
@@ -270,7 +255,20 @@ func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Pa
 			zr[h] += ev
 		}
 	}
-	out := tensor.Get(v, l.OutDim())
+	return z, score, sum
+}
+
+// computeGAT is the blocked GAT path: shared score/softmax phases, then a
+// per-edge read-modify-write aggregation over the tasks.
+func computeGAT(gc *nn.GraphCtx, l *nn.GATLayer, x *tensor.Tensor, part *core.Partition) (*tensor.Tensor, error) {
+	g := gc.G
+	heads := l.Heads()
+	dh := l.OutDim() / heads
+	z, score, sum := gatScores(gc, l, x, part)
+	defer tensor.Put(z)
+	defer tensor.Put(score)
+	defer tensor.Put(sum)
+	out := tensor.Get(g.NumVertices, l.OutDim())
 	forEachTaskEdge(part, func(ei int32) {
 		src, dst := int(g.Src[ei]), int(g.Dst[ei])
 		sr := score.Row(int(ei))
@@ -313,7 +311,7 @@ func computeLSTM(g *graphT, l *nn.SAGELSTMLayer, x *tensor.Tensor, part *core.Pa
 			}
 			// run the LSTM over edges[i:j] in ascending edge order
 			run := append([]int32(nil), edges[i:j]...)
-			sortInt32(run)
+			slices.Sort(run)
 			for k := range h {
 				h[k], c[k] = 0, 0
 			}
@@ -356,14 +354,6 @@ func mulAccRow(z, x []float32, w *tensor.Tensor) {
 		wr := w.Data()[p*n : (p+1)*n]
 		for j, wv := range wr {
 			z[j] += xv * wv
-		}
-	}
-}
-
-func sortInt32(xs []int32) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
 		}
 	}
 }

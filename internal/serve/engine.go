@@ -79,6 +79,10 @@ type Options struct {
 	// Plan is a pre-tuned joint plan; nil runs a one-shot tune on a
 	// representative sampled subgraph at startup (§6.3 reuse).
 	Plan *joint.Result
+	// Engine names the execution engine workers run layers with (one of
+	// kernels.EngineNames; "" = blocked). Engines are bitwise-identical,
+	// so this is a dataflow/accounting choice, not a numeric one.
+	Engine string
 	// Seed derives the per-worker sampling RNG streams.
 	Seed uint64
 }
@@ -204,6 +208,11 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 	if !kernels.ValidPlanFor(model.Cfg.Kind, e.plan.GraphPlan) {
 		return nil, fmt.Errorf("serve: plan %v cannot execute %v", e.plan.GraphPlan, model.Cfg.Kind)
 	}
+	if eng, err := kernels.Select(opts.Engine); err != nil {
+		return nil, err
+	} else if err := eng.Probe(model.Cfg.Kind, e.plan.GraphPlan); err != nil {
+		return nil, err
+	}
 	go e.batcher()
 	for w := 0; w < opts.Workers; w++ {
 		replica, err := e.newReplica()
@@ -213,7 +222,9 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		dev := device.New(*opts.Spec)
 		e.devs = append(e.devs, dev)
 		e.workerWG.Add(1)
-		go e.worker(w, replica, exec.NewCtx(dev))
+		ectx := exec.NewCtx(dev)
+		ectx.Engine = opts.Engine
+		go e.worker(w, replica, ectx)
 	}
 	go func() {
 		e.workerWG.Wait()

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"wisegraph/internal/nn"
+)
+
+// TestEngineOptionSelectsExecutionEngine serves the same deterministic
+// request under every execution engine and requires identical logits —
+// engines are a dataflow choice, never a numeric one — and rejects
+// unknown engine names at construction.
+func TestEngineOptionSelectsExecutionEngine(t *testing.T) {
+	ds := testDataset(t, 60, 240, 12, 5, 1, 1)
+	nodes := []int32{0, 7, 41, 59}
+	var want [][]float32
+	for _, engine := range []string{"", "blocked", "fused", "device"} {
+		m := testModel(t, ds, nn.SAGE)
+		e := testEngine(t, ds, m, Options{Workers: 1, Seed: 3, Engine: engine})
+		pred, err := e.Predict(context.Background(), nodes, true)
+		if err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		if want == nil {
+			want = pred.Logits
+			continue
+		}
+		for i := range want {
+			for j := range want[i] {
+				if pred.Logits[i][j] != want[i][j] {
+					t.Fatalf("engine %q: logits[%d][%d] = %v, want %v",
+						engine, i, j, pred.Logits[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	m := testModel(t, ds, nn.SAGE)
+	if _, err := NewEngine(ds, m, Options{Workers: 1, Engine: "warp"}); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("NewEngine(engine=warp) = %v, want unknown-engine error", err)
+	}
+}

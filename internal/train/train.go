@@ -35,7 +35,30 @@ type FullGraph struct {
 	Model *nn.Model
 	GC    *nn.GraphCtx
 	Opt   *nn.Adam
+
+	engine string // execution engine for the gTask path ("" = blocked)
 }
+
+// UseEngine selects the execution engine (see kernels.EngineNames) for
+// both the training layers and the gTask evaluation path. The "fused"
+// engine switches the nn layers to their streaming dataflow, which is
+// bitwise-identical to the blocked one; "device" trains with blocked
+// numerics but evaluates with per-stage kernel accounting.
+func (t *FullGraph) UseEngine(name string) error {
+	if _, err := kernels.Select(name); err != nil {
+		return err
+	}
+	t.engine = name
+	if name == "fused" {
+		t.GC.SetExec(nn.ExecFused)
+	} else {
+		t.GC.SetExec(nn.ExecBlocked)
+	}
+	return nil
+}
+
+// Engine reports the selected execution engine name ("" = blocked).
+func (t *FullGraph) Engine() string { return t.engine }
 
 // NewFullGraph builds a trainer. cfg.InDim/OutDim are filled from the
 // dataset if zero.
@@ -98,6 +121,7 @@ func (t *FullGraph) Run(epochs int) []EpochStats {
 // executions are bit-for-bit near-identical).
 func (t *FullGraph) GTaskTestAccuracy(res *joint.Result) (float64, error) {
 	ctx := exec.NewCtx(device.New(device.A100()))
+	ctx.Engine = t.engine
 	part := res.Partition
 	if part.Graph != t.DS.Graph {
 		part = core.PartitionGraph(t.DS.Graph, res.GraphPlan, searchAttrs)
@@ -139,6 +163,22 @@ type Sampled struct {
 	rng    *tensor.RNG
 	cursor int
 	mask   []int32 // reused seed-mask buffer
+	exec   nn.Exec // layer dataflow for per-batch subgraph contexts
+}
+
+// UseEngine selects the execution engine for mini-batch training. Only
+// "fused" changes the layer dataflow (bitwise-identically); "device"
+// trains with blocked numerics like the default.
+func (s *Sampled) UseEngine(name string) error {
+	if _, err := kernels.Select(name); err != nil {
+		return err
+	}
+	if name == "fused" {
+		s.exec = nn.ExecFused
+	} else {
+		s.exec = nn.ExecBlocked
+	}
+	return nil
 }
 
 // NewSampled builds a sampled-graph trainer with the paper's 20-15-10
@@ -187,6 +227,7 @@ func (s *Sampled) Iteration() float64 {
 	sub := s.NextBatch()
 	sp.End()
 	gc := nn.NewGraphCtx(sub.Graph)
+	gc.SetExec(s.exec)
 	sp = obs.Begin(obs.StageCollective, id)
 	x := sub.GatherFeatures(s.DS.Features)
 	labels := sub.GatherLabels(s.DS.Labels)

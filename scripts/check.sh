@@ -28,6 +28,34 @@ echo "== parity/determinism under -race (GOMAXPROCS=$NPROC)"
 GOMAXPROCS="$NPROC" go test -race -count=1 -run "$PARITY" \
   ./internal/core/ ./internal/graph/ ./internal/joint/
 
+# Cross-engine parity: the fused and device execution engines must be
+# bitwise-identical to the blocked reference across models, plans and
+# worker counts, under the race detector at both scheduler extremes.
+ENGINES='Engine|BlockedVsFused|BySrc'
+echo "== cross-engine parity under -race (GOMAXPROCS=1)"
+GOMAXPROCS=1 go test -race -count=1 -run "$ENGINES" \
+  ./internal/kernels/ ./internal/nn/ ./internal/dist/ ./internal/serve/
+echo "== cross-engine parity under -race (GOMAXPROCS=$NPROC)"
+GOMAXPROCS="$NPROC" go test -race -count=1 -run "$ENGINES" \
+  ./internal/kernels/ ./internal/nn/ ./internal/dist/ ./internal/serve/
+
+# Blocked-vs-fused performance smoke (benchstat-style, min of 5): on the
+# bandwidth-bound GCN F=64 shape the fused engine must not regress more
+# than 10% against blocked. The deterministic bytes-moved win is asserted
+# by TestFusedEngineMovesFewerBytes above; this guards wall-clock.
+echo "== blocked-vs-fused benchmark smoke (GCN F=64, min of 5)"
+go test -run '^$' -bench 'BenchmarkEngineForward/model=GCN/F=64/engine=(blocked|fused)$' \
+  -benchtime 3x -count 5 . >"${TMPDIR:-/tmp}/engine_bench.txt"
+awk '
+  /engine=blocked/ { if (bmin == 0 || $3 < bmin) bmin = $3 }
+  /engine=fused/   { if (fmin == 0 || $3 < fmin) fmin = $3 }
+  END {
+    if (bmin == 0 || fmin == 0) { print "FAIL: benchmark produced no samples"; exit 1 }
+    printf "blocked min %.0f ns/op, fused min %.0f ns/op (ratio %.3f)\n", bmin, fmin, fmin / bmin
+    if (fmin > 1.10 * bmin) { print "FAIL: fused regressed >10% vs blocked"; exit 1 }
+  }' "${TMPDIR:-/tmp}/engine_bench.txt"
+echo "engine smoke OK"
+
 # The serving engine's concurrency machinery (admission lock, micro-batch
 # coalescing, drain protocol, lock-free metrics) is exercised by a
 # dedicated suite that must stay clean under the race detector at both

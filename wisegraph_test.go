@@ -60,8 +60,8 @@ func TestPublicAPIParseModel(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 19 {
-		t.Fatalf("expected 19 experiments (15 paper + 4 extensions), got %d: %v", len(ids), ids)
+	if len(ids) != 20 {
+		t.Fatalf("expected 20 experiments (15 paper + 5 extensions), got %d: %v", len(ids), ids)
 	}
 	var sb strings.Builder
 	if err := WriteExperiment(&sb, "table1", BenchConfig{Quick: true, Seed: 1}); err != nil {
