@@ -38,32 +38,34 @@ import (
 
 func main() {
 	var (
-		dsName     = flag.String("dataset", "AR", "dataset name (must match training)")
-		scale      = flag.Int("scale", 0, "dataset scale divisor override (must match training)")
-		seed       = flag.Uint64("seed", 1, "dataset seed (must match training)")
-		noise      = flag.Float64("noise", 0.8, "feature noise (must match training)")
-		checkpoint = flag.String("checkpoint", "", "model checkpoint to serve (v2 embeds the config; v1 needs -model/-hidden/-layers)")
-		model      = flag.String("model", "SAGE", "model kind for v1 checkpoints or untrained serving")
-		hidden     = flag.Int("hidden", 64, "hidden dim for v1 checkpoints or untrained serving")
-		layers     = flag.Int("layers", 3, "layer count for v1 checkpoints or untrained serving")
-		planPath   = flag.String("plan", "", "pre-tuned execution plan JSON (default: one-shot tune at startup)")
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		workers    = flag.Int("workers", 2, "forward-pass workers")
-		batchCap   = flag.Int("batch-cap", 16, "max requests per micro-batch")
-		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "micro-batch fill deadline")
-		queueDepth = flag.Int("queue-depth", 0, "admission queue depth (default 4x batch cap)")
-		deadline   = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
-		fanout     = flag.String("fanout", "", "sampling fan-outs, comma-separated (default 10 per layer)")
-		drainWait  = flag.Duration("drain-timeout", 15*time.Second, "graceful drain budget on shutdown")
-		loadGen    = flag.Int("loadgen", 0, "skip HTTP: drive the engine in-process with N closed-loop clients, report, exit")
-		loadDur    = flag.Duration("loadgen-duration", 5*time.Second, "in-process load duration")
-		loadNodes  = flag.Int("loadgen-nodes", 1, "node ids per in-process load request")
-		loadZipf   = flag.Float64("loadgen-zipf", 0, "node popularity skew for in-process load (0 = uniform)")
-		traceRing  = flag.Int("trace-ring", obs.DefaultRingSize, "span ring-buffer capacity for /debug/trace (0 disables tracing)")
-		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		faultSpec  = flag.String("fault-spec", "", "deterministic fault-injection schedule, e.g. seed=42;serve.batch:error=0.05,latency=0.1,delay=2ms")
-		batchTmo   = flag.Duration("batch-timeout", 500*time.Millisecond, "per-micro-batch execution budget (governs injected stragglers)")
-		engineName = flag.String("engine", "blocked", "execution engine: blocked|fused|device (bitwise-identical; fused streams the SpMM)")
+		dsName      = flag.String("dataset", "AR", "dataset name (must match training)")
+		scale       = flag.Int("scale", 0, "dataset scale divisor override (must match training)")
+		seed        = flag.Uint64("seed", 1, "dataset seed (must match training)")
+		noise       = flag.Float64("noise", 0.8, "feature noise (must match training)")
+		checkpoint  = flag.String("checkpoint", "", "model checkpoint to serve (v2 embeds the config; v1 needs -model/-hidden/-layers)")
+		model       = flag.String("model", "SAGE", "model kind for v1 checkpoints or untrained serving")
+		hidden      = flag.Int("hidden", 64, "hidden dim for v1 checkpoints or untrained serving")
+		layers      = flag.Int("layers", 3, "layer count for v1 checkpoints or untrained serving")
+		planPath    = flag.String("plan", "", "pre-tuned execution plan JSON (default: one-shot tune at startup)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers     = flag.Int("workers", 2, "forward-pass workers")
+		batchCap    = flag.Int("batch-cap", 16, "max requests per micro-batch")
+		batchDelay  = flag.Duration("batch-delay", 2*time.Millisecond, "micro-batch fill deadline")
+		queueDepth  = flag.Int("queue-depth", 0, "admission queue depth (default 4x batch cap)")
+		deadline    = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+		fanout      = flag.String("fanout", "", "sampling fan-outs, comma-separated (default 10 per layer)")
+		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "graceful drain budget on shutdown")
+		loadGen     = flag.Int("loadgen", 0, "skip HTTP: drive the engine in-process with N closed-loop clients, report, exit")
+		loadDur     = flag.Duration("loadgen-duration", 5*time.Second, "in-process load duration")
+		loadNodes   = flag.Int("loadgen-nodes", 1, "node ids per in-process load request")
+		loadZipf    = flag.Float64("loadgen-zipf", 0, "node popularity skew for in-process load (0 = uniform)")
+		traceRing   = flag.Int("trace-ring", obs.DefaultRingSize, "span ring-buffer capacity for /debug/trace (0 disables tracing)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		faultSpec   = flag.String("fault-spec", "", "deterministic fault-injection schedule, e.g. seed=42;serve.batch:error=0.05,latency=0.1,delay=2ms")
+		batchTmo    = flag.Duration("batch-timeout", 500*time.Millisecond, "per-micro-batch execution budget (governs injected stragglers)")
+		engineName  = flag.String("engine", "blocked", "execution engine: blocked|fused|device (bitwise-identical; fused streams the SpMM)")
+		cacheBudget = flag.String("cache-budget", "0", "hot-vertex embedding cache budget, e.g. 64MiB (0 disables; pure performance knob — cached logits are bitwise-identical)")
+		cacheShards = flag.Int("cache-shards", 0, "cache lock-stripe count (default 8)")
 	)
 	flag.Parse()
 	if *faultSpec != "" {
@@ -95,6 +97,10 @@ func main() {
 	fmt.Printf("model %v: %d-%d-%d x%d layers, %d params\n",
 		m.Cfg.Kind, m.Cfg.InDim, m.Cfg.Hidden, m.Cfg.OutDim, m.Cfg.Layers, m.NumParams())
 
+	budget, err := parseBytes(*cacheBudget)
+	if err != nil {
+		fatal(fmt.Errorf("-cache-budget: %w", err))
+	}
 	opts := serve.Options{
 		Workers:      *workers,
 		BatchCap:     *batchCap,
@@ -104,6 +110,8 @@ func main() {
 		BatchTimeout: *batchTmo,
 		Engine:       *engineName,
 		Seed:         *seed,
+		CacheBudget:  budget,
+		CacheShards:  *cacheShards,
 	}
 	if *fanout != "" {
 		opts.Fanouts, err = parseFanouts(*fanout)
@@ -131,6 +139,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if budget > 0 {
+		fmt.Printf("hot-vertex cache: budget %s, %d layers cached per vertex\n",
+			*cacheBudget, m.Cfg.Layers+1)
+	}
 	if *planPath == "" {
 		fmt.Printf("tuned plan: %v + %v (frozen, reused across requests)\n",
 			engine.Plan().GraphPlan, engine.Plan().OpPlan)
@@ -150,9 +162,9 @@ func main() {
 			fatal(err)
 		}
 		st := engine.Stats()
-		fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms\n",
+		fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms flops/req=%.0f%s\n",
 			engine.InFlight(), st.Completed, st.Shed, st.Batches, st.AvgBatchSize,
-			st.LatencyP50Ms, st.LatencyP99Ms)
+			st.LatencyP50Ms, st.LatencyP99Ms, st.FLOPsPerRequest, cacheSummary(st))
 		return
 	}
 
@@ -188,9 +200,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "http drain: %v\n", err)
 	}
 	st := engine.Stats()
-	fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms\n",
+	fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms flops/req=%.0f%s\n",
 		engine.InFlight(), st.Completed, st.Shed, st.Batches, st.AvgBatchSize,
-		st.LatencyP50Ms, st.LatencyP99Ms)
+		st.LatencyP50Ms, st.LatencyP99Ms, st.FLOPsPerRequest, cacheSummary(st))
+}
+
+// cacheSummary renders the cache tail of the drain line ("" when the
+// cache is disabled, so existing log scrapes keep matching).
+func cacheSummary(st serve.Snapshot) string {
+	if !st.CacheEnabled {
+		return ""
+	}
+	return fmt.Sprintf(" cache-hit-rate=%.1f%% cache-bytes=%d cache-entries=%d",
+		100*st.CacheHitRate, st.CacheBytesResident, st.CacheEntries)
+}
+
+// parseBytes parses a byte size with an optional binary suffix:
+// "1048576", "64KiB"/"64kb", "512MiB"/"512m", "2GiB"/"2g".
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t, mult = strings.TrimSuffix(t, u.suffix), u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return v * mult, nil
 }
 
 // loadModel builds the model to serve: from a v2 checkpoint alone, from a

@@ -191,11 +191,11 @@ func TestParseRoundTrip(t *testing.T) {
 
 func TestParseRejects(t *testing.T) {
 	for _, spec := range []string{
-		"seed=42",                  // no sites
-		"dist.exchange",            // no rates
-		"dist.exchange:error=1.5",  // rate out of range
-		"dist.exchange:error=-0.1", // negative
-		"dist.exchange:bogus=0.1",  // unknown key
+		"seed=42",                             // no sites
+		"dist.exchange",                       // no rates
+		"dist.exchange:error=1.5",             // rate out of range
+		"dist.exchange:error=-0.1",            // negative
+		"dist.exchange:bogus=0.1",             // unknown key
 		"dist.exchange:error=0.6,corrupt=0.6", // rates sum > 1
 		":error=0.1",                          // empty site
 		"seed=x;a:error=0.1",                  // bad seed

@@ -79,6 +79,49 @@ func NeighborSample(g *Graph, csr *CSR, seeds []int32, fanouts []int, rng *tenso
 	return &Subgraph{Graph: sub, Vertices: vertices, NumSeeds: len(seeds), EdgeParent: edgeParent}
 }
 
+// DetSample draws the deterministic neighbor sample of one vertex: up to
+// fan in-edge CSR slots of v, chosen by a stateless RNG keyed on
+// (seed, v, fan) alone. The same (vertex, fan, seed) triple always yields
+// the same slots in the same order, regardless of which other vertices
+// share the batch — the property the serving tier's leveled forward needs
+// so a vertex's layer output is a pure function of the vertex, making
+// per-vertex embedding caching sound. Slots are appended to dst.
+func DetSample(dst []int32, csr *CSR, v int32, fan int, seed uint64) []int32 {
+	lo, hi := csr.RowPtr[v], csr.RowPtr[v+1]
+	deg := int(hi - lo)
+	take := fan
+	if take > deg {
+		take = deg
+	}
+	if take == 0 {
+		return dst
+	}
+	if take == deg {
+		// Full neighborhood: no draw needed, slots in CSR order.
+		for s := lo; s < hi; s++ {
+			dst = append(dst, s)
+		}
+		return dst
+	}
+	rng := tensor.NewRNG(mix3(seed, uint64(v), uint64(fan)))
+	for _, p := range samplePositions(deg, take, rng) {
+		dst = append(dst, lo+int32(p))
+	}
+	return dst
+}
+
+// mix3 combines the sampling seed with a vertex id and fan-out into one
+// well-spread 64-bit RNG seed (splitmix64-style finalization).
+func mix3(seed, v, fan uint64) uint64 {
+	h := seed ^ (v+1)*0x9e3779b97f4a7c15 ^ (fan+1)*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // samplePositions returns take distinct positions in [0, n). For small
 // oversampling ratios it uses partial Fisher–Yates; when take == n it
 // returns everything.

@@ -1,0 +1,236 @@
+package hotcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func row(dim int, fill float32) []float32 {
+	r := make([]float32, dim)
+	for i := range r {
+		r[i] = fill
+	}
+	return r
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	if c != New(Config{Budget: 0}) {
+		t.Fatal("zero budget must return the nil cache")
+	}
+	if New(Config{Budget: -5}) != nil {
+		t.Fatal("negative budget must return the nil cache")
+	}
+	dst := row(4, 7)
+	if c.Get(0, 1, 3, dst) {
+		t.Fatal("nil cache reported a hit")
+	}
+	if c.Put(0, 1, 3, 10, row(4, 1)) {
+		t.Fatal("nil cache accepted a Put")
+	}
+	c.InvalidateTo(9) // must not panic
+	if v := c.Version(); v != 0 {
+		t.Fatalf("nil cache version = %d", v)
+	}
+	if st := c.Snapshot(); st != (Stats{}) {
+		t.Fatalf("nil cache snapshot = %+v, want zeros", st)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := New(Config{Budget: 1 << 20, Shards: 4})
+	want := []float32{1, 2, 3, 4}
+	if !c.Put(0, 2, 17, 5, want) {
+		t.Fatal("Put rejected with ample budget")
+	}
+	// The row must be copied, not retained.
+	want[0] = 99
+	got := row(4, 0)
+	if !c.Get(0, 2, 17, got) {
+		t.Fatal("Get missed a just-admitted row")
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("got %v, want the originally admitted bytes", got)
+	}
+	// Distinct (level, vertex) keys don't collide.
+	if c.Get(0, 1, 17, got) || c.Get(0, 2, 18, got) {
+		t.Fatal("hit on a key that was never admitted")
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Admitted != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 admitted / 1 entry", st)
+	}
+	if st.Bytes != 4*4+entryOverhead {
+		t.Fatalf("resident bytes = %d, want %d", st.Bytes, 4*4+entryOverhead)
+	}
+}
+
+func TestGetLengthMismatchIsMiss(t *testing.T) {
+	c := New(Config{Budget: 1 << 20})
+	c.Put(0, 0, 1, 3, row(8, 1))
+	if c.Get(0, 0, 1, row(4, 0)) {
+		t.Fatal("hit with a mismatched destination width")
+	}
+}
+
+func TestVersionGating(t *testing.T) {
+	c := New(Config{Budget: 1 << 20})
+	if c.Put(5, 0, 1, 3, row(4, 1)) {
+		t.Fatal("Put with a stale version must be rejected")
+	}
+	if !c.Put(0, 0, 1, 3, row(4, 1)) {
+		t.Fatal("Put at the current version rejected")
+	}
+	if c.Get(5, 0, 1, row(4, 0)) {
+		t.Fatal("Get with a mismatched version must miss")
+	}
+	if !c.Get(0, 0, 1, row(4, 0)) {
+		t.Fatal("Get at the current version missed")
+	}
+}
+
+func TestInvalidateToFlushes(t *testing.T) {
+	c := New(Config{Budget: 1 << 20})
+	for v := int32(0); v < 10; v++ {
+		c.Put(0, 1, v, 4, row(4, float32(v)))
+	}
+	c.InvalidateTo(1)
+	if got := c.Version(); got != 1 {
+		t.Fatalf("version = %d, want 1", got)
+	}
+	st := c.Snapshot()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after flush: %d entries, %d bytes; want 0/0", st.Entries, st.Bytes)
+	}
+	if st.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", st.Flushes)
+	}
+	// Old-version traffic is dead; new-version traffic works.
+	if c.Put(0, 1, 3, 4, row(4, 1)) {
+		t.Fatal("pre-flush version Put landed after InvalidateTo")
+	}
+	if !c.Put(1, 1, 3, 4, row(4, 1)) || !c.Get(1, 1, 3, row(4, 0)) {
+		t.Fatal("current-version traffic broken after InvalidateTo")
+	}
+}
+
+func TestOversizeRowRejected(t *testing.T) {
+	c := New(Config{Budget: 256, Shards: 1})
+	if c.Put(0, 0, 1, 3, row(1024, 1)) {
+		t.Fatal("row larger than the shard budget was admitted")
+	}
+	if st := c.Snapshot(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+// TestScoredEviction pins the admission policy: when the budget is full,
+// a popular high-degree candidate displaces a cold resident, and a cold
+// candidate cannot displace a popular resident.
+func TestScoredEviction(t *testing.T) {
+	dim := 16
+	size := int64(dim*4 + entryOverhead)
+	c := New(Config{Budget: 2 * size, Shards: 1})
+
+	// Two residents fill the shard; one of them earns hits.
+	c.Put(0, 0, 1, 1, row(dim, 1))
+	c.Put(0, 0, 2, 1, row(dim, 2))
+	for i := 0; i < 50; i++ {
+		c.Get(0, 0, 2, row(dim, 0)) // vertex 2 is hot
+	}
+
+	// A cold, never-seen candidate must lose to both residents.
+	if c.Put(0, 0, 3, 1, row(dim, 3)) {
+		t.Fatal("cold candidate displaced a resident")
+	}
+
+	// A candidate with proven popularity (misses feed the sketch) and
+	// high degree must displace the cold resident, not the hot one.
+	for i := 0; i < 50; i++ {
+		c.Get(0, 0, 4, row(dim, 0)) // misses build frequency for vertex 4
+	}
+	if !c.Put(0, 0, 4, 1000, row(dim, 4)) {
+		t.Fatal("popular high-degree candidate was not admitted")
+	}
+	if !c.Get(0, 0, 2, row(dim, 0)) {
+		t.Fatal("the hot resident was evicted instead of the cold one")
+	}
+	if c.Get(0, 0, 1, row(dim, 0)) {
+		t.Fatal("the cold resident survived a full-budget admission")
+	}
+	if st := c.Snapshot(); st.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", st.Evicted)
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	// More frequency, more degree, deeper level — each must strictly
+	// increase the score.
+	base := score(1, 10, 1)
+	if score(5, 10, 1) <= base {
+		t.Fatal("frequency does not increase score")
+	}
+	if score(1, 100, 1) <= base {
+		t.Fatal("degree does not increase score")
+	}
+	if score(1, 10, 2) <= base {
+		t.Fatal("level does not increase score")
+	}
+}
+
+func TestBudgetNeverExceeded(t *testing.T) {
+	c := New(Config{Budget: 4096, Shards: 2})
+	for v := int32(0); v < 500; v++ {
+		for i := 0; i < 3; i++ {
+			c.Get(0, 0, v, row(8, 0)) // build sketch frequency so admissions happen
+		}
+		c.Put(0, 0, v, v%17, row(8, float32(v)))
+		if st := c.Snapshot(); st.Bytes > st.Capacity {
+			t.Fatalf("resident %d bytes exceeds capacity %d", st.Bytes, st.Capacity)
+		}
+	}
+	if st := c.Snapshot(); st.Admitted == 0 {
+		t.Fatal("nothing was ever admitted under churn")
+	}
+}
+
+func TestSketchEstimate(t *testing.T) {
+	var s sketch
+	s.init()
+	for i := 0; i < 25; i++ {
+		s.add(42)
+	}
+	if got := s.estimate(42); got < 25 {
+		t.Fatalf("estimate(42) = %d, want >= 25 (count-min never undercounts)", got)
+	}
+	if got := s.estimate(43); got > 25 {
+		t.Fatalf("estimate(43) = %d for a never-added key, want small", got)
+	}
+	s.reset()
+	if got := s.estimate(42); got != 0 {
+		t.Fatalf("estimate after reset = %d, want 0", got)
+	}
+}
+
+func TestConcurrentAccessRace(t *testing.T) {
+	c := New(Config{Budget: 1 << 16, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := row(8, 0)
+			for i := 0; i < 500; i++ {
+				v := int32((w*31 + i) % 64)
+				if !c.Get(0, i%3, v, dst) {
+					c.Put(0, i%3, v, v, dst)
+				}
+				if i%100 == 0 && w == 0 {
+					c.InvalidateTo(c.Version())
+				}
+				c.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -56,6 +56,33 @@ func RunModel(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, x *tensor.Tensor, par
 	return cur, nil
 }
 
+// RunModelLayer executes exactly one layer of the model through the
+// engine selected by ctx.Engine — the layer-boundary entry the serving
+// tier's leveled forward uses so it can splice cached embedding rows in
+// between layers. No activation is applied: the caller owns the ReLU (and
+// must match RunModel's placement — after every layer but the last) so
+// cached rows and freshly computed rows go through identical math. The
+// span accounting mirrors RunModel: the call is recorded under StageExec
+// against ctx.TraceID.
+func RunModelLayer(ctx *exec.Ctx, gc *nn.GraphCtx, m *nn.Model, li int, x *tensor.Tensor, part *core.Partition, plan Plan) (*tensor.Tensor, error) {
+	sp := obs.Begin(obs.StageExec, ctx.TraceID)
+	defer sp.End()
+	eng, err := Select(ctx.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Probe(m.Cfg.Kind, part.Plan); err != nil {
+		return nil, err
+	}
+	layers := m.Layers()
+	if li < 0 || li >= len(layers) {
+		return nil, fmt.Errorf("kernels: layer %d out of range [0,%d)", li, len(layers))
+	}
+	layer := layers[li]
+	sh := LayerShape{Kind: m.Cfg.Kind, F: layer.InDim(), Fp: layer.OutDim(), Types: m.Cfg.NumTypes}
+	return eng.RunLayer(ctx, gc, layer, sh, x, part, plan)
+}
+
 // invDegOf returns the mean-normalization weight of an edge (1/in-degree
 // of its destination, 0 for isolated destinations).
 func invDegOf(g *graphT) func(int32) float32 {

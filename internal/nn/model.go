@@ -94,6 +94,19 @@ func NewModel(cfg Config) (*Model, error) {
 // Layers exposes the layer stack (read-only use).
 func (m *Model) Layers() []Layer { return m.layers }
 
+// LayerDims returns the activation widths at every layer boundary:
+// LayerDims()[0] is the input feature width and LayerDims()[l] the output
+// width of layer l-1, so the slice has len(Layers())+1 entries. The
+// serving tier's per-layer embedding cache sizes its rows from this.
+func (m *Model) LayerDims() []int {
+	dims := make([]int, 0, len(m.layers)+1)
+	dims = append(dims, m.Cfg.InDim)
+	for _, l := range m.layers {
+		dims = append(dims, l.OutDim())
+	}
+	return dims
+}
+
 // Params collects every trainable parameter.
 func (m *Model) Params() []*Param {
 	var ps []*Param

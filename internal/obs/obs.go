@@ -43,6 +43,11 @@ const (
 	StageBatch
 	// StageStep brackets one training step end to end.
 	StageStep
+	// StageCache is hot-vertex cache traffic on the serving path: probing
+	// cached embedding rows before sampling and admitting freshly computed
+	// rows after a layer. Appended after the original stages so existing
+	// numeric stage values (and recorded traces) stay stable.
+	StageCache
 	// NumStages is the number of distinct stages.
 	NumStages
 )
@@ -65,6 +70,8 @@ func (s Stage) String() string {
 		return "batch"
 	case StageStep:
 		return "step"
+	case StageCache:
+		return "cache"
 	}
 	return "unknown"
 }
@@ -115,7 +122,16 @@ func Enable(n int) {
 	if n <= 0 {
 		n = DefaultRingSize
 	}
-	ring.Store(&ringBuf{slots: make([]slot, n), epoch: time.Now()})
+	rb := &ringBuf{slots: make([]slot, n)}
+	// Pre-fault the ring: a large fresh allocation sits on lazily-mapped
+	// zero pages, and without this the first few span Ends each eat a
+	// page fault — microseconds charged to whatever stage happens to
+	// record first, which reads as a systematic gap in the trace.
+	for i := range rb.slots {
+		rb.slots[i].meta.Store(0)
+	}
+	rb.epoch = time.Now()
+	ring.Store(rb)
 }
 
 // Disable turns tracing off and drops the ring. In-flight spans begun

@@ -29,12 +29,12 @@ import (
 	"wisegraph/internal/exec"
 	"wisegraph/internal/fault"
 	"wisegraph/internal/graph"
+	"wisegraph/internal/hotcache"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/kernels"
 	"wisegraph/internal/nn"
 	"wisegraph/internal/obs"
 	"wisegraph/internal/tensor"
-	"wisegraph/internal/train"
 )
 
 // Sentinel errors surfaced to transport layers (mapped to HTTP statuses).
@@ -83,8 +83,51 @@ type Options struct {
 	// kernels.EngineNames; "" = blocked). Engines are bitwise-identical,
 	// so this is a dataflow/accounting choice, not a numeric one.
 	Engine string
-	// Seed derives the per-worker sampling RNG streams.
+	// Seed keys the deterministic per-vertex neighbor sampler (and the
+	// one-shot plan tune). Serving numerics are a pure function of
+	// (vertex, seed, params, graph), never of batch composition.
 	Seed uint64
+	// CacheBudget bounds the hot-vertex embedding cache in bytes; 0
+	// disables caching. The cache holds per-layer rows keyed by
+	// (level, vertex) and is invalidated wholesale on Reload. It changes
+	// performance only: cached logits are bitwise-equal to uncached.
+	CacheBudget int64
+	// CacheShards is the cache's lock-stripe count (default 8).
+	CacheShards int
+}
+
+// Validate rejects nonsensical configurations with a descriptive error
+// instead of a late panic or silent misbehavior. Zero values are fine
+// (they select defaults); negative knobs and mismatched fan-outs are not.
+func (o Options) Validate(layers int) error {
+	switch {
+	case o.Workers < 0:
+		return fmt.Errorf("serve: negative worker count %d", o.Workers)
+	case o.BatchCap < 0:
+		return fmt.Errorf("serve: negative batch cap %d", o.BatchCap)
+	case o.QueueDepth < 0:
+		return fmt.Errorf("serve: negative queue depth %d", o.QueueDepth)
+	case o.MaxNodes < 0:
+		return fmt.Errorf("serve: negative per-request node cap %d", o.MaxNodes)
+	case o.BatchDelay < 0 || o.Deadline < 0 || o.BatchTimeout < 0:
+		return fmt.Errorf("serve: negative duration option (delay %v, deadline %v, batch timeout %v)",
+			o.BatchDelay, o.Deadline, o.BatchTimeout)
+	case o.CacheBudget < 0:
+		return fmt.Errorf("serve: negative cache budget %d bytes", o.CacheBudget)
+	case o.CacheShards < 0:
+		return fmt.Errorf("serve: negative cache shard count %d", o.CacheShards)
+	case o.CacheBudget > 0 && layers <= 0:
+		return fmt.Errorf("serve: cache enabled (budget %d) but model has no layers to cache", o.CacheBudget)
+	}
+	if len(o.Fanouts) > 0 && len(o.Fanouts) != layers {
+		return fmt.Errorf("serve: %d fan-outs for a %d-layer model (need one per layer)", len(o.Fanouts), layers)
+	}
+	for i, f := range o.Fanouts {
+		if f < 1 {
+			return fmt.Errorf("serve: fan-out[%d] = %d, want >= 1", i, f)
+		}
+	}
+	return nil
 }
 
 func (o Options) withDefaults(layers int) Options {
@@ -151,6 +194,15 @@ type Engine struct {
 	plan  *joint.Result
 	opts  Options
 
+	// cache is the hot-vertex embedding cache (nil when disabled).
+	// modelMu orders Reload's parameter swap against workers re-syncing
+	// their replicas; modelVersion makes (params, version) reads atomic —
+	// a worker syncs under RLock and then tags every cache operation of
+	// its batches with the version its replica actually holds.
+	cache        *hotcache.Cache
+	modelMu      sync.RWMutex
+	modelVersion atomic.Uint64
+
 	// admitMu orders admission against the drain flip: Predict admits
 	// under RLock, Shutdown flips draining under Lock, so once Shutdown
 	// holds the lock no new request can slip into the queue.
@@ -189,6 +241,9 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 	if model.Cfg.OutDim < ds.Classes() {
 		return nil, fmt.Errorf("serve: model has %d outputs, dataset has %d classes", model.Cfg.OutDim, ds.Classes())
 	}
+	if err := opts.Validate(model.Cfg.Layers); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults(model.Cfg.Layers)
 	e := &Engine{
 		ds:      ds,
@@ -201,6 +256,7 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		stats:   newStats(opts.BatchCap),
 		drained: make(chan struct{}),
 	}
+	e.cache = hotcache.New(hotcache.Config{Budget: opts.CacheBudget, Shards: opts.CacheShards})
 	e.plan = opts.Plan
 	if e.plan == nil {
 		e.plan = e.tunePlan()
@@ -356,23 +412,62 @@ func (e *Engine) cancel(r *request, err error) {
 }
 
 // worker executes micro-batches with per-worker state: a model replica,
-// an RNG stream, a reusable partitioner, and a simulated-device context.
-// Nothing mutable is shared between workers, so the pool scales without
-// locks on the compute path.
+// a reusable partitioner, and a simulated-device context. Nothing mutable
+// is shared between workers, so the pool scales without locks on the
+// compute path. Before each batch the worker re-syncs its replica if a
+// Reload published new parameters; the version it syncs to tags every
+// cache operation of the batch, so a mid-batch reload can neither serve
+// this replica stale rows nor admit its rows into the refreshed cache.
 func (e *Engine) worker(id int, replica *nn.Model, ectx *exec.Ctx) {
 	defer e.workerWG.Done()
-	rng := tensor.NewRNG(e.opts.Seed ^ (uint64(id+1) * 0x9e3779b97f4a7c15))
 	pt := core.NewPartitioner()
 	defer pt.Release()
+	var wver uint64 // replicas are stamped from version 0 at construction
 	for batch := range e.batches {
-		e.runBatch(batch, replica, rng, pt, ectx)
+		if e.modelVersion.Load() != wver {
+			e.modelMu.RLock()
+			wver = e.modelVersion.Load()
+			err := replica.CopyParamsFrom(e.model)
+			e.modelMu.RUnlock()
+			if err != nil {
+				// Impossible unless Reload's architecture check is broken;
+				// fail the batch loudly rather than serve half-old params.
+				for _, r := range batch {
+					e.cancel(r, fmt.Errorf("serve: replica re-sync failed: %w", err))
+				}
+				continue
+			}
+		}
+		e.runBatch(batch, replica, wver, pt, ectx)
 	}
 }
 
+// Reload swaps in newly trained parameters for the same architecture:
+// the shared parameter source is updated under the model lock, the model
+// version is bumped inside the same critical section (so workers always
+// observe a consistent (params, version) pair), and the hot-vertex cache
+// is flushed to the new version. In-flight batches on old replicas keep
+// serving the old parameters coherently — their cache reads and writes
+// carry the old version and are rejected once the flush lands.
+func (e *Engine) Reload(m *nn.Model) error {
+	if m.Cfg != e.model.Cfg {
+		return fmt.Errorf("serve: reload across architectures: %+v vs %+v", m.Cfg, e.model.Cfg)
+	}
+	e.modelMu.Lock()
+	if err := e.model.CopyParamsFrom(m); err != nil {
+		e.modelMu.Unlock()
+		return err
+	}
+	ver := e.modelVersion.Add(1)
+	e.modelMu.Unlock()
+	e.cache.InvalidateTo(ver)
+	return nil
+}
+
 // runBatch is one coalesced forward pass: dedupe seeds across requests,
-// sample the fan-out subgraph, partition it under the frozen plan, run the
-// gTask forward, and demultiplex logits rows back to each caller.
-func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, pt *core.Partitioner, ectx *exec.Ctx) {
+// run the leveled deterministic forward (probing the hot-vertex cache at
+// every layer boundary), and demultiplex logits rows back to each caller.
+func (e *Engine) runBatch(batch []*request, replica *nn.Model, ver uint64, pt *core.Partitioner, ectx *exec.Ctx) {
 	if h := e.testHookBatchStart; h != nil {
 		h()
 	}
@@ -391,7 +486,7 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 		return
 	}
 	e.stats.recordBatch(len(live))
-	e.execBatch(live, replica, rng, pt, ectx, true)
+	e.execBatch(live, replica, ver, pt, ectx, true)
 }
 
 // execBatch executes one micro-batch over live requests. When the batch
@@ -399,81 +494,62 @@ func (e *Engine) runBatch(batch []*request, replica *nn.Model, rng *tensor.RNG, 
 // the BatchTimeout budget, or the forward pass itself erroring — it
 // degrades gracefully: one retry at half batch size (fresh fault draws)
 // while mayRetry holds, after which the requests are failed.
-func (e *Engine) execBatch(live []*request, replica *nn.Model, rng *tensor.RNG, pt *core.Partitioner, ectx *exec.Ctx, mayRetry bool) {
+func (e *Engine) execBatch(live []*request, replica *nn.Model, ver uint64, pt *core.Partitioner, ectx *exec.Ctx, mayRetry bool) {
 	if f := fault.Check(fault.SiteServeBatch); f != nil {
 		if f.Kind == fault.KindLatency {
 			if f.Delay >= e.opts.BatchTimeout {
 				e.stats.batchTimeouts.Add(1)
-				e.failBatch(live, replica, rng, pt, ectx, mayRetry,
+				e.failBatch(live, replica, ver, pt, ectx, mayRetry,
 					fmt.Errorf("serve: batch overran %v budget: %w", e.opts.BatchTimeout, f.Err()))
 				return
 			}
 			time.Sleep(f.Delay)
 		} else {
 			e.stats.batchFaults.Add(1)
-			e.failBatch(live, replica, rng, pt, ectx, mayRetry, f.Err())
+			e.failBatch(live, replica, ver, pt, ectx, mayRetry, f.Err())
 			return
 		}
 	}
 
 	batchID := obs.NewID()
-	ectx.TraceID = batchID // the exec stage is recorded inside RunModel
+	ectx.TraceID = batchID // exec stages are recorded inside RunModelLayer
 	spBatch := obs.Begin(obs.StageBatch, batchID)
 
-	// Dedupe seeds across the batch, remembering each request's rows.
-	// NeighborSample interns seeds first, in order, so seed i is local
-	// vertex i of the subgraph. The mux direction of coalescing counts
-	// as demux time (same bookkeeping, opposite direction).
+	// Dedupe seeds across the batch, remembering each request's nodes.
+	// The mux direction of coalescing counts as demux time (same
+	// bookkeeping, opposite direction).
 	sp := obs.Begin(obs.StageDemux, batchID)
-	seedOf := make(map[int32]int32, len(live)*4)
+	seedOf := make(map[int32]struct{}, len(live)*4)
 	var seeds []int32
-	rows := make([][]int32, len(live))
-	for i, r := range live {
-		rows[i] = make([]int32, len(r.nodes))
-		for j, n := range r.nodes {
-			id, ok := seedOf[n]
-			if !ok {
-				id = int32(len(seeds))
-				seedOf[n] = id
+	for _, r := range live {
+		for _, n := range r.nodes {
+			if _, ok := seedOf[n]; !ok {
+				seedOf[n] = struct{}{}
 				seeds = append(seeds, n)
 			}
-			rows[i][j] = id
 		}
 	}
 	sp.End()
 
-	sp = obs.Begin(obs.StageSample, batchID)
-	sub := graph.NeighborSample(e.ds.Graph, e.csr, seeds, e.opts.Fanouts, rng)
-	sp.End()
-
-	sp = obs.Begin(obs.StageCollective, batchID)
-	x := tensor.GatherRows(tensor.Get(len(sub.Vertices), e.ds.Dim()), e.ds.Features, sub.Vertices)
-	sp.End()
-
-	// Graph-ctx construction is O(V+E) indexing over the sampled subgraph,
-	// so it is accounted under the partition stage.
-	sp = obs.Begin(obs.StagePartition, batchID)
-	part := train.ReusePlanWith(pt, e.plan, sub.Graph)
-	gc := nn.NewGraphCtx(sub.Graph)
-	sp.End()
-
-	logits, err := kernels.RunModel(ectx, gc, replica, x, part, e.plan.OpPlan)
+	// The sample span opens here, at the boundary, and is handed into the
+	// forward so the call transition itself stays inside a span (the trace
+	// must decompose the batch with no systematic gaps).
+	logits, rowOf, err := e.forwardLeveled(batchID, ver, seeds, replica, pt, ectx, obs.Begin(obs.StageSample, batchID))
 	if err != nil {
 		spBatch.End()
-		tensor.Put(x)
 		e.stats.batchFaults.Add(1)
-		e.failBatch(live, replica, rng, pt, ectx, mayRetry, fmt.Errorf("serve: forward failed: %w", err))
+		e.failBatch(live, replica, ver, pt, ectx, mayRetry, fmt.Errorf("serve: forward failed: %w", err))
 		return
 	}
 
 	sp = obs.Begin(obs.StageDemux, batchID)
-	for i, r := range live {
-		pred := Prediction{Classes: make([]int32, len(rows[i]))}
+	for _, r := range live {
+		pred := Prediction{Classes: make([]int32, len(r.nodes))}
 		if r.wantLogits {
-			pred.Logits = make([][]float32, len(rows[i]))
+			pred.Logits = make([][]float32, len(r.nodes))
 		}
-		for j, row := range rows[i] {
-			lr := logits.Row(int(row))
+		for j, n := range r.nodes {
+			lr := logits.Row(int(rowOf[n]))
 			pred.Classes[j] = argmax(lr)
 			if r.wantLogits {
 				pred.Logits[j] = append([]float32(nil), lr...)
@@ -483,7 +559,6 @@ func (e *Engine) execBatch(live []*request, replica *nn.Model, rng *tensor.RNG, 
 	}
 	sp.End()
 	spBatch.End()
-	tensor.Put(x)
 	tensor.Put(logits)
 }
 
@@ -492,13 +567,13 @@ func (e *Engine) execBatch(live []*request, replica *nn.Model, rng *tensor.RNG, 
 // degradation path: a fault that poisons a big coalesced batch should not
 // fail every rider when smaller batches would have succeeded. Out of
 // budget, every request is completed with the failure.
-func (e *Engine) failBatch(live []*request, replica *nn.Model, rng *tensor.RNG, pt *core.Partitioner, ectx *exec.Ctx, mayRetry bool, err error) {
+func (e *Engine) failBatch(live []*request, replica *nn.Model, ver uint64, pt *core.Partitioner, ectx *exec.Ctx, mayRetry bool, err error) {
 	if mayRetry {
 		e.stats.degraded.Add(1)
 		mid := (len(live) + 1) / 2
-		e.execBatch(live[:mid], replica, rng, pt, ectx, false)
+		e.execBatch(live[:mid], replica, ver, pt, ectx, false)
 		if mid < len(live) {
-			e.execBatch(live[mid:], replica, rng, pt, ectx, false)
+			e.execBatch(live[mid:], replica, ver, pt, ectx, false)
 		}
 		return
 	}
@@ -555,5 +630,40 @@ func (e *Engine) Options() Options { return e.opts }
 
 // Stats returns a point-in-time metrics snapshot (the /statsz payload).
 func (e *Engine) Stats() Snapshot {
-	return e.stats.snapshot(e.inflight.Load(), len(e.queue))
+	snap := e.stats.snapshot(e.inflight.Load(), len(e.queue))
+	snap.Engine = e.engineName()
+	if e.cache != nil {
+		cs := e.cache.Snapshot()
+		snap.CacheEnabled = true
+		snap.CacheHits = cs.Hits
+		snap.CacheMisses = cs.Misses
+		if total := cs.Hits + cs.Misses; total > 0 {
+			snap.CacheHitRate = float64(cs.Hits) / float64(total)
+		}
+		snap.CacheAdmitted = cs.Admitted
+		snap.CacheEvicted = cs.Evicted
+		snap.CacheRejected = cs.Rejected
+		snap.CacheFlushes = cs.Flushes
+		snap.CacheBytesResident = cs.Bytes
+		snap.CacheEntries = cs.Entries
+		snap.CacheCapacityBytes = cs.Capacity
+	}
+	dev, _ := e.DeviceStats()
+	snap.DeviceFLOPs = dev.FLOPs
+	if snap.Completed > 0 {
+		snap.FLOPsPerRequest = dev.FLOPs / float64(snap.Completed)
+	}
+	return snap
+}
+
+// Cache exposes the hot-vertex cache (nil when disabled); tests and the
+// metrics endpoint read its counters.
+func (e *Engine) Cache() *hotcache.Cache { return e.cache }
+
+// engineName is the resolved execution-engine name ("" means blocked).
+func (e *Engine) engineName() string {
+	if e.opts.Engine == "" {
+		return "blocked"
+	}
+	return e.opts.Engine
 }

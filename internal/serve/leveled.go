@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"slices"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/kernels"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
+	"wisegraph/internal/tensor"
+	"wisegraph/internal/train"
+)
+
+// The leveled deterministic forward.
+//
+// Serving runs each micro-batch as a stack of per-layer blocks instead of
+// one flat unioned subgraph: level 0 holds gathered input features, level
+// l the post-activation outputs of layer l-1, and block l aggregates level
+// l-1 rows into level l targets over deterministically sampled edges
+// (graph.DetSample, keyed by (Options.Seed, vertex, fan-out) alone). That
+// makes every row a pure function f(v, l) of the vertex, the level, the
+// frozen seed, the graph and the model parameters — independent of batch
+// composition, engine and worker count — which is the property that makes
+// the hot-vertex cache sound: a hit returns exactly the bytes a miss
+// would recompute, so cache size can change performance but never output
+// bits.
+//
+// Bitwise invariance across batch compositions additionally needs the
+// per-destination float summation order inside a block to be canonical.
+// Local vertex ids are assigned in ascending parent-id order and each
+// target's edges are emitted contiguously in DetSample order, so every
+// sort key the partitioner can use (dst id, src id, edge id, edge type,
+// dst degree — EnumeratePlans never sorts by source degree, the only
+// composition-dependent attribute) induces the same per-destination edge
+// order in every batch; the stable radix sort and the engines' seam-
+// preserving accumulators do the rest.
+
+// levelSet is one activation level of a micro-batch: the sorted vertex
+// set, which rows were spliced from the cache, the sampled in-edge slots
+// of the misses, and the level's row matrix (|verts| × width).
+type levelSet struct {
+	verts []int32         // sorted parent vertex ids (the local id space)
+	idx   map[int32]int32 // parent id → local id
+	hit   []bool          // hit[i]: rows.Row(i) came from the cache
+	miss  int             // number of rows to compute
+	slots [][]int32       // per-miss sampled CSR slots (nil for hits)
+	rows  *tensor.Tensor  // the level's activations, hits and computed
+}
+
+func newLevelSet(verts []int32, dim int) *levelSet {
+	vs := append([]int32(nil), verts...)
+	slices.Sort(vs)
+	ls := &levelSet{
+		verts: vs,
+		idx:   make(map[int32]int32, len(vs)),
+		hit:   make([]bool, len(vs)),
+		slots: make([][]int32, len(vs)),
+		rows:  tensor.Get(len(vs), dim),
+	}
+	for i, v := range vs {
+		ls.idx[v] = int32(i)
+	}
+	return ls
+}
+
+// forwardLeveled computes logits for the deduped seed set and returns the
+// logits matrix over the sorted seed space plus the parent-id → row map.
+// ver is the model version the caller's replica is synced to; it gates
+// every cache probe and admission so a concurrent checkpoint reload can
+// neither serve stale rows nor be poisoned by them.
+//
+// sp is the already-open StageSample span the caller begins right at the
+// batch's demux/sample boundary, so call-entry overhead (stack growth,
+// scheduler delay at the call site) is attributed to sampling rather
+// than falling into an unspanned gap — the trace-coverage test holds the
+// stage spans to ≥95% of the batch span. It stays one continuous span
+// across the whole top-down phase, pausing only around real cache probes
+// (which record their own StageCache spans).
+func (e *Engine) forwardLeveled(batchID, ver uint64, seeds []int32, replica *nn.Model, pt *core.Partitioner, ectx *exec.Ctx, sp obs.Span) (*tensor.Tensor, map[int32]int32, error) {
+	dims := replica.LayerDims()
+	L := len(dims) - 1
+	sets := make([]*levelSet, L+1)
+
+	// Top-down frontier construction: probe the cache for each level's
+	// targets first, then expand only the misses — a cached interior
+	// vertex prunes its entire sampled subtree from the batch, which is
+	// where the partition- and FLOP-side wins come from.
+	cur := seeds
+	for l := L; l >= 1; l-- {
+		ls := newLevelSet(cur, dims[l])
+		if e.cache != nil {
+			sp.End()
+			e.probeCache(batchID, ver, l, ls)
+			sp = obs.Begin(obs.StageSample, batchID)
+		} else {
+			ls.miss = len(ls.verts)
+		}
+		fan := e.opts.Fanouts[L-l]
+		var next []int32
+		seen := make(map[int32]struct{}, ls.miss*(fan+1))
+		for i, v := range ls.verts {
+			if ls.hit[i] {
+				continue
+			}
+			slots := graph.DetSample(nil, e.csr, v, fan, e.opts.Seed)
+			ls.slots[i] = slots
+			// The target's own level-(l-1) row feeds the layer's self
+			// term, so it joins the level below alongside its sources.
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				next = append(next, v)
+			}
+			for _, s := range slots {
+				src := e.csr.Col[s]
+				if _, ok := seen[src]; !ok {
+					seen[src] = struct{}{}
+					next = append(next, src)
+				}
+			}
+		}
+		sets[l] = ls
+		cur = next
+	}
+
+	// Level 0: input features — cached gathered rows, parent gather for
+	// the rest.
+	ls0 := newLevelSet(cur, dims[0])
+	sets[0] = ls0
+	if e.cache != nil {
+		sp.End()
+		e.probeCache(batchID, ver, 0, ls0)
+	} else {
+		ls0.miss = len(ls0.verts)
+		sp.End()
+	}
+	if ls0.miss > 0 {
+		sp = obs.Begin(obs.StageCollective, batchID)
+		for i, v := range ls0.verts {
+			if !ls0.hit[i] {
+				copy(ls0.rows.Row(i), e.ds.Features.Row(int(v)))
+			}
+		}
+		sp.End()
+		e.admitLevel(batchID, ver, 0, ls0)
+	}
+
+	// Bottom-up execution: one block per layer, each over the level
+	// below's vertex space, under the frozen joint plan.
+	for l := 1; l <= L; l++ {
+		ls, prev := sets[l], sets[l-1]
+		if ls.miss == 0 {
+			continue
+		}
+		sp := obs.Begin(obs.StagePartition, batchID)
+		g := e.buildBlock(ls, prev)
+		part := train.ReusePlanWith(pt, e.plan, g)
+		gc := nn.NewGraphCtx(g)
+		sp.End()
+		out, err := kernels.RunModelLayer(ectx, gc, replica, l-1, prev.rows, part, e.plan.OpPlan)
+		if err != nil {
+			freeLevelSets(sets)
+			return nil, nil, err
+		}
+		// Splice computed rows into the level, applying the between-layer
+		// activation exactly as kernels.RunModel does (ReLU after every
+		// layer but the last, elementwise v > 0 ? v : 0).
+		sp = obs.Begin(obs.StageCollective, batchID)
+		relu := l < L
+		for i, v := range ls.verts {
+			if ls.hit[i] {
+				continue
+			}
+			src := out.Row(int(prev.idx[v]))
+			dst := ls.rows.Row(i)
+			if relu {
+				for j, x := range src {
+					if x > 0 {
+						dst[j] = x
+					} else {
+						dst[j] = 0
+					}
+				}
+			} else {
+				copy(dst, src)
+			}
+		}
+		sp.End()
+		tensor.Put(out)
+		e.admitLevel(batchID, ver, l, ls)
+	}
+
+	top := sets[L]
+	for l := 0; l < L; l++ {
+		tensor.Put(sets[l].rows)
+	}
+	return top.rows, top.idx, nil
+}
+
+// buildBlock assembles the bipartite-style block graph for one layer:
+// edges from sampled sources into the level's miss targets, in the level
+// below's (sorted-parent-order) local id space. Targets are emitted in
+// ascending parent order, each one's edges contiguous in DetSample order
+// — the canonical edge stream the bitwise-parity argument relies on.
+func (e *Engine) buildBlock(ls, prev *levelSet) *graph.Graph {
+	g := &graph.Graph{NumVertices: len(prev.verts), NumTypes: e.ds.Graph.NumTypes}
+	typed := e.ds.Graph.Type != nil
+	for i, v := range ls.verts {
+		if ls.hit[i] {
+			continue
+		}
+		d := prev.idx[v]
+		for _, s := range ls.slots[i] {
+			g.Src = append(g.Src, prev.idx[e.csr.Col[s]])
+			g.Dst = append(g.Dst, d)
+			if typed {
+				g.Type = append(g.Type, e.csr.EType[s])
+			}
+		}
+	}
+	if g.Type == nil {
+		g.NumTypes = 1
+	}
+	return g
+}
+
+// probeCache splices cached rows into the level and marks the hits.
+func (e *Engine) probeCache(batchID, ver uint64, level int, ls *levelSet) {
+	if e.cache == nil {
+		ls.miss = len(ls.verts)
+		return
+	}
+	sp := obs.Begin(obs.StageCache, batchID)
+	for i, v := range ls.verts {
+		if e.cache.Get(ver, level, v, ls.rows.Row(i)) {
+			ls.hit[i] = true
+		} else {
+			ls.miss++
+		}
+	}
+	sp.End()
+}
+
+// admitLevel offers every freshly computed row of the level to the cache
+// (score-based admission decides what sticks).
+func (e *Engine) admitLevel(batchID, ver uint64, level int, ls *levelSet) {
+	if e.cache == nil {
+		return
+	}
+	sp := obs.Begin(obs.StageCache, batchID)
+	for i, v := range ls.verts {
+		if ls.hit[i] {
+			continue
+		}
+		deg := e.csr.RowPtr[v+1] - e.csr.RowPtr[v]
+		e.cache.Put(ver, level, v, deg, ls.rows.Row(i))
+	}
+	sp.End()
+}
+
+func freeLevelSets(sets []*levelSet) {
+	for _, ls := range sets {
+		if ls != nil && ls.rows != nil {
+			tensor.Put(ls.rows)
+		}
+	}
+}

@@ -145,6 +145,28 @@ type Snapshot struct {
 	LatencyP50Ms     float64        `json:"latencyP50Ms"`
 	LatencyP95Ms     float64        `json:"latencyP95Ms"`
 	LatencyP99Ms     float64        `json:"latencyP99Ms"`
+
+	// Engine is the execution engine name (blocked|fused|device).
+	Engine string `json:"engine"`
+
+	// Hot-vertex cache accounting (all zero when the cache is disabled).
+	CacheEnabled       bool    `json:"cacheEnabled"`
+	CacheHits          uint64  `json:"cacheHits"`
+	CacheMisses        uint64  `json:"cacheMisses"`
+	CacheHitRate       float64 `json:"cacheHitRate"` // hits / (hits+misses)
+	CacheAdmitted      uint64  `json:"cacheAdmitted"`
+	CacheEvicted       uint64  `json:"cacheEvicted"`
+	CacheRejected      uint64  `json:"cacheRejected"`
+	CacheFlushes       uint64  `json:"cacheFlushes"`
+	CacheBytesResident int64   `json:"cacheBytesResident"`
+	CacheEntries       int     `json:"cacheEntries"`
+	CacheCapacityBytes int64   `json:"cacheCapacityBytes"`
+
+	// Modeled compute from the simulated devices, summed across workers.
+	// FLOPsPerRequest = DeviceFLOPs / Completed — the redundant-compute
+	// metric the hot-vertex cache is meant to push down.
+	DeviceFLOPs     float64 `json:"deviceFLOPs"`
+	FLOPsPerRequest float64 `json:"flopsPerRequest"`
 }
 
 func (s *Stats) snapshot(inFlight int64, queueDepth int) Snapshot {
@@ -215,6 +237,20 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	up := time.Since(s.start).Seconds()
 	p.Gauge("wisegraph_serve_recent_qps", "", s.qps.Recent(time.Now().Unix(), up))
 	p.Histogram("wisegraph_serve_latency_seconds", "", &s.latency)
+
+	// Hot-vertex cache accounting (only exported when the cache is on).
+	if e.cache != nil {
+		cs := e.cache.Snapshot()
+		p.Counter("wisegraph_serve_cache_hits_total", "", float64(cs.Hits))
+		p.Counter("wisegraph_serve_cache_misses_total", "", float64(cs.Misses))
+		p.Counter("wisegraph_serve_cache_admitted_total", "", float64(cs.Admitted))
+		p.Counter("wisegraph_serve_cache_evicted_total", "", float64(cs.Evicted))
+		p.Counter("wisegraph_serve_cache_rejected_total", "", float64(cs.Rejected))
+		p.Counter("wisegraph_serve_cache_flushes_total", "", float64(cs.Flushes))
+		p.Gauge("wisegraph_serve_cache_bytes_resident", "", float64(cs.Bytes))
+		p.Gauge("wisegraph_serve_cache_entries", "", float64(cs.Entries))
+		p.Gauge("wisegraph_serve_cache_capacity_bytes", "", float64(cs.Capacity))
+	}
 
 	// Batch-size distribution as an explicit-bounds histogram.
 	bounds := make([]float64, 0, len(s.batchSizes)-1)

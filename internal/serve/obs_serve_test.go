@@ -13,7 +13,6 @@ import (
 	"wisegraph/internal/exec"
 	"wisegraph/internal/nn"
 	"wisegraph/internal/obs"
-	"wisegraph/internal/tensor"
 )
 
 // TestCanceledNotCompleted is the regression test for the accounting bug
@@ -218,10 +217,9 @@ func TestDemuxPropertyCrossRequestDedup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rng := tensor.NewRNG(uint64(trial) + 99)
 		pt := core.NewPartitioner()
 		e.inflight.Add(int64(len(reqs))) // runBatch decrements via finish
-		e.runBatch(reqs, replica, rng, pt, exec.NewCtx(device.New(device.A100())))
+		e.runBatch(reqs, replica, 0, pt, exec.NewCtx(device.New(device.A100())))
 		pt.Release()
 
 		want := map[int32][]float32{}
@@ -268,9 +266,16 @@ func TestServeTraceStages(t *testing.T) {
 	wantStages := []obs.Stage{obs.StageSample, obs.StagePartition, obs.StageExec, obs.StageCollective, obs.StageDemux}
 	const attempts = 5
 	var lastCoverage float64
+	// A wide seed set keeps the fixed cost of span transitions (call
+	// boundaries between stages, inflated ~10x under the race detector)
+	// small relative to the in-span work the coverage bound measures.
+	seeds := make([]int32, 40)
+	for i := range seeds {
+		seeds[i] = int32(i * 3 % 60)
+	}
 	for attempt := 0; attempt < attempts; attempt++ {
 		obs.Enable(1 << 10) // fresh ring per attempt
-		if _, err := e.Predict(context.Background(), []int32{0, 7, 59}, false); err != nil {
+		if _, err := e.Predict(context.Background(), seeds, false); err != nil {
 			t.Fatalf("Predict: %v", err)
 		}
 		spans := obs.Spans()

@@ -12,7 +12,10 @@ echo "== go build ./..."
 go build ./...
 
 echo "== go test -race ./..."
-go test -race ./...
+# internal/bench runs ~37s without the race detector; the ~15-20x race
+# multiplier on a one-core box puts it at go test's default 10m
+# per-package timeout, so give the full race pass explicit headroom.
+go test -race -timeout 30m ./...
 
 # The parallel execution substrate (radix/stamped partitioner, segmented
 # scans, concurrent joint search) must be byte-identical to the sequential
@@ -66,6 +69,37 @@ GOMAXPROCS=1 go test -race -count=1 -run "$SERVE" ./internal/serve/
 echo "== serving concurrency under -race (GOMAXPROCS=$NPROC)"
 GOMAXPROCS="$NPROC" go test -race -count=1 -run "$SERVE" ./internal/serve/
 
+# The hot-vertex cache: the cache package's own suite (admission scoring,
+# eviction, version gating, concurrent churn) plus the serving-side
+# cached-vs-uncached bitwise parity, reload invalidation and cache chaos
+# tests, under the race detector at both scheduler extremes. Cached
+# logits must be bit-identical to uncached at any cache size, engine and
+# worker count — the cache is a performance knob, never a numerics knob.
+CACHE='Cache'
+echo "== hot-vertex cache under -race (GOMAXPROCS=1)"
+GOMAXPROCS=1 go test -race -count=1 ./internal/hotcache/
+GOMAXPROCS=1 go test -race -count=1 -run "$CACHE" ./internal/serve/
+echo "== hot-vertex cache under -race (GOMAXPROCS=$NPROC)"
+GOMAXPROCS="$NPROC" go test -race -count=1 ./internal/hotcache/
+GOMAXPROCS="$NPROC" go test -race -count=1 -run "$CACHE" ./internal/serve/
+
+# Cached-path performance smoke (benchstat-style, min of 5): under
+# Zipf-1.2 skew the warmed cached path must beat — or at worst stay
+# within 10% of — the uncached path per request. Bitwise equality is
+# asserted by TestCacheParityBitwise; this guards the win itself.
+echo "== cached-vs-uncached benchmark smoke (zipf 1.2, min of 5)"
+go test -run '^$' -bench 'BenchmarkPredictZipf/(uncached|cached)$' \
+  -benchtime 30x -count 5 ./internal/serve/ >"${TMPDIR:-/tmp}/cache_bench.txt"
+awk '
+  /PredictZipf\/uncached/ { if (umin == 0 || $3 < umin) umin = $3 }
+  /PredictZipf\/cached/   { if (cmin == 0 || $3 < cmin) cmin = $3 }
+  END {
+    if (umin == 0 || cmin == 0) { print "FAIL: benchmark produced no samples"; exit 1 }
+    printf "uncached min %.0f ns/op, cached min %.0f ns/op (ratio %.3f)\n", umin, cmin, cmin / umin
+    if (cmin > 1.10 * umin) { print "FAIL: cached path regressed >10% vs uncached at zipf 1.2"; exit 1 }
+  }' "${TMPDIR:-/tmp}/cache_bench.txt"
+echo "cache smoke OK"
+
 # The observability layer's lock-free tracer and histograms are written to
 # by every pipeline stage concurrently; its suite must stay clean under
 # the race detector at both scheduler extremes.
@@ -115,7 +149,7 @@ go build -o "$SMOKE/" ./cmd/wisegraph-train ./cmd/wisegraph-serve ./cmd/wgserve-
 grep -q '"traceEvents"' "$SMOKE/train.trace" \
   || { echo "FAIL: wisegraph-train -trace wrote no trace events"; exit 1; }
 "$SMOKE/wisegraph-serve" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
-  -addr 127.0.0.1:0 >"$SMOKE/serve.log" 2>&1 &
+  -addr 127.0.0.1:0 -cache-budget 16MiB >"$SMOKE/serve.log" 2>&1 &
 SERVE_PID=$!
 ADDR=""
 for _ in $(seq 1 100); do
@@ -136,7 +170,10 @@ for metric in wisegraph_serve_uptime_seconds wisegraph_serve_admitted_total \
   wisegraph_serve_batches_total wisegraph_serve_in_flight \
   wisegraph_serve_queue_depth wisegraph_serve_recent_qps \
   wisegraph_serve_latency_seconds_count wisegraph_serve_batch_size_count \
-  wisegraph_stage_duration_seconds_count wisegraph_device_kernels_total; do
+  wisegraph_stage_duration_seconds_count wisegraph_device_kernels_total \
+  wisegraph_serve_cache_hits_total wisegraph_serve_cache_misses_total \
+  wisegraph_serve_cache_admitted_total wisegraph_serve_cache_bytes_resident \
+  wisegraph_serve_cache_entries wisegraph_serve_cache_capacity_bytes; do
   grep -q "^$metric" "$SMOKE/metrics.txt" \
     || { echo "FAIL: /metrics missing $metric"; cat "$SMOKE/metrics.txt"; exit 1; }
 done
@@ -154,6 +191,11 @@ wait "$SERVE_PID" || { echo "FAIL: serve exited non-zero"; cat "$SMOKE/serve.log
 SERVE_PID=""
 grep -q 'drained: in-flight=0' "$SMOKE/serve.log" \
   || { echo "FAIL: drain left requests in flight"; cat "$SMOKE/serve.log"; exit 1; }
+# Zipf-1.2 load against a 16MiB cache must actually hit: the drain line
+# carries the steady-state hit rate, and an idle cache means the serving
+# forward stopped probing it.
+grep -q 'cache-hit-rate=' "$SMOKE/serve.log" \
+  || { echo "FAIL: drain line has no cache stats despite -cache-budget"; cat "$SMOKE/serve.log"; exit 1; }
 echo "serve smoke OK"
 
 # Kill/restart resume smoke: a training run with per-epoch
