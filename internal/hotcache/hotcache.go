@@ -64,7 +64,8 @@ type shard struct {
 // as an always-miss cache so callers need no enabled checks on hot paths.
 type Cache struct {
 	shards  []shard
-	perCap  int64 // per-shard byte budget
+	perCap  int64 // per-shard byte budget (budget/len(shards), truncated)
+	budget  int64 // configured byte budget, reported as Snapshot.Capacity
 	version atomic.Uint64
 	sketch  sketch
 
@@ -89,7 +90,7 @@ func New(cfg Config) *Cache {
 	for n&(n-1) != 0 {
 		n++
 	}
-	c := &Cache{shards: make([]shard, n), perCap: cfg.Budget / int64(n)}
+	c := &Cache{shards: make([]shard, n), perCap: cfg.Budget / int64(n), budget: cfg.Budget}
 	if c.perCap < 1 {
 		c.perCap = 1
 	}
@@ -140,8 +141,28 @@ func (c *Cache) Get(ver uint64, level int, v int32, dst []float32) bool {
 		s.mu.RUnlock()
 	}
 	c.misses.Add(1)
-	c.sketch.add(k)
+	if c.sketch.add(k) {
+		c.decayResidents()
+	}
 	return false
+}
+
+// decayResidents halves every resident entry's hit counter. It runs on
+// the same cadence as the sketch's TinyLFU aging so resident scores stay
+// comparable to candidate estimates; without it a once-hot long-resident
+// row's ever-growing count would make it unevictable after traffic
+// shifts, pinning a stale working set. Halving races with concurrent hit
+// increments exactly like the sketch's own aging; a lost increment only
+// perturbs an approximate policy, never correctness.
+func (c *Cache) decayResidents() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, e := range s.m {
+			atomic.StoreUint32(&e.hits, atomic.LoadUint32(&e.hits)/2)
+		}
+		s.mu.RUnlock()
+	}
 }
 
 // Put offers a freshly computed row for admission. ver is the model
@@ -261,7 +282,7 @@ func (c *Cache) Snapshot() Stats {
 		Evicted:  c.evicted.Load(),
 		Rejected: c.rejected.Load(),
 		Flushes:  c.flushes.Load(),
-		Capacity: c.perCap * int64(len(c.shards)),
+		Capacity: c.budget,
 	}
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -298,21 +319,26 @@ func (t *sketch) slot(row int, k uint64) *uint32 {
 	return &t.rows[row][h>>48&(sketchWidth-1)]
 }
 
-func (t *sketch) add(k uint64) {
+// add feeds one miss into the sketch and reports whether this call
+// performed the periodic aging sweep, so the cache can decay resident
+// hit counters on the same cadence.
+func (t *sketch) add(k uint64) bool {
 	for i := range t.rows {
 		atomic.AddUint32(t.slot(i, k), 1)
 	}
 	// TinyLFU-style aging: periodically halve every counter so stale
 	// popularity decays. The halving races with concurrent adds; the
 	// sketch is approximate by construction, so a lost increment is fine.
-	if t.adds.Add(1)%(sketchWidth*8) == 0 {
-		for i := range t.rows {
-			for j := range t.rows[i] {
-				v := atomic.LoadUint32(&t.rows[i][j])
-				atomic.StoreUint32(&t.rows[i][j], v/2)
-			}
+	if t.adds.Add(1)%(sketchWidth*8) != 0 {
+		return false
+	}
+	for i := range t.rows {
+		for j := range t.rows[i] {
+			v := atomic.LoadUint32(&t.rows[i][j])
+			atomic.StoreUint32(&t.rows[i][j], v/2)
 		}
 	}
+	return true
 }
 
 func (t *sketch) estimate(k uint64) uint32 {

@@ -194,6 +194,45 @@ func TestBudgetNeverExceeded(t *testing.T) {
 	}
 }
 
+// TestCapacityReportsConfiguredBudget pins that Snapshot.Capacity is the
+// configured budget, not the truncated per-shard sum — a budget that is
+// not divisible by the shard count must not silently under-report.
+func TestCapacityReportsConfiguredBudget(t *testing.T) {
+	budget := int64(1<<20 + 3) // not divisible by 8 shards
+	c := New(Config{Budget: budget, Shards: 8})
+	if st := c.Snapshot(); st.Capacity != budget {
+		t.Fatalf("Capacity = %d, want configured budget %d", st.Capacity, budget)
+	}
+}
+
+// TestResidentHitsDecay pins that resident hit counters are halved on
+// the sketch's aging cadence, so a once-hot row does not become
+// permanently unevictable after traffic shifts.
+func TestResidentHitsDecay(t *testing.T) {
+	c := New(Config{Budget: 1 << 20, Shards: 1})
+	c.Put(0, 0, 1, 3, row(4, 1))
+	for i := 0; i < 40; i++ {
+		c.Get(0, 0, 1, row(4, 0))
+	}
+	s := c.shardOf(key(0, 1))
+	e := s.m[key(0, 1)]
+	if e.hits != 40 {
+		t.Fatalf("pre-decay hits = %d, want 40", e.hits)
+	}
+	c.decayResidents()
+	if e.hits != 20 {
+		t.Fatalf("post-decay hits = %d, want 20", e.hits)
+	}
+	// The decay must fire organically from miss traffic: after enough
+	// misses to cross the aging threshold, the counter halves again.
+	for i := 0; i < sketchWidth*8; i++ {
+		c.Get(0, 1, int32(i), row(4, 0)) // all misses
+	}
+	if e.hits >= 20 {
+		t.Fatalf("hits = %d after an aging sweep's worth of misses, want < 20", e.hits)
+	}
+}
+
 func TestSketchEstimate(t *testing.T) {
 	var s sketch
 	s.init()

@@ -444,11 +444,14 @@ func (e *Engine) worker(id int, replica *nn.Model, ectx *exec.Ctx) {
 
 // Reload swaps in newly trained parameters for the same architecture:
 // the shared parameter source is updated under the model lock, the model
-// version is bumped inside the same critical section (so workers always
-// observe a consistent (params, version) pair), and the hot-vertex cache
-// is flushed to the new version. In-flight batches on old replicas keep
-// serving the old parameters coherently — their cache reads and writes
-// carry the old version and are rejected once the flush lands.
+// version is bumped and the hot-vertex cache flushed to it inside the
+// same critical section. Workers re-sync under the read lock, so none
+// can adopt (and tag cache reads with) version N until the flush has
+// completed — otherwise a Get(N) during the sweep window could hit a
+// not-yet-cleared row computed under the old parameters. In-flight
+// batches on old replicas keep serving the old parameters coherently —
+// their cache reads and writes carry the old version and are rejected
+// from the moment the version is published.
 func (e *Engine) Reload(m *nn.Model) error {
 	if m.Cfg != e.model.Cfg {
 		return fmt.Errorf("serve: reload across architectures: %+v vs %+v", m.Cfg, e.model.Cfg)
@@ -459,8 +462,8 @@ func (e *Engine) Reload(m *nn.Model) error {
 		return err
 	}
 	ver := e.modelVersion.Add(1)
-	e.modelMu.Unlock()
 	e.cache.InvalidateTo(ver)
+	e.modelMu.Unlock()
 	return nil
 }
 
