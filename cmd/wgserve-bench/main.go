@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"wisegraph/internal/serve"
+	"wisegraph/internal/shard"
 )
 
 // benchResult is the -json document: the client-side load report plus
@@ -44,6 +45,19 @@ type benchResult struct {
 	P50Ms      float64 `json:"p50Ms"`
 	P95Ms      float64 `json:"p95Ms"`
 	P99Ms      float64 `json:"p99Ms"`
+
+	// Sharded-tier view (all omitted against a single-node server): shard
+	// count, each shard's router-side RPC QPS and latency quantiles, and
+	// the resilience counters (hedged duplicates, retried RPC faults,
+	// per-shard timeouts, exhausted-ladder failures) plus the engine's
+	// degraded half-batch retries the failures fall back to.
+	Shards          int           `json:"shards,omitempty"`
+	PerShard        []shard.Stats `json:"perShard,omitempty"`
+	ShardHedges     uint64        `json:"shardHedges,omitempty"`
+	ShardRetries    uint64        `json:"shardRetries,omitempty"`
+	ShardTimeouts   uint64        `json:"shardTimeouts,omitempty"`
+	ShardFailures   uint64        `json:"shardFailures,omitempty"`
+	DegradedRetries uint64        `json:"degradedRetries,omitempty"`
 
 	Server *serve.Snapshot `json:"server,omitempty"`
 }
@@ -95,6 +109,15 @@ func main() {
 			line += " cache=off"
 		}
 		fmt.Println(line)
+		if snap.Shards > 0 {
+			fmt.Printf("server: shards=%d hedges=%d retries=%d timeouts=%d shard-failures=%d degraded=%d\n",
+				snap.Shards, snap.ShardHedges, snap.ShardRetries, snap.ShardTimeouts,
+				snap.ShardFailures, snap.DegradedRetries)
+			for _, ss := range snap.PerShard {
+				fmt.Printf("  shard %d [%d,%d): rpcs=%d qps=%.1f p50=%.2fms p99=%.2fms cache-hits=%d\n",
+					ss.ID, ss.Lo, ss.Hi, ss.RPCs, ss.QPS, ss.P50Ms, ss.P99Ms, ss.CacheHits)
+			}
+		}
 	}
 
 	if *jsonOut != "" {
@@ -107,6 +130,15 @@ func main() {
 			P95Ms:      float64(rep.P95) / float64(time.Millisecond),
 			P99Ms:      float64(rep.P99) / float64(time.Millisecond),
 			Server:     snap,
+		}
+		if snap != nil && snap.Shards > 0 {
+			res.Shards = snap.Shards
+			res.PerShard = snap.PerShard
+			res.ShardHedges = snap.ShardHedges
+			res.ShardRetries = snap.ShardRetries
+			res.ShardTimeouts = snap.ShardTimeouts
+			res.ShardFailures = snap.ShardFailures
+			res.DegradedRetries = snap.DegradedRetries
 		}
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -66,6 +66,10 @@ func main() {
 		engineName  = flag.String("engine", "blocked", "execution engine: blocked|fused|device (bitwise-identical; fused streams the SpMM)")
 		cacheBudget = flag.String("cache-budget", "0", "hot-vertex embedding cache budget, e.g. 64MiB (0 disables; pure performance knob — cached logits are bitwise-identical)")
 		cacheShards = flag.Int("cache-shards", 0, "cache lock-stripe count (default 8)")
+		cacheWarm   = flag.Int("cache-warm", 0, "pre-admit the top-K highest-in-degree vertices per layer at startup (0 disables)")
+		shards      = flag.Int("shards", 1, "serve through N in-process shards behind a fan-out router (>1 enables the sharded tier; cache budget becomes per-shard)")
+		placement   = flag.String("placement", "", "shard boundary policy: vertex|edge|cost (default edge)")
+		shardTmo    = flag.Duration("shard-timeout", 250*time.Millisecond, "per-shard-RPC deadline (modeled stragglers at/past it are retried)")
 	)
 	flag.Parse()
 	if *faultSpec != "" {
@@ -102,16 +106,20 @@ func main() {
 		fatal(fmt.Errorf("-cache-budget: %w", err))
 	}
 	opts := serve.Options{
-		Workers:      *workers,
-		BatchCap:     *batchCap,
-		BatchDelay:   *batchDelay,
-		QueueDepth:   *queueDepth,
-		Deadline:     *deadline,
-		BatchTimeout: *batchTmo,
-		Engine:       *engineName,
-		Seed:         *seed,
-		CacheBudget:  budget,
-		CacheShards:  *cacheShards,
+		Workers:        *workers,
+		BatchCap:       *batchCap,
+		BatchDelay:     *batchDelay,
+		QueueDepth:     *queueDepth,
+		Deadline:       *deadline,
+		BatchTimeout:   *batchTmo,
+		Engine:         *engineName,
+		Seed:           *seed,
+		CacheBudget:    budget,
+		CacheShards:    *cacheShards,
+		CacheWarm:      *cacheWarm,
+		Shards:         *shards,
+		ShardPlacement: *placement,
+		ShardTimeout:   *shardTmo,
 	}
 	if *fanout != "" {
 		opts.Fanouts, err = parseFanouts(*fanout)
@@ -140,8 +148,21 @@ func main() {
 		fatal(err)
 	}
 	if budget > 0 {
-		fmt.Printf("hot-vertex cache: budget %s, %d layers cached per vertex\n",
-			*cacheBudget, m.Cfg.Layers+1)
+		scope := ""
+		if *shards > 1 {
+			scope = " per shard"
+		}
+		fmt.Printf("hot-vertex cache: budget %s%s, %d layers cached per vertex\n",
+			*cacheBudget, scope, m.Cfg.Layers+1)
+	}
+	if fl := engine.Fleet(); fl != nil {
+		fmt.Printf("sharded tier: %d shards (%s placement), bounds %v, rpc timeout %v\n",
+			fl.Size(), fl.Placement(), fl.Bounds(), *shardTmo)
+	}
+	if *cacheWarm > 0 {
+		st := engine.Stats()
+		fmt.Printf("cache warm-up: top %d vertices pre-admitted (%d entries, %d bytes resident)\n",
+			*cacheWarm, st.CacheEntries, st.CacheBytesResident)
 	}
 	if *planPath == "" {
 		fmt.Printf("tuned plan: %v + %v (frozen, reused across requests)\n",
@@ -164,7 +185,7 @@ func main() {
 		st := engine.Stats()
 		fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms flops/req=%.0f%s\n",
 			engine.InFlight(), st.Completed, st.Shed, st.Batches, st.AvgBatchSize,
-			st.LatencyP50Ms, st.LatencyP99Ms, st.FLOPsPerRequest, cacheSummary(st))
+			st.LatencyP50Ms, st.LatencyP99Ms, st.FLOPsPerRequest, cacheSummary(st)+shardSummary(st))
 		return
 	}
 
@@ -202,7 +223,7 @@ func main() {
 	st := engine.Stats()
 	fmt.Printf("drained: in-flight=%d served=%d shed=%d batches=%d avg-batch=%.2f p50=%.2fms p99=%.2fms flops/req=%.0f%s\n",
 		engine.InFlight(), st.Completed, st.Shed, st.Batches, st.AvgBatchSize,
-		st.LatencyP50Ms, st.LatencyP99Ms, st.FLOPsPerRequest, cacheSummary(st))
+		st.LatencyP50Ms, st.LatencyP99Ms, st.FLOPsPerRequest, cacheSummary(st)+shardSummary(st))
 }
 
 // cacheSummary renders the cache tail of the drain line ("" when the
@@ -213,6 +234,16 @@ func cacheSummary(st serve.Snapshot) string {
 	}
 	return fmt.Sprintf(" cache-hit-rate=%.1f%% cache-bytes=%d cache-entries=%d",
 		100*st.CacheHitRate, st.CacheBytesResident, st.CacheEntries)
+}
+
+// shardSummary renders the sharded-tier tail of the drain line ("" in
+// single-node mode, so existing log scrapes keep matching).
+func shardSummary(st serve.Snapshot) string {
+	if st.Shards == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" shards=%d shard-in-flight=%d hedges=%d retries=%d timeouts=%d shard-failures=%d",
+		st.Shards, st.ShardInFlight, st.ShardHedges, st.ShardRetries, st.ShardTimeouts, st.ShardFailures)
 }
 
 // parseBytes parses a byte size with an optional binary suffix:

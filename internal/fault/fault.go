@@ -41,6 +41,9 @@ const (
 	SiteCheckpoint = "nn.checkpoint"
 	// SiteTrainStep fires per training epoch/step (internal/train).
 	SiteTrainStep = "train.step"
+	// SiteShardRPC fires per router→shard RPC attempt in the sharded
+	// serving tier (internal/shard.Fleet).
+	SiteShardRPC = "shard.rpc"
 )
 
 // Kind classifies an injected fault.

@@ -34,6 +34,7 @@ import (
 	"wisegraph/internal/kernels"
 	"wisegraph/internal/nn"
 	"wisegraph/internal/obs"
+	"wisegraph/internal/shard"
 	"wisegraph/internal/tensor"
 )
 
@@ -94,6 +95,24 @@ type Options struct {
 	CacheBudget int64
 	// CacheShards is the cache's lock-stripe count (default 8).
 	CacheShards int
+	// CacheWarm pre-admits up to K top-in-degree vertices per layer at
+	// startup by running warm-up forwards over them before the first
+	// request is accepted; 0 disables warm-up. Warm-up changes first-
+	// request latency only — cached rows are bitwise-equal to computed.
+	CacheWarm int
+	// Shards > 1 serves through the sharded tier (internal/shard): the
+	// CSR and feature rows split into contiguous per-shard ranges, a
+	// router fans each micro-batch's frontier out to the owners, and
+	// CacheBudget becomes a PER-SHARD budget (each simulated node brings
+	// its own RAM). Logits stay bitwise-identical to single-node serving.
+	Shards int
+	// ShardPlacement picks the shard boundary policy: "vertex", "edge"
+	// (default) or "cost" — see internal/shard.ParsePlacement.
+	ShardPlacement string
+	// ShardTimeout is the per-RPC deadline in the sharded tier: a modeled
+	// straggler at or beyond it counts as a shard timeout and is retried
+	// (default 250ms).
+	ShardTimeout time.Duration
 }
 
 // Validate rejects nonsensical configurations with a descriptive error
@@ -118,6 +137,17 @@ func (o Options) Validate(layers int) error {
 		return fmt.Errorf("serve: negative cache shard count %d", o.CacheShards)
 	case o.CacheBudget > 0 && layers <= 0:
 		return fmt.Errorf("serve: cache enabled (budget %d) but model has no layers to cache", o.CacheBudget)
+	case o.CacheWarm < 0:
+		return fmt.Errorf("serve: negative cache warm-up count %d", o.CacheWarm)
+	case o.Shards < 0:
+		return fmt.Errorf("serve: negative shard count %d", o.Shards)
+	case o.ShardTimeout < 0:
+		return fmt.Errorf("serve: negative shard timeout %v", o.ShardTimeout)
+	case o.CacheWarm > 0 && o.CacheBudget <= 0:
+		return fmt.Errorf("serve: cache warm-up %d requested with caching disabled", o.CacheWarm)
+	}
+	if _, err := shard.ParsePlacement(o.ShardPlacement); err != nil {
+		return err
 	}
 	if len(o.Fanouts) > 0 && len(o.Fanouts) != layers {
 		return fmt.Errorf("serve: %d fan-outs for a %d-layer model (need one per layer)", len(o.Fanouts), layers)
@@ -162,6 +192,12 @@ func (o Options) withDefaults(layers int) Options {
 		spec := device.A100()
 		o.Spec = &spec
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 250 * time.Millisecond
+	}
 	return o
 }
 
@@ -202,6 +238,12 @@ type Engine struct {
 	cache        *hotcache.Cache
 	modelMu      sync.RWMutex
 	modelVersion atomic.Uint64
+
+	// fleet is the sharded serving tier (nil when Shards <= 1). In
+	// sharded mode e.cache is nil — each shard owns its range's cache —
+	// and workers route forwards through the fleet instead of running
+	// them on their own replicas.
+	fleet *shard.Fleet
 
 	// admitMu orders admission against the drain flip: Predict admits
 	// under RLock, Shutdown flips draining under Lock, so once Shutdown
@@ -256,7 +298,9 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		stats:   newStats(opts.BatchCap),
 		drained: make(chan struct{}),
 	}
-	e.cache = hotcache.New(hotcache.Config{Budget: opts.CacheBudget, Shards: opts.CacheShards})
+	if opts.Shards <= 1 {
+		e.cache = hotcache.New(hotcache.Config{Budget: opts.CacheBudget, Shards: opts.CacheShards})
+	}
 	e.plan = opts.Plan
 	if e.plan == nil {
 		e.plan = e.tunePlan()
@@ -268,6 +312,35 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		return nil, err
 	} else if err := eng.Probe(model.Cfg.Kind, e.plan.GraphPlan); err != nil {
 		return nil, err
+	}
+	if opts.Shards > 1 {
+		pl, err := shard.ParsePlacement(opts.ShardPlacement)
+		if err != nil {
+			return nil, err
+		}
+		e.fleet, err = shard.NewFleet(e.csr, ds.Features, ds.Graph.NumTypes, model, e.plan, shard.Config{
+			Shards:      opts.Shards,
+			Placement:   pl,
+			Workers:     opts.Workers,
+			Fanouts:     opts.Fanouts,
+			Seed:        opts.Seed,
+			Engine:      opts.Engine,
+			Spec:        opts.Spec,
+			CacheBudget: opts.CacheBudget,
+			CacheShards: opts.CacheShards,
+			Timeout:     opts.ShardTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.CacheWarm > 0 {
+		if err := e.warmCache(); err != nil {
+			if e.fleet != nil {
+				e.fleet.Close()
+			}
+			return nil, fmt.Errorf("serve: cache warm-up: %w", err)
+		}
 	}
 	go e.batcher()
 	for w := 0; w < opts.Workers; w++ {
@@ -284,6 +357,12 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 	}
 	go func() {
 		e.workerWG.Wait()
+		// Workers gone → no caller can dispatch another shard RPC; drain
+		// the fleet's worker pools before declaring the engine drained so
+		// the in-flight = 0 invariant holds fleet-wide at shutdown.
+		if e.fleet != nil {
+			e.fleet.Close()
+		}
 		close(e.drained)
 	}()
 	return e, nil
@@ -424,6 +503,16 @@ func (e *Engine) worker(id int, replica *nn.Model, ectx *exec.Ctx) {
 	defer pt.Release()
 	var wver uint64 // replicas are stamped from version 0 at construction
 	for batch := range e.batches {
+		if e.fleet != nil {
+			// Sharded: hold the model read-lock across the whole batch so
+			// every shard RPC carries one coherent version — shard workers
+			// re-sync their replicas from the shared source on a version
+			// change, which is only safe while Reload's writer is excluded.
+			e.modelMu.RLock()
+			e.runBatch(batch, replica, e.modelVersion.Load(), pt, ectx)
+			e.modelMu.RUnlock()
+			continue
+		}
 		if e.modelVersion.Load() != wver {
 			e.modelMu.RLock()
 			wver = e.modelVersion.Load()
@@ -463,6 +552,9 @@ func (e *Engine) Reload(m *nn.Model) error {
 	}
 	ver := e.modelVersion.Add(1)
 	e.cache.InvalidateTo(ver)
+	if e.fleet != nil {
+		e.fleet.InvalidateTo(ver)
+	}
 	e.modelMu.Unlock()
 	return nil
 }
@@ -537,7 +629,16 @@ func (e *Engine) execBatch(live []*request, replica *nn.Model, ver uint64, pt *c
 	// The sample span opens here, at the boundary, and is handed into the
 	// forward so the call transition itself stays inside a span (the trace
 	// must decompose the batch with no systematic gaps).
-	logits, rowOf, err := e.forwardLeveled(batchID, ver, seeds, replica, pt, ectx, obs.Begin(obs.StageSample, batchID))
+	var (
+		logits *tensor.Tensor
+		rowOf  map[int32]int32
+		err    error
+	)
+	if e.fleet != nil {
+		logits, rowOf, err = e.fleet.Forward(batchID, ver, seeds, obs.Begin(obs.StageSample, batchID))
+	} else {
+		logits, rowOf, err = e.forwardLeveled(batchID, ver, seeds, replica, pt, ectx, obs.Begin(obs.StageSample, batchID))
+	}
 	if err != nil {
 		spBatch.End()
 		e.stats.batchFaults.Add(1)
@@ -635,8 +736,7 @@ func (e *Engine) Options() Options { return e.opts }
 func (e *Engine) Stats() Snapshot {
 	snap := e.stats.snapshot(e.inflight.Load(), len(e.queue))
 	snap.Engine = e.engineName()
-	if e.cache != nil {
-		cs := e.cache.Snapshot()
+	if cs, ok := e.cacheStats(); ok {
 		snap.CacheEnabled = true
 		snap.CacheHits = cs.Hits
 		snap.CacheMisses = cs.Misses
@@ -651,6 +751,13 @@ func (e *Engine) Stats() Snapshot {
 		snap.CacheEntries = cs.Entries
 		snap.CacheCapacityBytes = cs.Capacity
 	}
+	if e.fleet != nil {
+		snap.Shards = e.fleet.Size()
+		snap.ShardPlacement = e.fleet.Placement().String()
+		snap.PerShard = e.fleet.Stats()
+		snap.ShardRetries, snap.ShardHedges, snap.ShardTimeouts, snap.ShardFailures = e.fleet.Resilience()
+		snap.ShardInFlight = e.fleet.InFlight()
+	}
 	dev, _ := e.DeviceStats()
 	snap.DeviceFLOPs = dev.FLOPs
 	if snap.Completed > 0 {
@@ -659,9 +766,25 @@ func (e *Engine) Stats() Snapshot {
 	return snap
 }
 
-// Cache exposes the hot-vertex cache (nil when disabled); tests and the
+// Cache exposes the hot-vertex cache (nil when disabled, and nil in
+// sharded mode — each shard owns its range's cache); tests and the
 // metrics endpoint read its counters.
 func (e *Engine) Cache() *hotcache.Cache { return e.cache }
+
+// Fleet exposes the sharded serving tier (nil in single-node mode).
+func (e *Engine) Fleet() *shard.Fleet { return e.fleet }
+
+// cacheStats returns the caching accounting in effect: the single-node
+// cache's, or the per-shard caches aggregated fleet-wide.
+func (e *Engine) cacheStats() (hotcache.Stats, bool) {
+	switch {
+	case e.cache != nil:
+		return e.cache.Snapshot(), true
+	case e.fleet != nil && e.opts.CacheBudget > 0:
+		return e.fleet.CacheStats(), true
+	}
+	return hotcache.Stats{}, false
+}
 
 // engineName is the resolved execution-engine name ("" means blocked).
 func (e *Engine) engineName() string {

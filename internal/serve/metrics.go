@@ -3,12 +3,14 @@ package serve
 import (
 	"io"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"wisegraph/internal/device"
 	"wisegraph/internal/fault"
 	"wisegraph/internal/obs"
+	"wisegraph/internal/shard"
 )
 
 // Histogram is the lock-free power-of-two latency histogram, shared with
@@ -167,6 +169,19 @@ type Snapshot struct {
 	// metric the hot-vertex cache is meant to push down.
 	DeviceFLOPs     float64 `json:"deviceFLOPs"`
 	FLOPsPerRequest float64 `json:"flopsPerRequest"`
+
+	// Sharded serving tier (all absent/zero in single-node mode). The
+	// cache fields above aggregate the per-shard caches fleet-wide;
+	// PerShard carries the per-shard breakdown including each shard's
+	// router-side RPC QPS and latency quantiles.
+	Shards         int           `json:"shards,omitempty"`
+	ShardPlacement string        `json:"shardPlacement,omitempty"`
+	ShardRetries   uint64        `json:"shardRetries,omitempty"`
+	ShardHedges    uint64        `json:"shardHedges,omitempty"`
+	ShardTimeouts  uint64        `json:"shardTimeouts,omitempty"`
+	ShardFailures  uint64        `json:"shardFailures,omitempty"`
+	ShardInFlight  int64         `json:"shardInFlight,omitempty"`
+	PerShard       []shard.Stats `json:"perShard,omitempty"`
 }
 
 func (s *Stats) snapshot(inFlight int64, queueDepth int) Snapshot {
@@ -238,9 +253,9 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	p.Gauge("wisegraph_serve_recent_qps", "", s.qps.Recent(time.Now().Unix(), up))
 	p.Histogram("wisegraph_serve_latency_seconds", "", &s.latency)
 
-	// Hot-vertex cache accounting (only exported when the cache is on).
-	if e.cache != nil {
-		cs := e.cache.Snapshot()
+	// Hot-vertex cache accounting (only exported when the cache is on;
+	// in sharded mode these aggregate the per-shard caches).
+	if cs, ok := e.cacheStats(); ok {
 		p.Counter("wisegraph_serve_cache_hits_total", "", float64(cs.Hits))
 		p.Counter("wisegraph_serve_cache_misses_total", "", float64(cs.Misses))
 		p.Counter("wisegraph_serve_cache_admitted_total", "", float64(cs.Admitted))
@@ -250,6 +265,27 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		p.Gauge("wisegraph_serve_cache_bytes_resident", "", float64(cs.Bytes))
 		p.Gauge("wisegraph_serve_cache_entries", "", float64(cs.Entries))
 		p.Gauge("wisegraph_serve_cache_capacity_bytes", "", float64(cs.Capacity))
+	}
+
+	// Sharded-tier accounting: per-shard RPC traffic, resilience counters
+	// and cache residency, labeled by shard id.
+	if e.fleet != nil {
+		p.Gauge("wisegraph_serve_shards", "", float64(e.fleet.Size()))
+		for _, ss := range e.fleet.Stats() {
+			l := `shard="` + strconv.Itoa(ss.ID) + `"`
+			p.Counter("wisegraph_shard_rpcs_total", l, float64(ss.RPCs))
+			p.Counter("wisegraph_shard_computes_total", l, float64(ss.Computes))
+			p.Counter("wisegraph_shard_retries_total", l, float64(ss.Retries))
+			p.Counter("wisegraph_shard_hedges_total", l, float64(ss.Hedges))
+			p.Counter("wisegraph_shard_timeouts_total", l, float64(ss.Timeouts))
+			p.Counter("wisegraph_shard_failures_total", l, float64(ss.Failures))
+			p.Counter("wisegraph_shard_bytes_in_total", l, float64(ss.BytesIn))
+			p.Counter("wisegraph_shard_bytes_out_total", l, float64(ss.BytesOut))
+			p.Gauge("wisegraph_shard_in_flight", l, float64(ss.InFlight))
+			p.Counter("wisegraph_shard_cache_hits_total", l, float64(ss.CacheHits))
+			p.Counter("wisegraph_shard_cache_misses_total", l, float64(ss.CacheMisses))
+			p.Gauge("wisegraph_shard_cache_bytes_resident", l, float64(ss.CacheBytes))
+		}
 	}
 
 	// Batch-size distribution as an explicit-bounds histogram.
@@ -311,11 +347,16 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 }
 
 // DeviceStats aggregates the simulated-device accounting across the
-// worker pool: summed device stats and merged per-kernel counters.
+// worker pool — plus, in sharded mode, across every shard worker's
+// device, where the fleet's compute actually runs.
 func (e *Engine) DeviceStats() (device.Stats, map[string]device.KernelStats) {
 	total := device.Stats{ByCategory: map[string]float64{}}
 	kernels := map[string]device.KernelStats{}
-	for _, d := range e.devs {
+	devs := e.devs
+	if e.fleet != nil {
+		devs = append(append([]*device.Device(nil), devs...), e.fleet.Devices()...)
+	}
+	for _, d := range devs {
 		st := d.Stats()
 		total.SimSeconds += st.SimSeconds
 		total.Kernels += st.Kernels

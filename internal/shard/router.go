@@ -1,0 +1,597 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wisegraph/internal/device"
+	"wisegraph/internal/fault"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/hotcache"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
+	"wisegraph/internal/tensor"
+)
+
+// Config sizes a fleet. The serve engine fills it from its own resolved
+// options so sharded and single-node serving share every knob.
+type Config struct {
+	// Shards is the node count (min 1).
+	Shards int
+	// Placement picks the boundary policy (see Boundaries).
+	Placement Placement
+	// Workers is the per-shard RPC worker pool size.
+	Workers int
+	// Fanouts are the per-layer sampling fan-outs, Seed the deterministic
+	// sampler key, Engine the execution engine, Spec the simulated device
+	// — all identical to the single-node serve options, which is what the
+	// bitwise-parity guarantee rests on.
+	Fanouts []int
+	Seed    uint64
+	Engine  string
+	Spec    *device.Spec
+	// CacheBudget is the PER-SHARD hot-vertex cache budget in bytes: each
+	// simulated node brings its own RAM, so fleet cache capacity scales
+	// with the shard count — the aggregate-capacity win that lets a fleet
+	// hold a hot set no single node can.
+	CacheBudget int64
+	CacheShards int
+	// Timeout is the per-RPC deadline: a modeled straggle at or beyond it
+	// counts as a timeout and takes the retry path (default 250ms).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Spec == nil {
+		spec := device.A100()
+		c.Spec = &spec
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Retry ladder for router→shard RPCs, mirroring the distributed trainer's
+// exchange ladder: rpcAttempts tries per call, exponential backoff from
+// rpcBackoffBase with deterministic jitter on injected errors/corruption,
+// and a straggle past rpcHedgeAfter is abandoned for an immediate hedged
+// re-issue (safe: both RPCs are idempotent pure functions of the request
+// and model version). A straggle at or past the configured Timeout is a
+// timeout — counted separately and retried.
+const (
+	rpcAttempts    = 5
+	rpcBackoffBase = 100 * time.Microsecond
+	rpcHedgeAfter  = time.Millisecond
+)
+
+// shardStats is the router-side accounting for one shard.
+type shardStats struct {
+	rpcs     atomic.Uint64
+	computes atomic.Uint64
+	retries  atomic.Uint64
+	hedges   atomic.Uint64
+	timeouts atomic.Uint64
+	failures atomic.Uint64
+	bytesIn  atomic.Uint64 // reply bytes router←shard
+	bytesOut atomic.Uint64 // request bytes router→shard
+	lat      obs.Histogram
+}
+
+// Stats is one shard's externally visible snapshot: ownership range,
+// router-side RPC traffic and resilience counters, and the shard's cache
+// accounting. wgserve-bench records one per shard in its -json output.
+type Stats struct {
+	ID       int     `json:"id"`
+	Lo       int32   `json:"lo"`
+	Hi       int32   `json:"hi"`
+	RPCs     uint64  `json:"rpcs"`
+	Computes uint64  `json:"computes"`
+	QPS      float64 `json:"qps"` // RPCs per second of fleet uptime
+	P50Ms    float64 `json:"p50Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+	Retries  uint64  `json:"retries"`
+	Hedges   uint64  `json:"hedges"`
+	Timeouts uint64  `json:"timeouts"`
+	Failures uint64  `json:"failures"`
+	BytesIn  uint64  `json:"bytesIn"`
+	BytesOut uint64  `json:"bytesOut"`
+	InFlight int64   `json:"inFlight"`
+
+	CacheHits    uint64 `json:"cacheHits"`
+	CacheMisses  uint64 `json:"cacheMisses"`
+	CacheBytes   int64  `json:"cacheBytes"`
+	CacheEntries int    `json:"cacheEntries"`
+}
+
+// Fleet is the router front-end plus its shards: it partitions the vertex
+// space, fans each micro-batch's leveled frontier out to the owners,
+// aggregates the partial per-layer rows, and absorbs slow or failed
+// shards through the hedging ladder. One Fleet serves one frozen
+// (graph, features, plan); the model parameters behind src may be swapped
+// by serve.Reload under its model lock.
+type Fleet struct {
+	cfg    Config
+	csr    *graph.CSR
+	feats  *tensor.Tensor
+	ntypes int
+	src    *nn.Model
+	plan   *joint.Result
+
+	bounds []int32
+	shards []*Shard
+	conns  []Conn
+	stats  []*shardStats
+	start  time.Time
+}
+
+// NewFleet splits csr's vertex space across cfg.Shards nodes and starts
+// every shard's worker pool. ntypes is the parent graph's edge-type count
+// (shard-rebuilt blocks must declare it exactly as the single-node
+// forward does).
+func NewFleet(csr *graph.CSR, feats *tensor.Tensor, ntypes int, src *nn.Model, plan *joint.Result, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Fanouts) != src.Cfg.Layers {
+		return nil, fmt.Errorf("shard: %d fan-outs for a %d-layer model", len(cfg.Fanouts), src.Cfg.Layers)
+	}
+	f := &Fleet{
+		cfg: cfg, csr: csr, feats: feats, ntypes: ntypes, src: src, plan: plan,
+		bounds: Boundaries(csr, cfg.Shards, cfg.Placement, src.Cfg.InDim),
+		start:  time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s, err := newShard(i, f.bounds[i], f.bounds[i+1], f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.shards = append(f.shards, s)
+		f.conns = append(f.conns, localConn{s})
+		f.stats = append(f.stats, &shardStats{})
+	}
+	return f, nil
+}
+
+// Close drains every shard's worker pool. Callers must guarantee no
+// Forward is in flight or will be issued again.
+func (f *Fleet) Close() {
+	for _, s := range f.shards {
+		s.close()
+	}
+}
+
+// Size returns the shard count.
+func (f *Fleet) Size() int { return len(f.shards) }
+
+// Bounds returns the contiguous ownership boundaries (len Size()+1).
+func (f *Fleet) Bounds() []int32 { return f.bounds }
+
+// Placement returns the boundary policy in effect.
+func (f *Fleet) Placement() Placement { return f.cfg.Placement }
+
+// InFlight sums admitted-but-unanswered RPCs across all shards — the
+// shard half of the fleet-wide drain invariant (the router half is the
+// serve engine's own in-flight count).
+func (f *Fleet) InFlight() int64 {
+	var n int64
+	for _, s := range f.shards {
+		n += s.InFlight()
+	}
+	return n
+}
+
+// InvalidateTo flushes every shard's cache to the new model version.
+// serve.Reload calls it inside its model critical section, so no batch
+// tagged with the new version can race the sweep.
+func (f *Fleet) InvalidateTo(ver uint64) {
+	for _, s := range f.shards {
+		s.cache.InvalidateTo(ver)
+	}
+}
+
+// CacheStats aggregates the per-shard caches into one fleet-wide view
+// (capacity sums too: each shard brings its own budget).
+func (f *Fleet) CacheStats() hotcache.Stats {
+	var t hotcache.Stats
+	for _, s := range f.shards {
+		cs := s.cache.Snapshot()
+		t.Hits += cs.Hits
+		t.Misses += cs.Misses
+		t.Admitted += cs.Admitted
+		t.Evicted += cs.Evicted
+		t.Rejected += cs.Rejected
+		t.Flushes += cs.Flushes
+		t.Bytes += cs.Bytes
+		t.Entries += cs.Entries
+		t.Capacity += cs.Capacity
+	}
+	return t
+}
+
+// Devices returns every shard worker's simulated device so the serve
+// metrics can aggregate fleet compute exactly like worker compute.
+func (f *Fleet) Devices() []*device.Device {
+	var out []*device.Device
+	for _, s := range f.shards {
+		out = append(out, s.devs...)
+	}
+	return out
+}
+
+// Stats snapshots every shard.
+func (f *Fleet) Stats() []Stats {
+	up := time.Since(f.start).Seconds()
+	out := make([]Stats, len(f.shards))
+	for i, s := range f.shards {
+		st := f.stats[i]
+		cs := s.cache.Snapshot()
+		o := Stats{
+			ID: i, Lo: f.bounds[i], Hi: f.bounds[i+1],
+			RPCs:     st.rpcs.Load(),
+			Computes: st.computes.Load(),
+			P50Ms:    float64(st.lat.Quantile(0.50)) / 1e6,
+			P99Ms:    float64(st.lat.Quantile(0.99)) / 1e6,
+			Retries:  st.retries.Load(),
+			Hedges:   st.hedges.Load(),
+			Timeouts: st.timeouts.Load(),
+			Failures: st.failures.Load(),
+			BytesIn:  st.bytesIn.Load(),
+			BytesOut: st.bytesOut.Load(),
+			InFlight: s.InFlight(),
+
+			CacheHits:    cs.Hits,
+			CacheMisses:  cs.Misses,
+			CacheBytes:   cs.Bytes,
+			CacheEntries: cs.Entries,
+		}
+		if up > 0 {
+			o.QPS = float64(o.RPCs) / up
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Resilience sums the router-side resilience counters across shards.
+func (f *Fleet) Resilience() (retries, hedges, timeouts, failures uint64) {
+	for _, st := range f.stats {
+		retries += st.retries.Load()
+		hedges += st.hedges.Load()
+		timeouts += st.timeouts.Load()
+		failures += st.failures.Load()
+	}
+	return
+}
+
+// call runs one RPC through the shard.rpc fault site and the retry/hedge/
+// timeout ladder. do must be idempotent (both RPC kinds are); a real —
+// non-injected — error from the shard is deterministic (ownership or
+// protocol violation) and surfaces immediately instead of burning
+// retries.
+func (f *Fleet) call(s int, do func(Conn) error) error {
+	st := f.stats[s]
+	st.rpcs.Add(1)
+	t0 := time.Now()
+	defer func() { st.lat.Observe(time.Since(t0)) }()
+	backoff := rpcBackoffBase
+	for attempt := 0; attempt < rpcAttempts; attempt++ {
+		flt := fault.Check(fault.SiteShardRPC)
+		if flt != nil && flt.Kind == fault.KindLatency && flt.Delay < f.cfg.Timeout {
+			if flt.Delay >= rpcHedgeAfter {
+				// Hedge: abandon the straggler and re-issue immediately.
+				// The abandoned attempt costs nothing — the simulated RPC
+				// never reached the shard.
+				st.hedges.Add(1)
+				flt = fault.Check(fault.SiteShardRPC)
+				if flt != nil && flt.Kind == fault.KindLatency && flt.Delay < f.cfg.Timeout {
+					// The hedge straggles too (short of the deadline):
+					// wait it out, it still succeeds.
+					time.Sleep(flt.Delay)
+					flt = nil
+				}
+			} else {
+				time.Sleep(flt.Delay)
+				flt = nil
+			}
+		}
+		if flt != nil && flt.Kind == fault.KindLatency {
+			// A modeled straggle at or past the per-RPC deadline: the
+			// router gives up on this attempt without sleeping it out.
+			st.timeouts.Add(1)
+			flt = &fault.Fault{Site: flt.Site, Kind: fault.KindError, Seq: flt.Seq}
+		}
+		if flt == nil {
+			err := do(f.conns[s])
+			if err == nil {
+				return nil
+			}
+			st.failures.Add(1)
+			return err
+		}
+		// Injected error, corruption, or timeout: back off and retry.
+		if attempt < rpcAttempts-1 {
+			st.retries.Add(1)
+			jitter := time.Duration(uint64(backoff) * (flt.Seq%128 + 128) / 256)
+			time.Sleep(jitter)
+			backoff *= 2
+		} else {
+			st.failures.Add(1)
+			return fmt.Errorf("shard: rpc to shard %d failed after %d attempts: %w",
+				s, rpcAttempts, flt.Err())
+		}
+	}
+	return nil
+}
+
+// ownerSpan is one shard's contiguous slice of a sorted vertex list.
+type ownerSpan struct {
+	shard  int
+	lo, hi int // index range into the sorted list
+}
+
+// spansOf partitions a sorted vertex list into per-owner spans — the
+// payoff of contiguous placement: ownership routing is a linear walk, no
+// per-vertex map.
+func (f *Fleet) spansOf(verts []int32) []ownerSpan {
+	var out []ownerSpan
+	i := 0
+	for s := 0; s < len(f.shards) && i < len(verts); s++ {
+		hi := f.bounds[s+1]
+		j := i
+		for j < len(verts) && verts[j] < hi {
+			j++
+		}
+		if j > i {
+			out = append(out, ownerSpan{shard: s, lo: i, hi: j})
+		}
+		i = j
+	}
+	return out
+}
+
+// rlevel is the router's view of one activation level: the sorted vertex
+// set, hit flags, per-miss sampled sources, and the level's flat rows.
+type rlevel struct {
+	verts []int32
+	idx   map[int32]int32
+	hit   []bool
+	srcs  [][]int32
+	rows  []float32
+	miss  int
+}
+
+func newRLevel(verts []int32, dim int) *rlevel {
+	vs := append([]int32(nil), verts...)
+	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+	rl := &rlevel{
+		verts: vs,
+		idx:   make(map[int32]int32, len(vs)),
+		hit:   make([]bool, len(vs)),
+		srcs:  make([][]int32, len(vs)),
+		rows:  make([]float32, len(vs)*dim),
+	}
+	for i, v := range vs {
+		rl.idx[v] = int32(i)
+	}
+	return rl
+}
+
+// Forward computes logits for the deduped seed set through the fleet:
+// the same top-down probe/expand then bottom-up per-layer execution as
+// the single-node leveled forward, with every owned span resolved by its
+// shard. Returns the logits over the sorted seed space plus the parent-id
+// → row map, exactly like serve's forwardLeveled — rows are bitwise-
+// identical to single-node serving because every shard rebuilds its
+// blocks with the same deterministic sampler, canonical edge order,
+// frozen plan and engine accumulators.
+//
+// sp is the caller's already-open sample-stage span; it stays open across
+// the whole top-down phase (shard-side cache and exec spans record under
+// the same batch trace id).
+func (f *Fleet) Forward(batchID, ver uint64, seeds []int32, sp obs.Span) (*tensor.Tensor, map[int32]int32, error) {
+	dims := f.src.LayerDims()
+	L := len(dims) - 1
+	sets := make([]*rlevel, L+1)
+
+	// Top-down: each level's owned spans expand in parallel on their
+	// shards — cache probes shard-side, so a fully cached frontier
+	// short-circuits right here and no Compute RPC is ever issued.
+	cur := seeds
+	for l := L; l >= 0; l-- {
+		rl := newRLevel(cur, dims[l])
+		sets[l] = rl
+		if err := f.expandLevel(batchID, ver, l, dims[l], rl); err != nil {
+			sp.End()
+			return nil, nil, err
+		}
+		if l == 0 {
+			break
+		}
+		var next []int32
+		seen := make(map[int32]struct{}, rl.miss*(f.cfg.Fanouts[L-l]+1))
+		for i, v := range rl.verts {
+			if rl.hit[i] {
+				continue
+			}
+			// The target's own level-(l-1) row feeds the self term.
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				next = append(next, v)
+			}
+			for _, src := range rl.srcs[i] {
+				if _, ok := seen[src]; !ok {
+					seen[src] = struct{}{}
+					next = append(next, src)
+				}
+			}
+		}
+		cur = next
+	}
+	sp.End()
+
+	// Bottom-up: one Compute fan-out per layer with misses, each shard
+	// running its owned targets over shipped lower-level rows.
+	for l := 1; l <= L; l++ {
+		rl := sets[l]
+		if rl.miss == 0 {
+			continue
+		}
+		csp := obs.Begin(obs.StageCollective, batchID)
+		err := f.computeLevel(batchID, ver, l, dims[l-1], dims[l], rl, sets[l-1])
+		csp.End()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	top := sets[L]
+	out := tensor.Get(len(top.verts), dims[L])
+	copy(out.Data(), top.rows)
+	return out, top.idx, nil
+}
+
+// expandLevel fans one level's sorted vertex set out to its owners: hits
+// come back as rows, misses as sampled source lists (level 0 misses come
+// back as gathered feature rows, so level 0 always resolves fully).
+func (f *Fleet) expandLevel(batchID, ver uint64, level, dim int, rl *rlevel) error {
+	spans := f.spansOf(rl.verts)
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for i, os := range spans {
+		wg.Add(1)
+		go func(i int, os ownerSpan) {
+			defer wg.Done()
+			args := &ExpandArgs{
+				Batch: batchID, Ver: ver, Level: level, Dim: dim,
+				Verts: rl.verts[os.lo:os.hi],
+			}
+			var rep *ExpandReply
+			err := f.call(os.shard, func(c Conn) error {
+				var err error
+				rep, err = c.Expand(args)
+				return err
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st := f.stats[os.shard]
+			st.bytesOut.Add(uint64(len(args.Verts)) * 4)
+			copy(rl.rows[os.lo*dim:os.hi*dim], rep.Rows)
+			in := uint64(len(rep.Rows)) * 4
+			for k := os.lo; k < os.hi; k++ {
+				rl.hit[k] = rep.Hit[k-os.lo]
+				if level > 0 && !rl.hit[k] {
+					rl.srcs[k] = rep.Srcs[k-os.lo]
+					in += uint64(len(rl.srcs[k])) * 4
+				}
+			}
+			st.bytesIn.Add(in)
+		}(i, os)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i := range rl.verts {
+		if !rl.hit[i] {
+			rl.miss++
+		}
+	}
+	// Level 0 misses came back gathered; nothing below remains to compute.
+	if level == 0 {
+		rl.miss = 0
+	}
+	return nil
+}
+
+// computeLevel runs layer level-1 for the level's misses: per owning
+// shard, ship the deduplicated lower-level input set (each target plus
+// its sampled sources) with its rows, and splice the computed target rows
+// back into the level.
+func (f *Fleet) computeLevel(batchID, ver uint64, level, inDim, outDim int, rl, prev *rlevel) error {
+	spans := f.spansOf(rl.verts)
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for i, os := range spans {
+		// Owned miss targets, ascending (span order is ascending already).
+		var targets []int32
+		for k := os.lo; k < os.hi; k++ {
+			if !rl.hit[k] {
+				targets = append(targets, rl.verts[k])
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, os ownerSpan, targets []int32) {
+			defer wg.Done()
+			// The input set: every target and its sampled sources, sorted
+			// and deduplicated — the shard rebuilds its block in this
+			// ascending-parent-order local space, which induces the same
+			// per-destination accumulation order as the single-node block.
+			seen := make(map[int32]struct{}, len(targets)*4)
+			var in []int32
+			add := func(v int32) {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					in = append(in, v)
+				}
+			}
+			for _, v := range targets {
+				add(v)
+				for _, s := range rl.srcs[rl.idx[v]] {
+					add(s)
+				}
+			}
+			sort.Slice(in, func(a, b int) bool { return in[a] < in[b] })
+			rows := make([]float32, len(in)*inDim)
+			for j, v := range in {
+				copy(rows[j*inDim:(j+1)*inDim], prev.rows[int(prev.idx[v])*inDim:int(prev.idx[v]+1)*inDim])
+			}
+			args := &ComputeArgs{
+				Batch: batchID, Ver: ver, Level: level,
+				InDim: inDim, OutDim: outDim,
+				Verts: targets, In: in, Rows: rows,
+			}
+			var rep *ComputeReply
+			err := f.call(os.shard, func(c Conn) error {
+				var err error
+				rep, err = c.Compute(args)
+				return err
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st := f.stats[os.shard]
+			st.computes.Add(1)
+			st.bytesOut.Add(uint64(len(targets)+len(in))*4 + uint64(len(rows))*4)
+			st.bytesIn.Add(uint64(len(rep.Rows)) * 4)
+			for j, v := range targets {
+				k := int(rl.idx[v])
+				copy(rl.rows[k*outDim:(k+1)*outDim], rep.Rows[j*outDim:(j+1)*outDim])
+			}
+		}(i, os, targets)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

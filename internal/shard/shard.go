@@ -1,0 +1,286 @@
+// Package shard is the sharded serving tier: the frozen CSR and feature
+// rows are split into contiguous vertex ranges, each owned by one
+// simulated node (a Shard) with its own model replicas, execution
+// contexts and per-layer hot-vertex cache, and a router (Fleet) fans
+// every micro-batch's sampled frontier out to the owners, collects the
+// partial per-layer embeddings and aggregates them through the same
+// leveled deterministic forward single-node serving uses — so sharded
+// logits are bitwise-identical to single-node at any shard count, engine
+// and worker count. Slow or failed shards are absorbed by a retry/hedge/
+// timeout ladder at the shard.rpc fault site, mirroring the distributed
+// trainer's exchange ladder.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wisegraph/internal/core"
+	"wisegraph/internal/device"
+	"wisegraph/internal/exec"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/hotcache"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/kernels"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/tensor"
+	"wisegraph/internal/train"
+)
+
+// Shard owns the contiguous vertex range [lo, hi): the CSR rows (in-
+// edges) and feature rows of those vertices, a worker pool of model
+// replicas that serves Expand/Compute RPCs, and the range's per-layer
+// hot-vertex cache. The underlying CSR and feature arrays are shared
+// process memory — this is a simulated fleet — but the shard touches
+// only its owned range, and every RPC validates ownership so a routing
+// bug surfaces as an error instead of silently reading another node's
+// data.
+type Shard struct {
+	id     int
+	lo, hi int32
+	csr    *graph.CSR
+	feats  *tensor.Tensor
+	typed  bool
+	ntypes int
+
+	layers int
+	fan    []int
+	seed   uint64
+	plan   *joint.Result
+	engine string
+	src    *nn.Model
+
+	cache *hotcache.Cache
+
+	reqCh    chan call
+	closed   chan struct{}
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+	devs     []*device.Device
+}
+
+// shardWorker is one RPC-serving goroutine's private compute state.
+type shardWorker struct {
+	replica *nn.Model
+	ver     uint64
+	pt      *core.Partitioner
+	ectx    *exec.Ctx
+}
+
+// newShard builds one shard and starts its worker pool. Replicas are
+// stamped out before any goroutine starts so construction errors surface
+// synchronously.
+func newShard(id int, lo, hi int32, f *Fleet) (*Shard, error) {
+	s := &Shard{
+		id: id, lo: lo, hi: hi,
+		csr:    f.csr,
+		feats:  f.feats,
+		typed:  f.csr.EType != nil,
+		ntypes: f.ntypes,
+		layers: f.src.Cfg.Layers,
+		fan:    f.cfg.Fanouts,
+		seed:   f.cfg.Seed,
+		plan:   f.plan,
+		engine: f.cfg.Engine,
+		src:    f.src,
+		cache:  hotcache.New(hotcache.Config{Budget: f.cfg.CacheBudget, Shards: f.cfg.CacheShards}),
+		reqCh:  make(chan call, f.cfg.Workers),
+		closed: make(chan struct{}),
+	}
+	workers := make([]*shardWorker, f.cfg.Workers)
+	for i := range workers {
+		replica, err := nn.NewModel(f.src.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := replica.CopyParamsFrom(f.src); err != nil {
+			return nil, err
+		}
+		dev := device.New(*f.cfg.Spec)
+		s.devs = append(s.devs, dev)
+		ectx := exec.NewCtx(dev)
+		ectx.Engine = f.cfg.Engine
+		workers[i] = &shardWorker{replica: replica, pt: core.NewPartitioner(), ectx: ectx}
+	}
+	for _, w := range workers {
+		s.wg.Add(1)
+		go s.serve(w)
+	}
+	return s, nil
+}
+
+// serve is one worker's RPC loop. Before each call the worker re-syncs
+// its replica if the request carries a newer model version; the caller
+// (the router, under the serve engine's model read-lock) guarantees no
+// reload runs concurrently, so all RPCs of one batch see one coherent
+// parameter set.
+func (s *Shard) serve(w *shardWorker) {
+	defer s.wg.Done()
+	defer w.pt.Release()
+	for c := range s.reqCh {
+		var (
+			ver uint64
+			r   reply
+		)
+		if c.expand != nil {
+			ver = c.expand.Ver
+		} else {
+			ver = c.compute.Ver
+		}
+		if ver != w.ver {
+			if err := w.replica.CopyParamsFrom(s.src); err != nil {
+				c.reply <- reply{err: fmt.Errorf("shard %d: replica re-sync: %w", s.id, err)}
+				continue
+			}
+			w.ver = ver
+		}
+		if c.expand != nil {
+			r.expand, r.err = s.handleExpand(c.expand)
+		} else {
+			r.compute, r.err = s.handleCompute(w, c.compute)
+		}
+		c.reply <- r
+	}
+}
+
+// close stops the worker pool after in-flight RPCs finish. The router
+// only calls it once no caller can dispatch again.
+func (s *Shard) close() {
+	close(s.closed)
+	close(s.reqCh)
+	s.wg.Wait()
+}
+
+// InFlight returns the shard's admitted-but-unanswered RPC count — the
+// per-node half of the fleet-wide drain invariant.
+func (s *Shard) InFlight() int64 { return s.inflight.Load() }
+
+// checkOwned rejects any vertex outside the shard's range: the router
+// must never ask a node for data it does not own.
+func (s *Shard) checkOwned(verts []int32) error {
+	for _, v := range verts {
+		if v < s.lo || v >= s.hi {
+			return fmt.Errorf("shard %d: vertex %d outside owned range [%d,%d)", s.id, v, s.lo, s.hi)
+		}
+	}
+	return nil
+}
+
+func (s *Shard) degree(v int32) int32 { return s.csr.RowPtr[v+1] - s.csr.RowPtr[v] }
+
+// handleExpand resolves one level's owned span: cache probes for every
+// vertex, deterministic frontier sampling for the misses. At level 0 the
+// shard also gathers its owned feature rows for the misses (and admits
+// them), so input features never need a second round trip.
+func (s *Shard) handleExpand(a *ExpandArgs) (*ExpandReply, error) {
+	if err := s.checkOwned(a.Verts); err != nil {
+		return nil, err
+	}
+	r := &ExpandReply{
+		Hit:  make([]bool, len(a.Verts)),
+		Rows: make([]float32, len(a.Verts)*a.Dim),
+	}
+	if a.Level > 0 {
+		r.Srcs = make([][]int32, len(a.Verts))
+	}
+	fan := 0
+	if a.Level > 0 {
+		fan = s.fan[s.layers-a.Level]
+	}
+	for i, v := range a.Verts {
+		row := r.Rows[i*a.Dim : (i+1)*a.Dim]
+		if s.cache.Get(a.Ver, a.Level, v, row) {
+			r.Hit[i] = true
+			continue
+		}
+		if a.Level == 0 {
+			copy(row, s.feats.Row(int(v)))
+			s.cache.Put(a.Ver, 0, v, s.degree(v), row)
+			continue
+		}
+		slots := graph.DetSample(nil, s.csr, v, fan, s.seed)
+		srcs := make([]int32, len(slots))
+		for j, slot := range slots {
+			srcs[j] = s.csr.Col[slot]
+		}
+		r.Srcs[i] = srcs
+	}
+	return r, nil
+}
+
+// handleCompute runs layer Level-1 for the shard's owned miss targets:
+// it rebuilds each target's sampled block edges (same deterministic
+// sampler, same canonical ascending-target/contiguous-sample edge order
+// the bitwise-parity argument relies on) over the shipped input rows,
+// executes the layer under the frozen joint plan with the shard's
+// engine, applies the between-layer activation, and admits the fresh
+// rows into the shard's cache.
+func (s *Shard) handleCompute(w *shardWorker, a *ComputeArgs) (*ComputeReply, error) {
+	if err := s.checkOwned(a.Verts); err != nil {
+		return nil, err
+	}
+	if len(a.Rows) != len(a.In)*a.InDim {
+		return nil, fmt.Errorf("shard %d: %d input rows elements for %d vertices × dim %d",
+			s.id, len(a.Rows), len(a.In), a.InDim)
+	}
+	idx := make(map[int32]int32, len(a.In))
+	for i, v := range a.In {
+		idx[v] = int32(i)
+	}
+	fan := s.fan[s.layers-a.Level]
+	g := &graph.Graph{NumVertices: len(a.In), NumTypes: s.ntypes}
+	for _, v := range a.Verts {
+		d, ok := idx[v]
+		if !ok {
+			return nil, fmt.Errorf("shard %d: target %d missing from input set", s.id, v)
+		}
+		for _, slot := range graph.DetSample(nil, s.csr, v, fan, s.seed) {
+			src, ok := idx[s.csr.Col[slot]]
+			if !ok {
+				return nil, fmt.Errorf("shard %d: source %d of target %d missing from input set",
+					s.id, s.csr.Col[slot], v)
+			}
+			g.Src = append(g.Src, src)
+			g.Dst = append(g.Dst, d)
+			if s.typed {
+				g.Type = append(g.Type, s.csr.EType[slot])
+			}
+		}
+	}
+	if g.Type == nil {
+		g.NumTypes = 1
+	}
+
+	x := tensor.Get(len(a.In), a.InDim)
+	copy(x.Data(), a.Rows)
+	part := train.ReusePlanWith(w.pt, s.plan, g)
+	gc := nn.NewGraphCtx(g)
+	w.ectx.TraceID = a.Batch
+	out, err := kernels.RunModelLayer(w.ectx, gc, w.replica, a.Level-1, x, part, s.plan.OpPlan)
+	tensor.Put(x)
+	if err != nil {
+		return nil, err
+	}
+	defer tensor.Put(out)
+
+	r := &ComputeReply{Rows: make([]float32, len(a.Verts)*a.OutDim)}
+	relu := a.Level < s.layers
+	for i, v := range a.Verts {
+		src := out.Row(int(idx[v]))
+		dst := r.Rows[i*a.OutDim : (i+1)*a.OutDim]
+		if relu {
+			for j, x := range src {
+				if x > 0 {
+					dst[j] = x
+				} else {
+					dst[j] = 0
+				}
+			}
+		} else {
+			copy(dst, src)
+		}
+		s.cache.Put(a.Ver, a.Level, v, s.degree(v), dst)
+	}
+	return r, nil
+}

@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wisegraph/internal/fault"
+	"wisegraph/internal/graph"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
+	"wisegraph/internal/tensor"
+)
+
+// testGraph builds a small random graph with a heavy degree skew toward
+// low vertex ids (the shape edge-balanced placement exists for).
+func testGraph(t *testing.T, v, edges int, seed uint64) *graph.Graph {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	g := &graph.Graph{NumVertices: v, NumTypes: 1}
+	for i := 0; i < edges; i++ {
+		// Quadratic skew: destination mass concentrates in low ids.
+		d := rng.Intn(v) * rng.Intn(v) / v
+		g.Src = append(g.Src, int32(rng.Intn(v)))
+		g.Dst = append(g.Dst, int32(d))
+	}
+	return g
+}
+
+func testFleet(t *testing.T, g *graph.Graph, shards, workers int, budget int64) *Fleet {
+	t.Helper()
+	const dim, classes = 8, 3
+	csr := g.BuildCSRByDst()
+	feats := tensor.New(g.NumVertices, dim)
+	data := feats.Data()
+	rng := tensor.NewRNG(5)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	m, err := nn.NewModel(nn.Config{
+		Kind: nn.SAGE, InDim: dim, Hidden: 8, OutDim: classes,
+		Layers: 2, NumTypes: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	plan := joint.Search(g, m.Cfg.Kind, m.Cfg.Hidden, m.Cfg.Hidden, m.Cfg.NumTypes, joint.Options{})
+	f, err := NewFleet(csr, feats, g.NumTypes, m, plan, Config{
+		Shards: shards, Workers: workers, Fanouts: []int{4, 4}, Seed: 3,
+		CacheBudget: budget,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestParsePlacement(t *testing.T) {
+	for in, want := range map[string]Placement{
+		"": PlaceEdge, "edge": PlaceEdge, "vertex": PlaceVertex, "cost": PlaceCost,
+	} {
+		got, err := ParsePlacement(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlacement(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePlacement("random"); err == nil {
+		t.Fatal("bogus placement accepted")
+	}
+}
+
+// TestBoundariesProperties: every policy yields monotone bounds covering
+// [0, V], and on a skewed graph the edge policy balances owned in-edges
+// strictly better than the vertex policy.
+func TestBoundariesProperties(t *testing.T) {
+	g := testGraph(t, 200, 2000, 1)
+	csr := g.BuildCSRByDst()
+	const n = 4
+	spread := func(b []int32) int64 {
+		var worst, best int64 = 0, 1 << 62
+		for s := 0; s < n; s++ {
+			e := int64(csr.RowPtr[b[s+1]] - csr.RowPtr[b[s]])
+			if e > worst {
+				worst = e
+			}
+			if e < best {
+				best = e
+			}
+		}
+		return worst - best
+	}
+	var byPolicy [3][]int32
+	for _, p := range []Placement{PlaceVertex, PlaceEdge, PlaceCost} {
+		b := Boundaries(csr, n, p, 8)
+		if len(b) != n+1 || b[0] != 0 || b[n] != int32(g.NumVertices) {
+			t.Fatalf("%v bounds %v malformed", p, b)
+		}
+		for i := 0; i < n; i++ {
+			if b[i] > b[i+1] {
+				t.Fatalf("%v bounds %v not monotone", p, b)
+			}
+		}
+		byPolicy[p] = b
+	}
+	if spread(byPolicy[PlaceEdge]) >= spread(byPolicy[PlaceVertex]) {
+		t.Fatalf("edge placement spread %d not tighter than vertex %d on a skewed graph",
+			spread(byPolicy[PlaceEdge]), spread(byPolicy[PlaceVertex]))
+	}
+	if FleetPrice(csr, byPolicy[PlaceCost], 8) >
+		min(FleetPrice(csr, byPolicy[PlaceVertex], 8), FleetPrice(csr, byPolicy[PlaceEdge], 8)) {
+		t.Fatal("cost placement priced worse than both candidates")
+	}
+}
+
+// TestOwnershipValidation: a shard must reject any vertex outside its
+// range — the router never silently reads another node's data.
+func TestOwnershipValidation(t *testing.T) {
+	f := testFleet(t, testGraph(t, 100, 600, 2), 4, 1, 0)
+	foreign := f.bounds[1] // owned by shard 1, not shard 0
+	_, err := f.conns[0].Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{foreign}})
+	if err == nil || !strings.Contains(err.Error(), "outside owned range") {
+		t.Fatalf("foreign Expand error = %v, want ownership rejection", err)
+	}
+	_, err = f.conns[0].Compute(&ComputeArgs{
+		Level: 1, InDim: 8, OutDim: 8,
+		Verts: []int32{foreign}, In: []int32{foreign}, Rows: make([]float32, 8),
+	})
+	if err == nil || !strings.Contains(err.Error(), "outside owned range") {
+		t.Fatalf("foreign Compute error = %v, want ownership rejection", err)
+	}
+	if n := f.InFlight(); n != 0 {
+		t.Fatalf("in-flight %d after rejected RPCs", n)
+	}
+}
+
+// TestSpansOf: a sorted frontier partitions into contiguous owner spans
+// with nothing lost.
+func TestSpansOf(t *testing.T) {
+	f := testFleet(t, testGraph(t, 100, 600, 3), 4, 1, 0)
+	verts := []int32{0, 1, int32(f.bounds[1]), int32(f.bounds[3]), 99}
+	spans := f.spansOf(verts)
+	covered := 0
+	for _, os := range spans {
+		for i := os.lo; i < os.hi; i++ {
+			v := verts[i]
+			if v < f.bounds[os.shard] || v >= f.bounds[os.shard+1] {
+				t.Fatalf("span gave %d to shard %d owning [%d,%d)", v, os.shard,
+					f.bounds[os.shard], f.bounds[os.shard+1])
+			}
+			covered++
+		}
+	}
+	if covered != len(verts) {
+		t.Fatalf("spans covered %d of %d vertices", covered, len(verts))
+	}
+}
+
+// TestCallLadderExhaustion: a 100% error rate burns all attempts, counts
+// every retry, and surfaces the injected error as a failure.
+func TestCallLadderExhaustion(t *testing.T) {
+	f := testFleet(t, testGraph(t, 50, 200, 4), 2, 1, 0)
+	fault.WithSchedule(&fault.Schedule{
+		Seed:  1,
+		Sites: map[string]fault.SiteConfig{fault.SiteShardRPC: {ErrorRate: 1}},
+	}, func() {
+		err := f.call(0, func(Conn) error { t.Fatal("do ran despite 100% error rate"); return nil })
+		if err == nil || !fault.IsInjected(err) {
+			t.Fatalf("exhausted call error = %v, want injected", err)
+		}
+	})
+	retries, _, _, failures := f.Resilience()
+	if retries != rpcAttempts-1 || failures != 1 {
+		t.Fatalf("retries=%d failures=%d, want %d/1", retries, failures, rpcAttempts-1)
+	}
+}
+
+// TestCallLadderHedge: a straggler past the hedge threshold (but short of
+// the timeout) is abandoned for a hedged re-issue that succeeds without
+// sleeping out the straggle.
+func TestCallLadderHedge(t *testing.T) {
+	f := testFleet(t, testGraph(t, 50, 200, 4), 2, 1, 0)
+	f.cfg.Timeout = time.Second
+	fault.WithSchedule(&fault.Schedule{
+		Seed: 1,
+		Sites: map[string]fault.SiteConfig{
+			fault.SiteShardRPC: {LatencyRate: 1, Delay: 20 * time.Millisecond},
+		},
+	}, func() {
+		ran := false
+		start := time.Now()
+		if err := f.call(0, func(Conn) error { ran = true; return nil }); err != nil {
+			t.Fatalf("hedged call failed: %v", err)
+		}
+		// Both the first draw and the hedge's re-draw straggle ([10,30)ms
+		// jitter); the hedge is re-issued immediately and the second
+		// straggle is waited out — so one spike elapses, not two.
+		if elapsed := time.Since(start); elapsed > 45*time.Millisecond {
+			t.Fatalf("hedged call took %v — straggler waited out instead of hedged", elapsed)
+		}
+		if !ran {
+			t.Fatal("hedged call never ran")
+		}
+	})
+	_, hedges, _, _ := f.Resilience()
+	if hedges == 0 {
+		t.Fatal("no hedge recorded")
+	}
+}
+
+// TestCallLadderTimeout: a modeled straggle at or past the per-RPC
+// deadline is a timeout — counted, not slept through — and the retry
+// succeeds on a clean draw.
+func TestCallLadderTimeout(t *testing.T) {
+	f := testFleet(t, testGraph(t, 50, 200, 4), 2, 1, 0)
+	f.cfg.Timeout = time.Millisecond
+	fault.WithSchedule(&fault.Schedule{
+		Seed: 1,
+		Sites: map[string]fault.SiteConfig{
+			fault.SiteShardRPC: {LatencyRate: 0.5, Delay: 500 * time.Millisecond},
+		},
+	}, func() {
+		start := time.Now()
+		for i := 0; i < 20; i++ {
+			if err := f.call(0, func(Conn) error { return nil }); err != nil {
+				t.Fatalf("call %d failed: %v", i, err)
+			}
+		}
+		if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+			t.Fatalf("20 calls took %v — a timed-out straggle was slept out", elapsed)
+		}
+	})
+	_, _, timeouts, failures := f.Resilience()
+	if timeouts == 0 {
+		t.Fatal("no timeout recorded at 50% straggle rate past the deadline")
+	}
+	if failures != 0 {
+		t.Fatalf("%d failures despite retryable timeouts", failures)
+	}
+}
+
+// TestFleetForwardSmoke: the fleet's forward is self-consistent across
+// shard counts — the full-graph comparison against single-node serving
+// lives in internal/serve's parity matrix.
+func TestFleetForwardSmoke(t *testing.T) {
+	g := testGraph(t, 100, 600, 6)
+	seeds := []int32{0, 13, 50, 99}
+	var want []float32
+	for _, shards := range []int{1, 2, 4} {
+		f := testFleet(t, g, shards, 2, 0)
+		id := obs.NewID()
+		out, idx, err := f.Forward(id, 0, seeds, obs.Begin(obs.StageSample, id))
+		if err != nil {
+			t.Fatalf("shards=%d Forward: %v", shards, err)
+		}
+		if len(idx) != len(seeds) {
+			t.Fatalf("shards=%d row map has %d entries, want %d", shards, len(idx), len(seeds))
+		}
+		got := append([]float32(nil), out.Data()...)
+		tensor.Put(out)
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d logits[%d] = %v, want %v (1-shard)", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
