@@ -70,6 +70,7 @@ func main() {
 		shards      = flag.Int("shards", 1, "serve through N in-process shards behind a fan-out router (>1 enables the sharded tier; cache budget becomes per-shard)")
 		placement   = flag.String("placement", "", "shard boundary policy: vertex|edge|cost (default edge)")
 		shardTmo    = flag.Duration("shard-timeout", 250*time.Millisecond, "per-shard-RPC deadline (modeled stragglers at/past it are retried)")
+		shardAddrs  = flag.String("shard-addrs", "", "comma-separated wisegraph-shard daemon addresses: serve through remote TCP shards, one per address (overrides -shards; daemons must be started with the same dataset/checkpoint flags)")
 	)
 	flag.Parse()
 	if *faultSpec != "" {
@@ -120,6 +121,13 @@ func main() {
 		Shards:         *shards,
 		ShardPlacement: *placement,
 		ShardTimeout:   *shardTmo,
+	}
+	if *shardAddrs != "" {
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opts.ShardAddrs = append(opts.ShardAddrs, a)
+			}
+		}
 	}
 	if *fanout != "" {
 		opts.Fanouts, err = parseFanouts(*fanout)

@@ -1,0 +1,190 @@
+// Command wisegraph-shard runs one shard of the serving tier as its own
+// process: it reconstructs the dataset replica and checkpoint exactly
+// like wisegraph-serve, listens for the router's TCP connections, and
+// serves Expand/Compute RPCs over the internal/shard/wire protocol.
+//
+// Daemons are interchangeable: a node learns its shard id, owned vertex
+// range, sampler seed, engine and tuned plan from the first Hello the
+// router sends, and validates everything it can recompute locally (the
+// placement boundaries, the model shape, a hash of the parameters) so a
+// mismatched fleet fails at connect time instead of serving subtly
+// different logits.
+//
+// Usage:
+//
+//	wisegraph-shard -dataset AR -checkpoint model.ckpt -addr 127.0.0.1:9101 &
+//	wisegraph-shard -dataset AR -checkpoint model.ckpt -addr 127.0.0.1:9102 &
+//	wisegraph-serve -dataset AR -checkpoint model.ckpt \
+//	    -shard-addrs 127.0.0.1:9101,127.0.0.1:9102
+//
+// The dataset and checkpoint flags must match the router's — the
+// handshake rejects anything else. On SIGTERM the daemon stops accepting,
+// drains its worker pool, and reports the in-flight count (0 on a clean
+// drain).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"wisegraph"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/shard"
+)
+
+func main() {
+	var (
+		dsName      = flag.String("dataset", "AR", "dataset name (must match the router)")
+		scale       = flag.Int("scale", 0, "dataset scale divisor override (must match the router)")
+		seed        = flag.Uint64("seed", 1, "dataset seed (must match the router)")
+		noise       = flag.Float64("noise", 0.8, "feature noise (must match the router)")
+		checkpoint  = flag.String("checkpoint", "", "model checkpoint (must be the same file the router serves)")
+		model       = flag.String("model", "SAGE", "model kind for v1 checkpoints or untrained serving")
+		hidden      = flag.Int("hidden", 64, "hidden dim for v1 checkpoints or untrained serving")
+		layers      = flag.Int("layers", 3, "layer count for v1 checkpoints or untrained serving")
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address (use :0 for an ephemeral port)")
+		workers     = flag.Int("workers", 2, "RPC worker pool size (this node's compute budget)")
+		cacheBudget = flag.String("cache-budget", "0", "this node's hot-vertex cache budget, e.g. 64MiB (0 disables)")
+		cacheShards = flag.Int("cache-shards", 0, "cache lock-stripe count (default 8)")
+	)
+	flag.Parse()
+
+	ds, err := wisegraph.LoadDataset(*dsName, wisegraph.DatasetOptions{
+		Scale: *scale, Seed: *seed, Homophily: 0.85, FeatureNoise: *noise,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %v (scale 1/%d), %d classes, dim %d\n",
+		*dsName, ds.Graph, ds.Scale, ds.Classes(), ds.Dim())
+
+	m, err := loadModel(ds, *checkpoint, *model, *hidden, *layers, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model %v: %d-%d-%d x%d layers, %d params (sum %016x)\n",
+		m.Cfg.Kind, m.Cfg.InDim, m.Cfg.Hidden, m.Cfg.OutDim, m.Cfg.Layers,
+		m.NumParams(), shard.ParamSum(m))
+
+	budget, err := parseBytes(*cacheBudget)
+	if err != nil {
+		fatal(fmt.Errorf("-cache-budget: %w", err))
+	}
+	sv := shard.NewServer(ds.Graph.BuildCSRByDst(), ds.Features, ds.Graph.NumTypes, m, shard.NodeConfig{
+		Workers:     *workers,
+		CacheBudget: budget,
+		CacheShards: *cacheShards,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wisegraph-shard listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- sv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("signal %v: draining...\n", s)
+	case err := <-errCh:
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ln.Close()
+	sv.Close()
+	line := fmt.Sprintf("drained: in-flight=%d", sv.InFlight())
+	if s := sv.Shard(); s != nil {
+		cs := s.Cache().Snapshot()
+		lo, hi := s.Bounds()
+		line += fmt.Sprintf(" shard=%d range=[%d,%d) cache-hits=%d cache-misses=%d cache-bytes=%d",
+			s.ID(), lo, hi, cs.Hits, cs.Misses, cs.Bytes)
+	}
+	fmt.Println(line)
+}
+
+// parseBytes parses a byte size with an optional binary suffix, exactly
+// as wisegraph-serve spells it: "1048576", "64KiB"/"64kb", "512m", "2g".
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t, mult = strings.TrimSuffix(t, u.suffix), u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return v * mult, nil
+}
+
+// loadModel mirrors wisegraph-serve's checkpoint loading so both ends of
+// the wire reconstruct bitwise-identical parameters from the same flags.
+func loadModel(ds *wisegraph.Dataset, path, kindName string, hidden, layers int, seed uint64) (*nn.Model, error) {
+	if path == "" {
+		kind, err := wisegraph.ParseModel(kindName)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("warning: no -checkpoint given; serving untrained weights")
+		return nn.NewModel(nn.Config{
+			Kind: kind, InDim: ds.Dim(), Hidden: hidden, OutDim: ds.Classes(),
+			Layers: layers, NumTypes: ds.Graph.NumTypes, Seed: seed,
+		})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if m, err := nn.LoadModelFromCheckpoint(f); err == nil {
+		fmt.Printf("restored v2 checkpoint %s\n", path)
+		return m, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	kind, err := wisegraph.ParseModel(kindName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := nn.NewModel(nn.Config{
+		Kind: kind, InDim: ds.Dim(), Hidden: hidden, OutDim: ds.Classes(),
+		Layers: layers, NumTypes: ds.Graph.NumTypes, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadCheckpoint(f); err != nil {
+		return nil, fmt.Errorf("loading %s (tried v2 and v1+flags): %w", path, err)
+	}
+	fmt.Printf("restored v1 checkpoint %s (architecture from flags)\n", path)
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

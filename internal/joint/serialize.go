@@ -3,6 +3,7 @@ package joint
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"wisegraph/internal/core"
 	"wisegraph/internal/kernels"
@@ -40,6 +41,12 @@ func (r *Result) MarshalPlan() ([]byte, error) {
 		Batched:        r.OpPlan.Batched,
 		Differentiated: r.Differentiated,
 		ModeledSeconds: r.Seconds,
+	}
+	// The modeled time is advisory metadata; a plan tuned without a
+	// device model carries ±Inf, which JSON cannot represent — drop it
+	// rather than fail to serialize an otherwise valid plan.
+	if math.IsInf(pf.ModeledSeconds, 0) || math.IsNaN(pf.ModeledSeconds) {
+		pf.ModeledSeconds = 0
 	}
 	for _, restr := range r.GraphPlan.Restrictions {
 		rf := RestrictionFile{Attr: restr.Attr.String(), Limit: restr.Limit}

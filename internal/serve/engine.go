@@ -113,6 +113,15 @@ type Options struct {
 	// straggler at or beyond it counts as a shard timeout and is retried
 	// (default 250ms).
 	ShardTimeout time.Duration
+	// ShardAddrs routes the sharded tier over TCP: one wisegraph-shard
+	// daemon address per shard. Non-empty addresses override Shards (the
+	// shard count is the address count), each daemon is handshaken with
+	// the full fleet configuration at startup, and logits stay bitwise-
+	// identical to single-node serving. Cache budgets live daemon-side
+	// (each daemon sizes its own cache from its own flags), but CacheWarm
+	// still warms those caches through the fleet. Reload is rejected over
+	// TCP: daemons own their checkpoints.
+	ShardAddrs []string
 }
 
 // Validate rejects nonsensical configurations with a descriptive error
@@ -143,8 +152,13 @@ func (o Options) Validate(layers int) error {
 		return fmt.Errorf("serve: negative shard count %d", o.Shards)
 	case o.ShardTimeout < 0:
 		return fmt.Errorf("serve: negative shard timeout %v", o.ShardTimeout)
-	case o.CacheWarm > 0 && o.CacheBudget <= 0:
+	case o.CacheWarm > 0 && o.CacheBudget <= 0 && len(o.ShardAddrs) == 0:
+		// Remote fleets are exempt: their cache budgets are daemon-side
+		// flags the router never sees, so warm-up is meaningful there
+		// even with no router-side budget.
 		return fmt.Errorf("serve: cache warm-up %d requested with caching disabled", o.CacheWarm)
+	case o.Shards > 1 && len(o.ShardAddrs) > 0 && o.Shards != len(o.ShardAddrs):
+		return fmt.Errorf("serve: %d shards requested but %d shard addresses given", o.Shards, len(o.ShardAddrs))
 	}
 	if _, err := shard.ParsePlacement(o.ShardPlacement); err != nil {
 		return err
@@ -191,6 +205,9 @@ func (o Options) withDefaults(layers int) Options {
 	if o.Spec == nil {
 		spec := device.A100()
 		o.Spec = &spec
+	}
+	if len(o.ShardAddrs) > 0 {
+		o.Shards = len(o.ShardAddrs)
 	}
 	if o.Shards < 1 {
 		o.Shards = 1
@@ -298,7 +315,8 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		stats:   newStats(opts.BatchCap),
 		drained: make(chan struct{}),
 	}
-	if opts.Shards <= 1 {
+	sharded := opts.Shards > 1 || len(opts.ShardAddrs) > 0
+	if !sharded {
 		e.cache = hotcache.New(hotcache.Config{Budget: opts.CacheBudget, Shards: opts.CacheShards})
 	}
 	e.plan = opts.Plan
@@ -313,12 +331,12 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 	} else if err := eng.Probe(model.Cfg.Kind, e.plan.GraphPlan); err != nil {
 		return nil, err
 	}
-	if opts.Shards > 1 {
+	if sharded {
 		pl, err := shard.ParsePlacement(opts.ShardPlacement)
 		if err != nil {
 			return nil, err
 		}
-		e.fleet, err = shard.NewFleet(e.csr, ds.Features, ds.Graph.NumTypes, model, e.plan, shard.Config{
+		cfg := shard.Config{
 			Shards:      opts.Shards,
 			Placement:   pl,
 			Workers:     opts.Workers,
@@ -329,7 +347,12 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 			CacheBudget: opts.CacheBudget,
 			CacheShards: opts.CacheShards,
 			Timeout:     opts.ShardTimeout,
-		})
+		}
+		if len(opts.ShardAddrs) > 0 {
+			e.fleet, err = shard.NewRemoteFleet(e.csr, ds.Features, ds.Graph.NumTypes, model, e.plan, cfg, opts.ShardAddrs)
+		} else {
+			e.fleet, err = shard.NewFleet(e.csr, ds.Features, ds.Graph.NumTypes, model, e.plan, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -542,6 +565,13 @@ func (e *Engine) worker(id int, replica *nn.Model, ectx *exec.Ctx) {
 // their cache reads and writes carry the old version and are rejected
 // from the moment the version is published.
 func (e *Engine) Reload(m *nn.Model) error {
+	if e.fleet != nil && e.fleet.Remote() {
+		// Remote shards hold their own copy of the checkpoint, validated
+		// against the router's by parameter hash at handshake; swapping
+		// the router's copy alone would break bitwise parity. Roll the
+		// daemons and restart instead.
+		return fmt.Errorf("serve: reload is not supported over TCP shards (daemons own their checkpoints)")
+	}
 	if m.Cfg != e.model.Cfg {
 		return fmt.Errorf("serve: reload across architectures: %+v vs %+v", m.Cfg, e.model.Cfg)
 	}
@@ -780,7 +810,7 @@ func (e *Engine) cacheStats() (hotcache.Stats, bool) {
 	switch {
 	case e.cache != nil:
 		return e.cache.Snapshot(), true
-	case e.fleet != nil && e.opts.CacheBudget > 0:
+	case e.fleet != nil && !e.fleet.Remote() && e.opts.CacheBudget > 0:
 		return e.fleet.CacheStats(), true
 	}
 	return hotcache.Stats{}, false

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -295,5 +296,46 @@ func TestShardedReloadCoherence(t *testing.T) {
 					j, k, got[j][k], after[j][k])
 			}
 		}
+	}
+}
+
+// TestCacheWarmSelectionEquivalence pins the bounded top-K selection
+// that replaced the unconditional O(V log V) sort in warm-up: for every
+// k the heap path and the full-sort path must produce the identical
+// hottest-first order (in-degree descending, id ascending on ties).
+func TestCacheWarmSelectionEquivalence(t *testing.T) {
+	const v = 200
+	ds := testDataset(t, v, 900, 8, 3, 1, 17)
+	m := testModel(t, ds, nn.SAGE)
+	e := testEngine(t, ds, m, Options{Workers: 1, Seed: 3})
+
+	deg := func(x int32) int32 { return e.csr.RowPtr[x+1] - e.csr.RowPtr[x] }
+	ref := make([]int32, v)
+	for i := range ref {
+		ref[i] = int32(i)
+	}
+	sort.Slice(ref, func(a, b int) bool {
+		if deg(ref[a]) != deg(ref[b]) {
+			return deg(ref[a]) > deg(ref[b])
+		}
+		return ref[a] < ref[b]
+	})
+
+	// Every k from empty through full graph, crossing the v/4 heap/sort
+	// threshold both ways.
+	for _, k := range []int{1, 2, 3, 7, v/4 - 1, v / 4, v/4 + 1, v / 2, v} {
+		got := e.hottestVertices(k)
+		if len(got) != k {
+			t.Fatalf("k=%d: returned %d vertices", k, len(got))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("k=%d: position %d is vertex %d (deg %d), want %d (deg %d)",
+					k, i, got[i], deg(got[i]), ref[i], deg(ref[i]))
+			}
+		}
+	}
+	if got := e.hottestVertices(0); len(got) != 0 {
+		t.Fatalf("k=0 returned %d vertices", len(got))
 	}
 }

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"wisegraph/internal/dataset"
+	"wisegraph/internal/kernels"
+	"wisegraph/internal/nn"
+)
+
+// The cross-process battery: real wisegraph-shard daemons on localhost
+// TCP must serve logits bitwise-identical to single-node serving, and a
+// SIGTERM must drain them to in-flight=0. This is the only test that
+// crosses a process boundary — everything wire-level below it is covered
+// in internal/shard.
+
+// shardDaemon is one spawned wisegraph-shard process.
+type shardDaemon struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu   sync.Mutex
+	out  []string
+	done chan struct{}
+}
+
+// startShardDaemon spawns the built daemon binary with flags that mirror
+// exactly what the router-side test reconstructs in-process, and waits
+// for its listen address.
+func startShardDaemon(t *testing.T, bin string) *shardDaemon {
+	t.Helper()
+	d := &shardDaemon{done: make(chan struct{})}
+	d.cmd = exec.Command(bin,
+		"-dataset", "AR", "-scale", "400", "-seed", "1", "-noise", "0.8",
+		"-model", "RGCN", "-hidden", "16", "-layers", "2",
+		"-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	d.cmd.Stderr = d.cmd.Stdout
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("starting wisegraph-shard: %v", err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(d.done)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.out = append(d.out, line)
+			d.mu.Unlock()
+			if a, ok := strings.CutPrefix(line, "wisegraph-shard listening on "); ok {
+				addrCh <- a
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	})
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("wisegraph-shard never reported a listen address; output:\n%s", d.output())
+	}
+	return d
+}
+
+func (d *shardDaemon) output() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return strings.Join(d.out, "\n")
+}
+
+// drain sends SIGTERM and asserts the daemon reports a clean drain.
+func (d *shardDaemon) drain(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case <-d.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; output:\n%s", d.output())
+	}
+	d.cmd.Wait()
+	if !strings.Contains(d.output(), "drained: in-flight=0") {
+		t.Fatalf("daemon did not drain cleanly; output:\n%s", d.output())
+	}
+}
+
+// TestTCPCrossProcessBitwise is the end-to-end acceptance test for the
+// TCP transport: spawn real wisegraph-shard processes, point a serve
+// engine at them with -shard-addrs semantics, and demand logits bitwise-
+// identical to single-node serving at 1/2/4 process-shards × every
+// engine. Both ends reconstruct the AR replica and the untrained RGCN
+// checkpoint from the same flags, and the Hello handshake (parameter
+// hash, recomputed boundaries, model shape) proves it before any RPC.
+func TestTCPCrossProcessBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "wisegraph-shard")
+	build := exec.Command("go", "build", "-o", bin, "wisegraph/cmd/wisegraph-shard")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building wisegraph-shard: %v\n%s", err, out)
+	}
+
+	// The router side: the same dataset and checkpoint the daemon flags
+	// reconstruct (LoadDataset and loadModel are deterministic in these
+	// parameters — the ParamSum handshake would catch any drift).
+	ds, err := dataset.Load("AR", dataset.Options{Scale: 400, Seed: 1, Homophily: 0.85, FeatureNoise: 0.8})
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	m, err := nn.NewModel(nn.Config{
+		Kind: nn.RGCN, InDim: ds.Dim(), Hidden: 16, OutDim: ds.Classes(),
+		Layers: 2, NumTypes: ds.Graph.NumTypes, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+
+	base := Options{Workers: 2, Seed: 9, Fanouts: []int{4, 4}, ShardTimeout: 10 * time.Second}
+	ref := testEngine(t, ds, m, base)
+	v := int32(ds.Graph.NumVertices)
+	requests := [][]int32{
+		{0, 5, v - 1},
+		{v / 2, 3, 3, v / 3},
+	}
+	want := make([][][]float32, len(requests))
+	for i, nodes := range requests {
+		want[i] = predictLogits(t, ref, nodes)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		for _, engine := range kernels.EngineNames() {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, engine), func(t *testing.T) {
+				// Fresh daemons per combination: a daemon's identity is
+				// sticky to the first Hello it accepts, and the engine
+				// rides in the Hello.
+				daemons := make([]*shardDaemon, shards)
+				opts := base
+				opts.Engine = engine
+				opts.Plan = ref.Plan()
+				opts.ShardAddrs = make([]string, shards)
+				for i := range daemons {
+					daemons[i] = startShardDaemon(t, bin)
+					opts.ShardAddrs[i] = daemons[i].addr
+				}
+				e, err := NewEngine(ds, m, opts)
+				if err != nil {
+					t.Fatalf("NewEngine over TCP: %v", err)
+				}
+				if fl := e.Fleet(); fl == nil || !fl.Remote() {
+					t.Fatal("shard addresses built no remote fleet")
+				}
+				for i, nodes := range requests {
+					got := predictLogits(t, e, nodes)
+					for j := range got {
+						for k := range got[j] {
+							if got[j][k] != want[i][j][k] {
+								t.Fatalf("request %d node %d logit %d: %v over TCP, want %v single-node",
+									i, j, k, got[j][k], want[i][j][k])
+							}
+						}
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := e.Shutdown(ctx); err != nil {
+					t.Fatalf("shutdown: %v", err)
+				}
+				for _, d := range daemons {
+					d.drain(t)
+				}
+			})
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"wisegraph/internal/joint"
 	"wisegraph/internal/nn"
 	"wisegraph/internal/obs"
+	"wisegraph/internal/shard/wire"
 	"wisegraph/internal/tensor"
 )
 
@@ -120,6 +122,11 @@ type Stats struct {
 // shards through the hedging ladder. One Fleet serves one frozen
 // (graph, features, plan); the model parameters behind src may be swapped
 // by serve.Reload under its model lock.
+//
+// A fleet is either in-process (NewFleet: it owns the shards, conns are
+// the shards themselves) or remote (NewRemoteFleet: shards live in
+// wisegraph-shard daemons, conns are tcpConns). All routing flows through
+// Conn, so Forward and the parity guarantee are transport-blind.
 type Fleet struct {
 	cfg    Config
 	csr    *graph.CSR
@@ -129,7 +136,7 @@ type Fleet struct {
 	plan   *joint.Result
 
 	bounds []int32
-	shards []*Shard
+	shards []*Shard // nil for a remote fleet
 	conns  []Conn
 	stats  []*shardStats
 	start  time.Time
@@ -156,22 +163,93 @@ func NewFleet(csr *graph.CSR, feats *tensor.Tensor, ntypes int, src *nn.Model, p
 			return nil, err
 		}
 		f.shards = append(f.shards, s)
-		f.conns = append(f.conns, localConn{s})
+		f.conns = append(f.conns, s)
 		f.stats = append(f.stats, &shardStats{})
 	}
 	return f, nil
 }
 
-// Close drains every shard's worker pool. Callers must guarantee no
-// Forward is in flight or will be issued again.
+// NewRemoteFleet builds a router over wisegraph-shard daemons, one per
+// address. The router derives the same boundaries the daemons will
+// recompute, then dials each daemon with a Hello carrying the full fleet
+// configuration (identity, bounds, graph/model shape, sampler seed,
+// engine, marshaled plan, parameter hash) — any daemon that cannot serve
+// bitwise-identically rejects it and construction fails.
+func NewRemoteFleet(csr *graph.CSR, feats *tensor.Tensor, ntypes int, src *nn.Model, plan *joint.Result, cfg Config, addrs []string) (*Fleet, error) {
+	cfg.Shards = len(addrs)
+	cfg = cfg.withDefaults()
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: no shard addresses")
+	}
+	if len(cfg.Fanouts) != src.Cfg.Layers {
+		return nil, fmt.Errorf("shard: %d fan-outs for a %d-layer model", len(cfg.Fanouts), src.Cfg.Layers)
+	}
+	planBytes, err := plan.MarshalPlan()
+	if err != nil {
+		return nil, fmt.Errorf("shard: marshal plan: %w", err)
+	}
+	f := &Fleet{
+		cfg: cfg, csr: csr, feats: feats, ntypes: ntypes, src: src, plan: plan,
+		bounds: Boundaries(csr, cfg.Shards, cfg.Placement, src.Cfg.InDim),
+		start:  time.Now(),
+	}
+	fanouts := make([]int32, len(cfg.Fanouts))
+	for i, fo := range cfg.Fanouts {
+		fanouts[i] = int32(fo)
+	}
+	sum := ParamSum(src)
+	for i, addr := range addrs {
+		h := &wire.Hello{
+			Proto:       wire.ProtoVersion,
+			ShardID:     int32(i),
+			Shards:      int32(cfg.Shards),
+			Lo:          f.bounds[i],
+			Hi:          f.bounds[i+1],
+			NumVertices: int64(len(csr.RowPtr) - 1),
+			NumEdges:    int64(len(csr.Col)),
+			NumTypes:    int32(ntypes),
+			InDim:       int32(src.Cfg.InDim),
+			Hidden:      int32(src.Cfg.Hidden),
+			OutDim:      int32(src.Cfg.OutDim),
+			Layers:      int32(src.Cfg.Layers),
+			Fanouts:     fanouts,
+			Seed:        cfg.Seed,
+			ParamSum:    sum,
+			Kind:        src.Cfg.Kind.String(),
+			Engine:      cfg.Engine,
+			Placement:   cfg.Placement.String(),
+			Plan:        planBytes,
+		}
+		c, err := newTCPConn(addr, h, cfg.Timeout)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.conns = append(f.conns, c)
+		f.stats = append(f.stats, &shardStats{})
+	}
+	return f, nil
+}
+
+// Remote reports whether the shards live in separate processes.
+func (f *Fleet) Remote() bool { return len(f.shards) == 0 && len(f.conns) > 0 }
+
+// Close drains every in-process shard's worker pool and drops every
+// remote connection. Callers must guarantee no Forward is in flight or
+// will be issued again.
 func (f *Fleet) Close() {
 	for _, s := range f.shards {
-		s.close()
+		s.Close()
+	}
+	for _, c := range f.conns {
+		if tc, ok := c.(*tcpConn); ok {
+			tc.close()
+		}
 	}
 }
 
 // Size returns the shard count.
-func (f *Fleet) Size() int { return len(f.shards) }
+func (f *Fleet) Size() int { return len(f.conns) }
 
 // Bounds returns the contiguous ownership boundaries (len Size()+1).
 func (f *Fleet) Bounds() []int32 { return f.bounds }
@@ -190,9 +268,11 @@ func (f *Fleet) InFlight() int64 {
 	return n
 }
 
-// InvalidateTo flushes every shard's cache to the new model version.
-// serve.Reload calls it inside its model critical section, so no batch
-// tagged with the new version can race the sweep.
+// InvalidateTo flushes every in-process shard's cache to the new model
+// version. serve.Reload calls it inside its model critical section, so no
+// batch tagged with the new version can race the sweep. Remote shards own
+// their checkpoints, so reload (and with it this sweep) is rejected one
+// layer up for remote fleets; here it is simply a no-op.
 func (f *Fleet) InvalidateTo(ver uint64) {
 	for _, s := range f.shards {
 		s.cache.InvalidateTo(ver)
@@ -228,13 +308,15 @@ func (f *Fleet) Devices() []*device.Device {
 	return out
 }
 
-// Stats snapshots every shard.
+// Stats snapshots every shard. For a remote fleet the shard-side fields
+// (in-flight, cache) stay zero — those live in the daemons, which report
+// them on their own stderr; the router-side traffic and resilience
+// counters are exact either way (byte counts are real encoded frame
+// sizes on both transports).
 func (f *Fleet) Stats() []Stats {
 	up := time.Since(f.start).Seconds()
-	out := make([]Stats, len(f.shards))
-	for i, s := range f.shards {
-		st := f.stats[i]
-		cs := s.cache.Snapshot()
+	out := make([]Stats, len(f.stats))
+	for i, st := range f.stats {
 		o := Stats{
 			ID: i, Lo: f.bounds[i], Hi: f.bounds[i+1],
 			RPCs:     st.rpcs.Load(),
@@ -247,12 +329,15 @@ func (f *Fleet) Stats() []Stats {
 			Failures: st.failures.Load(),
 			BytesIn:  st.bytesIn.Load(),
 			BytesOut: st.bytesOut.Load(),
-			InFlight: s.InFlight(),
-
-			CacheHits:    cs.Hits,
-			CacheMisses:  cs.Misses,
-			CacheBytes:   cs.Bytes,
-			CacheEntries: cs.Entries,
+		}
+		if i < len(f.shards) {
+			s := f.shards[i]
+			cs := s.cache.Snapshot()
+			o.InFlight = s.InFlight()
+			o.CacheHits = cs.Hits
+			o.CacheMisses = cs.Misses
+			o.CacheBytes = cs.Bytes
+			o.CacheEntries = cs.Entries
 		}
 		if up > 0 {
 			o.QPS = float64(o.RPCs) / up
@@ -274,10 +359,13 @@ func (f *Fleet) Resilience() (retries, hedges, timeouts, failures uint64) {
 }
 
 // call runs one RPC through the shard.rpc fault site and the retry/hedge/
-// timeout ladder. do must be idempotent (both RPC kinds are); a real —
-// non-injected — error from the shard is deterministic (ownership or
-// protocol violation) and surfaces immediately instead of burning
-// retries.
+// timeout ladder. do must be idempotent (both RPC kinds are). Two error
+// classes come back from a conn: a TransportError (dial failure, broken
+// stream, deadline on the TCP transport) is retryable — the conn redials
+// and the RPC re-issues under the same ladder that absorbs injected
+// faults — while an application error from the shard is deterministic
+// (ownership or protocol violation) and surfaces immediately instead of
+// burning retries.
 func (f *Fleet) call(s int, do func(Conn) error) error {
 	st := f.stats[s]
 	st.rpcs.Add(1)
@@ -315,6 +403,16 @@ func (f *Fleet) call(s int, do func(Conn) error) error {
 			if err == nil {
 				return nil
 			}
+			var te *TransportError
+			if errors.As(err, &te) && attempt < rpcAttempts-1 {
+				if te.Timeout {
+					st.timeouts.Add(1)
+				}
+				st.retries.Add(1)
+				time.Sleep(backoff)
+				backoff *= 2
+				continue
+			}
 			st.failures.Add(1)
 			return err
 		}
@@ -345,7 +443,7 @@ type ownerSpan struct {
 func (f *Fleet) spansOf(verts []int32) []ownerSpan {
 	var out []ownerSpan
 	i := 0
-	for s := 0; s < len(f.shards) && i < len(verts); s++ {
+	for s := 0; s < len(f.conns) && i < len(verts); s++ {
 		hi := f.bounds[s+1]
 		j := i
 		for j < len(verts) && verts[j] < hi {
@@ -486,17 +584,17 @@ func (f *Fleet) expandLevel(batchID, ver uint64, level, dim int, rl *rlevel) err
 				return
 			}
 			st := f.stats[os.shard]
-			st.bytesOut.Add(uint64(len(args.Verts)) * 4)
+			// Exact encoded frame sizes, whatever the transport — the TCP
+			// path puts exactly these bytes on the wire.
+			st.bytesOut.Add(uint64(wire.SizeExpandArgs(args)))
+			st.bytesIn.Add(uint64(wire.SizeExpandReply(rep)))
 			copy(rl.rows[os.lo*dim:os.hi*dim], rep.Rows)
-			in := uint64(len(rep.Rows)) * 4
 			for k := os.lo; k < os.hi; k++ {
 				rl.hit[k] = rep.Hit[k-os.lo]
 				if level > 0 && !rl.hit[k] {
 					rl.srcs[k] = rep.Srcs[k-os.lo]
-					in += uint64(len(rl.srcs[k])) * 4
 				}
 			}
-			st.bytesIn.Add(in)
 		}(i, os)
 	}
 	wg.Wait()
@@ -579,8 +677,8 @@ func (f *Fleet) computeLevel(batchID, ver uint64, level, inDim, outDim int, rl, 
 			}
 			st := f.stats[os.shard]
 			st.computes.Add(1)
-			st.bytesOut.Add(uint64(len(targets)+len(in))*4 + uint64(len(rows))*4)
-			st.bytesIn.Add(uint64(len(rep.Rows)) * 4)
+			st.bytesOut.Add(uint64(wire.SizeComputeArgs(args)))
+			st.bytesIn.Add(uint64(wire.SizeComputeReply(rep)))
 			for j, v := range targets {
 				k := int(rl.idx[v])
 				copy(rl.rows[k*outDim:(k+1)*outDim], rep.Rows[j*outDim:(j+1)*outDim])

@@ -1,18 +1,39 @@
 package shard
 
-import "fmt"
+import (
+	"fmt"
+
+	"wisegraph/internal/shard/wire"
+)
 
 // The RPC surface between the router and one shard. The interface is
 // deliberately transport-shaped — plain-old-data requests in, plain-old-
 // data replies out, no shared mutable state, every row crossing it copied
-// — so the in-process channel transport below can be swapped for a real
-// network transport without touching the router or the shard logic.
+// — and there are two transports behind it: the Shard itself (in-process,
+// requests cross a channel into the worker pool) and tcpConn (the
+// internal/shard/wire binary protocol over a socket, shards running as
+// separate processes). The router never knows which it holds.
 //
 // Both calls are idempotent pure functions of (request, model version):
 // Expand and Compute derive everything from the shard's frozen graph
 // slice, the deterministic sampler and the shipped input rows. That is
 // what makes the router's hedging ladder numerics-preserving — a hedged
-// duplicate computes exactly the bytes the abandoned attempt would have.
+// duplicate computes exactly the bytes the abandoned attempt would have —
+// and what makes retrying a broken connection on the TCP transport safe.
+
+// The message types are defined in internal/shard/wire (they ARE the wire
+// protocol); aliased here so the router and shard logic keep their
+// natural names.
+type (
+	// ExpandArgs asks a shard to resolve one level's owned vertex span.
+	ExpandArgs = wire.ExpandArgs
+	// ExpandReply carries per-vertex hit rows or sampled source lists.
+	ExpandReply = wire.ExpandReply
+	// ComputeArgs asks a shard to run one layer for its owned targets.
+	ComputeArgs = wire.ComputeArgs
+	// ComputeReply returns the computed rows.
+	ComputeReply = wire.ComputeReply
+)
 
 // Conn is one shard's RPC endpoint as the router sees it.
 type Conn interface {
@@ -24,66 +45,16 @@ type Conn interface {
 	Compute(args *ComputeArgs) (*ComputeReply, error)
 }
 
-// ExpandArgs asks a shard to resolve one level's owned vertex span:
-// which rows are cached (returned inline), and what the deterministic
-// sampler's in-frontier is for the rest.
-type ExpandArgs struct {
-	Batch uint64 // trace id, threads obs spans through shard compute
-	Ver   uint64 // model version the caller's batch is coherent at
-	Level int    // 0 = input features, L = logits
-	Dim   int    // row width at this level
-	Verts []int32
-}
-
-// ExpandReply carries, per requested vertex: a hit flag plus the cached
-// row, or (levels ≥ 1) the sampled source ids of the miss. Rows is flat
-// [len(Verts)×Dim]; only hit rows are meaningful — except at level 0,
-// where the shard gathers its owned feature rows so misses come back
-// filled too and no second round trip is needed.
-type ExpandReply struct {
-	Hit  []bool
-	Rows []float32
-	Srcs [][]int32
-}
-
-// ComputeArgs asks a shard to run layer Level-1 for its owned miss
-// targets. In is the ascending deduplicated level-(Level-1) vertex set
-// the targets' blocks read (each target plus its sampled sources), and
-// Rows their rows, flat [len(In)×InDim]. The shard re-derives each
-// target's sampled slots with the same deterministic sampler the
-// expansion used, so edge types and canonical per-target edge order come
-// from its own CSR slice rather than riding the wire.
-type ComputeArgs struct {
-	Batch  uint64
-	Ver    uint64
-	Level  int
-	InDim  int
-	OutDim int
-	Verts  []int32
-	In     []int32
-	Rows   []float32
-}
-
-// ComputeReply returns the computed rows, flat [len(Verts)×OutDim], with
-// the between-layer activation already applied (ReLU below the top
-// level), exactly as the single-node forward splices them.
-type ComputeReply struct {
-	Rows []float32
-}
-
-// localConn is the in-process transport: requests cross a channel into
+// Expand implements Conn in-process: the request crosses a channel into
 // the shard's worker pool and the reply comes back on a per-call channel.
-// It is the only Conn implementation today; a network transport would
-// serialize the same argument structs.
-type localConn struct{ s *Shard }
-
-func (c localConn) Expand(args *ExpandArgs) (*ExpandReply, error) {
-	rep, err := c.s.dispatch(call{expand: args})
+func (s *Shard) Expand(args *ExpandArgs) (*ExpandReply, error) {
+	rep, err := s.dispatch(call{expand: args})
 	return rep.expand, err
 }
 
-func (c localConn) Compute(args *ComputeArgs) (*ComputeReply, error) {
-	rep, err := c.s.dispatch(call{compute: args})
+// Compute implements Conn in-process.
+func (s *Shard) Compute(args *ComputeArgs) (*ComputeReply, error) {
+	rep, err := s.dispatch(call{compute: args})
 	return rep.compute, err
 }
 
@@ -103,6 +74,17 @@ type reply struct {
 // dispatch enqueues the call for the shard's worker pool and blocks for
 // the reply, tracking the shard-side in-flight count from admission to
 // completion (the fleet-wide drain invariant reads it).
+//
+// Shutdown is signalled through s.closed ONLY — reqCh is never closed, so
+// an abandoned hedged straggler that dispatches concurrently with Close
+// can never hit a send-on-closed-channel panic; it either loses the
+// admission select and returns a draining error, or wins it and is
+// resolved below. The drain invariant's answer for such stragglers is
+// explicit: once Close has begun, a dispatch that has not yet received
+// its reply resolves to a draining error (a worker that already picked
+// the call up may still complete it — the result lands in the buffered
+// reply channel and is discarded, which is safe because both RPC kinds
+// are idempotent and side-effect-free beyond the shard's own cache).
 func (s *Shard) dispatch(c call) (reply, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -112,6 +94,10 @@ func (s *Shard) dispatch(c call) (reply, error) {
 	case <-s.closed:
 		return reply{}, fmt.Errorf("shard %d: draining", s.id)
 	}
-	r := <-c.reply
-	return r, r.err
+	select {
+	case r := <-c.reply:
+		return r, r.err
+	case <-s.closed:
+		return reply{}, fmt.Errorf("shard %d: draining", s.id)
+	}
 }

@@ -1,14 +1,16 @@
 // Package shard is the sharded serving tier: the frozen CSR and feature
-// rows are split into contiguous vertex ranges, each owned by one
-// simulated node (a Shard) with its own model replicas, execution
-// contexts and per-layer hot-vertex cache, and a router (Fleet) fans
-// every micro-batch's sampled frontier out to the owners, collects the
-// partial per-layer embeddings and aggregates them through the same
-// leveled deterministic forward single-node serving uses — so sharded
-// logits are bitwise-identical to single-node at any shard count, engine
-// and worker count. Slow or failed shards are absorbed by a retry/hedge/
-// timeout ladder at the shard.rpc fault site, mirroring the distributed
-// trainer's exchange ladder.
+// rows are split into contiguous vertex ranges, each owned by one node (a
+// Shard) with its own model replicas, execution contexts and per-layer
+// hot-vertex cache, and a router (Fleet) fans every micro-batch's sampled
+// frontier out to the owners, collects the partial per-layer embeddings
+// and aggregates them through the same leveled deterministic forward
+// single-node serving uses — so sharded logits are bitwise-identical to
+// single-node at any shard count, engine and worker count. Shards run
+// either in-process (the Fleet owns them) or as separate wisegraph-shard
+// processes reached over the internal/shard/wire TCP protocol; slow or
+// failed shards are absorbed by a retry/hedge/timeout ladder at the
+// shard.rpc fault site, mirroring the distributed trainer's exchange
+// ladder.
 package shard
 
 import (
@@ -31,11 +33,12 @@ import (
 // Shard owns the contiguous vertex range [lo, hi): the CSR rows (in-
 // edges) and feature rows of those vertices, a worker pool of model
 // replicas that serves Expand/Compute RPCs, and the range's per-layer
-// hot-vertex cache. The underlying CSR and feature arrays are shared
-// process memory — this is a simulated fleet — but the shard touches
-// only its owned range, and every RPC validates ownership so a routing
-// bug surfaces as an error instead of silently reading another node's
-// data.
+// hot-vertex cache. In-process the underlying CSR and feature arrays are
+// shared memory and the shard touches only its owned range; in a
+// wisegraph-shard daemon they are the process's own copy. Every RPC
+// validates ownership and shape so a routing bug — or a malformed
+// deserialized request — surfaces as an error instead of silently
+// reading another node's data or copying garbage rows.
 type Shard struct {
 	id     int
 	lo, hi int32
@@ -45,6 +48,7 @@ type Shard struct {
 	ntypes int
 
 	layers int
+	dims   []int // activation width per level, len layers+1
 	fan    []int
 	seed   uint64
 	plan   *joint.Result
@@ -60,6 +64,27 @@ type Shard struct {
 	devs     []*device.Device
 }
 
+// NodeConfig sizes one shard node independently of a router — the
+// per-node resource budget a wisegraph-shard daemon sets from its own
+// flags (worker pool, cache RAM), plus the fleet-coherence knobs the
+// router's Hello dictates (fan-outs, sampler seed, engine).
+type NodeConfig struct {
+	// Workers is the RPC worker pool size (min 1).
+	Workers int
+	// Fanouts are the per-layer sampling fan-outs, Seed the deterministic
+	// sampler key, Engine the execution engine — identical across the
+	// fleet and the single-node reference, which is what the bitwise-
+	// parity guarantee rests on.
+	Fanouts []int
+	Seed    uint64
+	Engine  string
+	// Spec is the simulated device (default A100).
+	Spec *device.Spec
+	// CacheBudget / CacheShards size this node's hot-vertex cache.
+	CacheBudget int64
+	CacheShards int
+}
+
 // shardWorker is one RPC-serving goroutine's private compute state.
 type shardWorker struct {
 	replica *nn.Model
@@ -68,39 +93,53 @@ type shardWorker struct {
 	ectx    *exec.Ctx
 }
 
-// newShard builds one shard and starts its worker pool. Replicas are
+// NewShard builds one shard node over its owned slice of the frozen
+// (graph, features, model, plan) and starts its worker pool. Replicas are
 // stamped out before any goroutine starts so construction errors surface
-// synchronously.
-func newShard(id int, lo, hi int32, f *Fleet) (*Shard, error) {
+// synchronously. Callers outside a Fleet (the wisegraph-shard daemon)
+// must Close it themselves.
+func NewShard(id int, lo, hi int32, csr *graph.CSR, feats *tensor.Tensor, ntypes int,
+	src *nn.Model, plan *joint.Result, cfg NodeConfig) (*Shard, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Spec == nil {
+		spec := device.A100()
+		cfg.Spec = &spec
+	}
+	if len(cfg.Fanouts) != src.Cfg.Layers {
+		return nil, fmt.Errorf("shard %d: %d fan-outs for a %d-layer model", id, len(cfg.Fanouts), src.Cfg.Layers)
+	}
 	s := &Shard{
 		id: id, lo: lo, hi: hi,
-		csr:    f.csr,
-		feats:  f.feats,
-		typed:  f.csr.EType != nil,
-		ntypes: f.ntypes,
-		layers: f.src.Cfg.Layers,
-		fan:    f.cfg.Fanouts,
-		seed:   f.cfg.Seed,
-		plan:   f.plan,
-		engine: f.cfg.Engine,
-		src:    f.src,
-		cache:  hotcache.New(hotcache.Config{Budget: f.cfg.CacheBudget, Shards: f.cfg.CacheShards}),
-		reqCh:  make(chan call, f.cfg.Workers),
+		csr:    csr,
+		feats:  feats,
+		typed:  csr.EType != nil,
+		ntypes: ntypes,
+		layers: src.Cfg.Layers,
+		dims:   src.LayerDims(),
+		fan:    cfg.Fanouts,
+		seed:   cfg.Seed,
+		plan:   plan,
+		engine: cfg.Engine,
+		src:    src,
+		cache:  hotcache.New(hotcache.Config{Budget: cfg.CacheBudget, Shards: cfg.CacheShards}),
+		reqCh:  make(chan call, cfg.Workers),
 		closed: make(chan struct{}),
 	}
-	workers := make([]*shardWorker, f.cfg.Workers)
+	workers := make([]*shardWorker, cfg.Workers)
 	for i := range workers {
-		replica, err := nn.NewModel(f.src.Cfg)
+		replica, err := nn.NewModel(src.Cfg)
 		if err != nil {
 			return nil, err
 		}
-		if err := replica.CopyParamsFrom(f.src); err != nil {
+		if err := replica.CopyParamsFrom(src); err != nil {
 			return nil, err
 		}
-		dev := device.New(*f.cfg.Spec)
+		dev := device.New(*cfg.Spec)
 		s.devs = append(s.devs, dev)
 		ectx := exec.NewCtx(dev)
-		ectx.Engine = f.cfg.Engine
+		ectx.Engine = cfg.Engine
 		workers[i] = &shardWorker{replica: replica, pt: core.NewPartitioner(), ectx: ectx}
 	}
 	for _, w := range workers {
@@ -110,51 +149,96 @@ func newShard(id int, lo, hi int32, f *Fleet) (*Shard, error) {
 	return s, nil
 }
 
+// newShard builds one in-process shard of a fleet.
+func newShard(id int, lo, hi int32, f *Fleet) (*Shard, error) {
+	return NewShard(id, lo, hi, f.csr, f.feats, f.ntypes, f.src, f.plan, NodeConfig{
+		Workers:     f.cfg.Workers,
+		Fanouts:     f.cfg.Fanouts,
+		Seed:        f.cfg.Seed,
+		Engine:      f.cfg.Engine,
+		Spec:        f.cfg.Spec,
+		CacheBudget: f.cfg.CacheBudget,
+		CacheShards: f.cfg.CacheShards,
+	})
+}
+
 // serve is one worker's RPC loop. Before each call the worker re-syncs
 // its replica if the request carries a newer model version; the caller
 // (the router, under the serve engine's model read-lock) guarantees no
 // reload runs concurrently, so all RPCs of one batch see one coherent
-// parameter set.
+// parameter set. Shutdown arrives via s.closed only; once it fires the
+// worker answers anything still queued with a draining error (admitted
+// calls are always answered, never computed past the close) and exits.
 func (s *Shard) serve(w *shardWorker) {
 	defer s.wg.Done()
 	defer w.pt.Release()
-	for c := range s.reqCh {
-		var (
-			ver uint64
-			r   reply
-		)
-		if c.expand != nil {
-			ver = c.expand.Ver
-		} else {
-			ver = c.compute.Ver
-		}
-		if ver != w.ver {
-			if err := w.replica.CopyParamsFrom(s.src); err != nil {
-				c.reply <- reply{err: fmt.Errorf("shard %d: replica re-sync: %w", s.id, err)}
-				continue
+	for {
+		select {
+		case c := <-s.reqCh:
+			s.handle(w, c)
+		case <-s.closed:
+			for {
+				select {
+				case c := <-s.reqCh:
+					c.reply <- reply{err: fmt.Errorf("shard %d: draining", s.id)}
+				default:
+					return
+				}
 			}
-			w.ver = ver
 		}
-		if c.expand != nil {
-			r.expand, r.err = s.handleExpand(c.expand)
-		} else {
-			r.compute, r.err = s.handleCompute(w, c.compute)
-		}
-		c.reply <- r
 	}
 }
 
-// close stops the worker pool after in-flight RPCs finish. The router
-// only calls it once no caller can dispatch again.
-func (s *Shard) close() {
+// handle runs one admitted call on this worker.
+func (s *Shard) handle(w *shardWorker, c call) {
+	var (
+		ver uint64
+		r   reply
+	)
+	if c.expand != nil {
+		ver = c.expand.Ver
+	} else {
+		ver = c.compute.Ver
+	}
+	if ver != w.ver {
+		if err := w.replica.CopyParamsFrom(s.src); err != nil {
+			c.reply <- reply{err: fmt.Errorf("shard %d: replica re-sync: %w", s.id, err)}
+			return
+		}
+		w.ver = ver
+	}
+	if c.expand != nil {
+		r.expand, r.err = s.handleExpand(c.expand)
+	} else {
+		r.compute, r.err = s.handleCompute(w, c.compute)
+	}
+	c.reply <- r
+}
+
+// Close stops the worker pool: the closed channel is the only shutdown
+// signal (reqCh stays open forever, so a concurrent dispatch can never
+// panic on a closed send), workers answer anything still queued with a
+// draining error and exit, and Close returns once all have. Safe to call
+// exactly once; the router calls it once no well-behaved caller will
+// dispatch again, and any abandoned hedged straggler that still does gets
+// the draining error dispatch documents.
+func (s *Shard) Close() {
 	close(s.closed)
-	close(s.reqCh)
 	s.wg.Wait()
 }
 
 // InFlight returns the shard's admitted-but-unanswered RPC count — the
 // per-node half of the fleet-wide drain invariant.
 func (s *Shard) InFlight() int64 { return s.inflight.Load() }
+
+// ID returns the shard's fleet index; Lo and Hi its owned range.
+func (s *Shard) ID() int { return s.id }
+
+// Bounds returns the owned vertex range [lo, hi).
+func (s *Shard) Bounds() (lo, hi int32) { return s.lo, s.hi }
+
+// Cache exposes the node's hot-vertex cache (for daemon stats).
+func (s *Shard) Cache() *hotcache.Cache { return s.cache }
 
 // checkOwned rejects any vertex outside the shard's range: the router
 // must never ask a node for data it does not own.
@@ -174,6 +258,18 @@ func (s *Shard) degree(v int32) int32 { return s.csr.RowPtr[v+1] - s.csr.RowPtr[
 // shard also gathers its owned feature rows for the misses (and admits
 // them), so input features never need a second round trip.
 func (s *Shard) handleExpand(a *ExpandArgs) (*ExpandReply, error) {
+	if a.Level < 0 || a.Level >= len(s.dims) {
+		return nil, fmt.Errorf("shard %d: expand level %d outside [0,%d]", s.id, a.Level, s.layers)
+	}
+	// A request's claimed width must match the level's actual row width —
+	// level 0 is the feature width, level l the output width of layer
+	// l-1. A short Dim would silently copy truncated rows into the reply
+	// (and a deserialized request can claim anything), so reject it the
+	// way handleCompute rejects a mis-sized Rows payload.
+	if a.Dim != s.dims[a.Level] {
+		return nil, fmt.Errorf("shard %d: expand level %d rows are %d wide, request claims %d",
+			s.id, a.Level, s.dims[a.Level], a.Dim)
+	}
 	if err := s.checkOwned(a.Verts); err != nil {
 		return nil, err
 	}
@@ -217,6 +313,13 @@ func (s *Shard) handleExpand(a *ExpandArgs) (*ExpandReply, error) {
 // engine, applies the between-layer activation, and admits the fresh
 // rows into the shard's cache.
 func (s *Shard) handleCompute(w *shardWorker, a *ComputeArgs) (*ComputeReply, error) {
+	if a.Level < 1 || a.Level > s.layers {
+		return nil, fmt.Errorf("shard %d: compute level %d outside [1,%d]", s.id, a.Level, s.layers)
+	}
+	if a.InDim != s.dims[a.Level-1] || a.OutDim != s.dims[a.Level] {
+		return nil, fmt.Errorf("shard %d: compute level %d is %d->%d wide, request claims %d->%d",
+			s.id, a.Level, s.dims[a.Level-1], s.dims[a.Level], a.InDim, a.OutDim)
+	}
 	if err := s.checkOwned(a.Verts); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,473 @@
+package shard
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"wisegraph/internal/graph"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/shard/wire"
+	"wisegraph/internal/tensor"
+)
+
+// The TCP transport: tcpConn implements Conn over the internal/shard/wire
+// protocol against a wisegraph-shard daemon, and Server is the daemon
+// side, feeding decoded frames into the Shard worker pool. Each
+// connection opens with a Hello carrying the full fleet configuration;
+// the daemon is passive and interchangeable — it learns its shard
+// identity, owned range, sampler seed, engine and tuned plan from the
+// first Hello it accepts, and validates everything it can recompute
+// (boundaries, model shape, parameter hash) so a misconfigured fleet
+// fails at connect time instead of serving subtly different logits.
+
+// ParamSum hashes a model's parameter bits with FNV-1a. Router and
+// daemon must arrive at the same sum or the handshake fails: bitwise
+// logit parity is impossible without bitwise parameter parity.
+func ParamSum(m *nn.Model) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, p := range m.Params() {
+		for _, x := range p.Value.Data() {
+			b := math.Float32bits(x)
+			for s := 0; s < 32; s += 8 {
+				h ^= uint64(byte(b >> s))
+				h *= prime
+			}
+		}
+	}
+	return h
+}
+
+// TransportError wraps a network-level failure (dial, deadline, broken
+// or out-of-sync stream). It marks the attempt retryable: the router's
+// ladder redials and re-issues, which is safe because both RPC kinds are
+// idempotent. Application errors from the shard arrive as MsgError
+// frames and are NOT wrapped — they are deterministic protocol or
+// ownership violations and surface immediately.
+type TransportError struct {
+	Addr    string
+	Timeout bool
+	Err     error
+}
+
+func (e *TransportError) Error() string {
+	kind := "transport"
+	if e.Timeout {
+		kind = "timeout"
+	}
+	return fmt.Sprintf("shard %s: %s: %v", e.Addr, kind, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// tcpConn is one shard's endpoint over TCP. Connections are reused
+// across calls through a small idle pool, re-handshaken on dial, closed
+// on any error (the stream may be out of sync), and every call runs
+// under a full-call deadline.
+type tcpConn struct {
+	addr    string
+	timeout time.Duration
+	hello   []byte // encoded Hello frame, replayed on every dial
+
+	mu   sync.Mutex
+	idle []net.Conn
+}
+
+// newTCPConn builds the endpoint and performs one eager dial+handshake
+// so a bad address or a rejected Hello fails fleet construction, not the
+// first request.
+func newTCPConn(addr string, h *wire.Hello, timeout time.Duration) (*tcpConn, error) {
+	c := &tcpConn{addr: addr, timeout: timeout, hello: wire.AppendHello(nil, h)}
+	nc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.put(nc)
+	return c, nil
+}
+
+func (c *tcpConn) terr(err error) error {
+	var ne net.Error
+	timeout := errors.As(err, &ne) && ne.Timeout()
+	return &TransportError{Addr: c.addr, Timeout: timeout, Err: err}
+}
+
+// dial opens a fresh connection and replays the Hello handshake on it.
+// A rejected Hello is a permanent error (the daemon cannot serve this
+// fleet bitwise-identically); anything network-shaped is a
+// TransportError.
+func (c *tcpConn) dial() (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, c.terr(err)
+	}
+	nc.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := nc.Write(c.hello); err != nil {
+		nc.Close()
+		return nil, c.terr(err)
+	}
+	t, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, c.terr(err)
+	}
+	switch t {
+	case wire.MsgHelloOK:
+		nc.SetDeadline(time.Time{})
+		return nc, nil
+	case wire.MsgError:
+		nc.Close()
+		return nil, fmt.Errorf("shard %s: hello rejected: %s", c.addr, wire.DecodeError(payload))
+	default:
+		nc.Close()
+		return nil, c.terr(fmt.Errorf("unexpected %v to Hello", t))
+	}
+}
+
+func (c *tcpConn) get() (net.Conn, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		nc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return nc, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+func (c *tcpConn) put(nc net.Conn) {
+	c.mu.Lock()
+	c.idle = append(c.idle, nc)
+	c.mu.Unlock()
+}
+
+// close drops every idle connection (the daemon sees EOF and unwinds).
+func (c *tcpConn) close() {
+	c.mu.Lock()
+	for _, nc := range c.idle {
+		nc.Close()
+	}
+	c.idle = nil
+	c.mu.Unlock()
+}
+
+// roundTrip writes one request frame and reads one reply frame under the
+// per-call deadline. Any I/O or framing failure closes the connection
+// (its stream may hold a half-written frame) and comes back as a
+// retryable TransportError; a MsgError reply leaves the connection
+// healthy and surfaces as a permanent application error.
+func (c *tcpConn) roundTrip(req []byte, want wire.MsgType) ([]byte, error) {
+	nc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := nc.Write(req); err != nil {
+		nc.Close()
+		return nil, c.terr(err)
+	}
+	t, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, c.terr(err)
+	}
+	nc.SetDeadline(time.Time{})
+	switch t {
+	case want:
+		c.put(nc)
+		return payload, nil
+	case wire.MsgError:
+		c.put(nc)
+		return nil, fmt.Errorf("shard %s: %s", c.addr, wire.DecodeError(payload))
+	default:
+		nc.Close()
+		return nil, c.terr(fmt.Errorf("unexpected %v, want %v", t, want))
+	}
+}
+
+// Expand implements Conn over the wire.
+func (c *tcpConn) Expand(args *ExpandArgs) (*ExpandReply, error) {
+	p, err := c.roundTrip(wire.AppendExpandArgs(make([]byte, 0, wire.SizeExpandArgs(args)), args), wire.MsgExpandReply)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := wire.DecodeExpandReply(p)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: bad ExpandReply: %w", c.addr, err)
+	}
+	return rep, nil
+}
+
+// Compute implements Conn over the wire.
+func (c *tcpConn) Compute(args *ComputeArgs) (*ComputeReply, error) {
+	p, err := c.roundTrip(wire.AppendComputeArgs(make([]byte, 0, wire.SizeComputeArgs(args)), args), wire.MsgComputeReply)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := wire.DecodeComputeReply(p)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: bad ComputeReply: %w", c.addr, err)
+	}
+	return rep, nil
+}
+
+// Server is the daemon side of the wire protocol: it owns the loaded
+// graph/features/model and lazily builds its Shard from the first Hello
+// it accepts — daemons are interchangeable; the router assigns identity.
+// Later connections must present a byte-identical Hello (same fleet,
+// same identity) or are rejected.
+type Server struct {
+	csr    *graph.CSR
+	feats  *tensor.Tensor
+	ntypes int
+	model  *nn.Model
+	cfg    NodeConfig // node-local budget: Workers, Spec, CacheBudget/Shards
+
+	mu        sync.Mutex
+	helloRaw  []byte // payload of the accepted Hello
+	shard     *Shard
+	conns     map[net.Conn]struct{}
+	listening bool
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer builds a daemon-side server over the node's loaded state.
+// Fanouts/Seed/Engine in cfg are ignored — they arrive in the Hello.
+func NewServer(csr *graph.CSR, feats *tensor.Tensor, ntypes int, model *nn.Model, cfg NodeConfig) *Server {
+	return &Server{
+		csr: csr, feats: feats, ntypes: ntypes, model: model, cfg: cfg,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Shard returns the lazily built shard (nil before the first accepted
+// Hello).
+func (sv *Server) Shard() *Shard {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.shard
+}
+
+// InFlight reports admitted-but-unanswered RPCs (0 before the first
+// Hello) — the daemon's half of the drain invariant, printed at SIGTERM.
+func (sv *Server) InFlight() int64 {
+	if s := sv.Shard(); s != nil {
+		return s.InFlight()
+	}
+	return 0
+}
+
+// Serve accepts connections until the listener is closed; each gets its
+// own goroutine. It returns nil on a Close-initiated shutdown.
+func (sv *Server) Serve(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			sv.mu.Lock()
+			closed := sv.closed
+			sv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		sv.mu.Lock()
+		if sv.closed {
+			sv.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		sv.conns[nc] = struct{}{}
+		sv.wg.Add(1)
+		sv.mu.Unlock()
+		go sv.serveConn(nc)
+	}
+}
+
+// Close stops serving: marks the server closed, closes every live
+// connection (in-flight handlers see a broken write and unwind), waits
+// for the handlers, then drains the shard's worker pool. The caller
+// closes the listener.
+func (sv *Server) Close() {
+	sv.mu.Lock()
+	sv.closed = true
+	for nc := range sv.conns {
+		nc.Close()
+	}
+	s := sv.shard
+	sv.mu.Unlock()
+	sv.wg.Wait()
+	if s != nil {
+		s.Close()
+	}
+}
+
+func (sv *Server) dropConn(nc net.Conn) {
+	sv.mu.Lock()
+	delete(sv.conns, nc)
+	sv.mu.Unlock()
+	nc.Close()
+	sv.wg.Done()
+}
+
+// serveConn runs one connection's strict Hello-then-request/reply loop.
+func (sv *Server) serveConn(nc net.Conn) {
+	defer sv.dropConn(nc)
+	br := bufio.NewReaderSize(nc, 1<<16)
+	bw := bufio.NewWriterSize(nc, 1<<16)
+	send := func(frame []byte) bool {
+		if _, err := bw.Write(frame); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+
+	t, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if t != wire.MsgHello {
+		send(wire.AppendError(nil, fmt.Sprintf("first frame is %v, want Hello", t)))
+		return
+	}
+	s, err := sv.admit(payload)
+	if err != nil {
+		send(wire.AppendError(nil, err.Error()))
+		return
+	}
+	if !send(wire.AppendHelloOK(nil)) {
+		return
+	}
+
+	var buf []byte
+	for {
+		t, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return // EOF or broken peer; nothing to answer
+		}
+		buf = buf[:0]
+		switch t {
+		case wire.MsgExpand:
+			args, err := wire.DecodeExpandArgs(payload)
+			if err != nil {
+				buf = wire.AppendError(buf, fmt.Sprintf("bad ExpandArgs: %v", err))
+				break
+			}
+			rep, err := s.Expand(args)
+			if err != nil {
+				buf = wire.AppendError(buf, err.Error())
+			} else {
+				buf = wire.AppendExpandReply(buf, rep)
+			}
+		case wire.MsgCompute:
+			args, err := wire.DecodeComputeArgs(payload)
+			if err != nil {
+				buf = wire.AppendError(buf, fmt.Sprintf("bad ComputeArgs: %v", err))
+				break
+			}
+			rep, err := s.Compute(args)
+			if err != nil {
+				buf = wire.AppendError(buf, err.Error())
+			} else {
+				buf = wire.AppendComputeReply(buf, rep)
+			}
+		default:
+			send(wire.AppendError(nil, fmt.Sprintf("unexpected %v", t)))
+			return
+		}
+		if !send(buf) {
+			return
+		}
+	}
+}
+
+// admit validates a Hello payload and returns the node's shard, building
+// it on the first accepted handshake. Identity is sticky: every later
+// Hello must be byte-identical to the first.
+func (sv *Server) admit(payload []byte) (*Shard, error) {
+	h, err := wire.DecodeHello(payload)
+	if err != nil {
+		return nil, fmt.Errorf("bad Hello: %v", err)
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.shard != nil {
+		if string(payload) != string(sv.helloRaw) {
+			return nil, fmt.Errorf("hello differs from the fleet this node already joined (shard %d)", sv.shard.id)
+		}
+		return sv.shard, nil
+	}
+	if err := sv.validate(h); err != nil {
+		return nil, err
+	}
+	kind, gp, op, diff, err := joint.UnmarshalPlan(h.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("bad plan: %v", err)
+	}
+	if kind != sv.model.Cfg.Kind {
+		return nil, fmt.Errorf("plan is for %v, model is %v", kind, sv.model.Cfg.Kind)
+	}
+	plan := &joint.Result{Kind: kind, GraphPlan: gp, OpPlan: op, Differentiated: diff}
+	cfg := sv.cfg
+	cfg.Fanouts = make([]int, len(h.Fanouts))
+	for i, f := range h.Fanouts {
+		cfg.Fanouts[i] = int(f)
+	}
+	cfg.Seed = h.Seed
+	cfg.Engine = h.Engine
+	s, err := NewShard(int(h.ShardID), h.Lo, h.Hi, sv.csr, sv.feats, sv.ntypes, sv.model, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sv.shard = s
+	sv.helloRaw = append([]byte(nil), payload...)
+	return s, nil
+}
+
+// validate cross-checks everything the node can verify locally: protocol
+// version, graph and model shape, bitwise parameter parity, and that the
+// claimed owned range is exactly what the named placement policy derives
+// on this node's copy of the graph.
+func (sv *Server) validate(h *wire.Hello) error {
+	nv := int64(len(sv.csr.RowPtr) - 1)
+	ne := int64(len(sv.csr.Col))
+	cfg := sv.model.Cfg
+	switch {
+	case h.Proto != wire.ProtoVersion:
+		return fmt.Errorf("protocol %d, this node speaks %d", h.Proto, wire.ProtoVersion)
+	case h.Shards < 1 || h.ShardID < 0 || h.ShardID >= h.Shards:
+		return fmt.Errorf("shard id %d of %d", h.ShardID, h.Shards)
+	case h.NumVertices != nv || h.NumEdges != ne:
+		return fmt.Errorf("graph is %dv/%de on the router, %dv/%de here — different dataset", h.NumVertices, h.NumEdges, nv, ne)
+	case int(h.NumTypes) != sv.ntypes:
+		return fmt.Errorf("%d edge types on the router, %d here", h.NumTypes, sv.ntypes)
+	case h.Kind != cfg.Kind.String():
+		return fmt.Errorf("model %s on the router, %s here", h.Kind, cfg.Kind)
+	case int(h.InDim) != cfg.InDim || int(h.Hidden) != cfg.Hidden || int(h.OutDim) != cfg.OutDim || int(h.Layers) != cfg.Layers:
+		return fmt.Errorf("model shape %d/%d/%d×%d on the router, %d/%d/%d×%d here",
+			h.InDim, h.Hidden, h.OutDim, h.Layers, cfg.InDim, cfg.Hidden, cfg.OutDim, cfg.Layers)
+	case len(h.Fanouts) != cfg.Layers:
+		return fmt.Errorf("%d fan-outs for a %d-layer model", len(h.Fanouts), cfg.Layers)
+	}
+	if sum := ParamSum(sv.model); h.ParamSum != sum {
+		return fmt.Errorf("parameter hash %016x on the router, %016x here — different checkpoint", h.ParamSum, sum)
+	}
+	pl, err := ParsePlacement(h.Placement)
+	if err != nil {
+		return err
+	}
+	bounds := Boundaries(sv.csr, int(h.Shards), pl, sv.model.Cfg.InDim)
+	if bounds[h.ShardID] != h.Lo || bounds[h.ShardID+1] != h.Hi {
+		return fmt.Errorf("%s placement derives [%d,%d) for shard %d here, router claims [%d,%d)",
+			h.Placement, bounds[h.ShardID], bounds[h.ShardID+1], h.ShardID, h.Lo, h.Hi)
+	}
+	return nil
+}

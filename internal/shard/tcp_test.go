@@ -1,0 +1,285 @@
+package shard
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wisegraph/internal/graph"
+	"wisegraph/internal/joint"
+	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
+	"wisegraph/internal/shard/wire"
+	"wisegraph/internal/tensor"
+)
+
+// The TCP-transport battery: the same Forward over real localhost
+// sockets must be bitwise-identical to the in-process fleet, the
+// handshake must reject anything that cannot serve identically, broken
+// connections must heal through the retry ladder, and the dispatch/close
+// shutdown race must stay dead (run this file under -race).
+
+// testNode bundles the frozen state both ends of a wire share.
+type testNode struct {
+	g     *graph.Graph
+	csr   *graph.CSR
+	feats *tensor.Tensor
+	model *nn.Model
+	plan  *joint.Result
+}
+
+func newTestNode(t *testing.T, v, edges int, seed uint64) *testNode {
+	t.Helper()
+	g := testGraph(t, v, edges, seed)
+	const dim = 8
+	feats := tensor.New(g.NumVertices, dim)
+	data := feats.Data()
+	rng := tensor.NewRNG(5)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	m, err := nn.NewModel(nn.Config{
+		Kind: nn.SAGE, InDim: dim, Hidden: 8, OutDim: 3,
+		Layers: 2, NumTypes: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return &testNode{
+		g: g, csr: g.BuildCSRByDst(), feats: feats, model: m,
+		plan: joint.Search(g, m.Cfg.Kind, m.Cfg.Hidden, m.Cfg.Hidden, m.Cfg.NumTypes, joint.Options{}),
+	}
+}
+
+// startDaemon runs one in-process Server on a real localhost socket and
+// returns its address — the daemon side of the wire without the process
+// boundary (the cross-process path is covered in internal/serve).
+func startDaemon(t *testing.T, n *testNode, model *nn.Model) string {
+	t.Helper()
+	sv := NewServer(n.csr, n.feats, n.g.NumTypes, model, NodeConfig{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go sv.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		sv.Close()
+	})
+	return ln.Addr().String()
+}
+
+func fleetConfig() Config {
+	return Config{Workers: 2, Fanouts: []int{4, 4}, Seed: 3, Timeout: 2 * time.Second}
+}
+
+func forwardData(t *testing.T, f *Fleet, seeds []int32) []float32 {
+	t.Helper()
+	id := obs.NewID()
+	out, _, err := f.Forward(id, 0, seeds, obs.Begin(obs.StageSample, id))
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	got := append([]float32(nil), out.Data()...)
+	tensor.Put(out)
+	return got
+}
+
+// TestTCPForwardMatchesInProcess drives the full RPC protocol over real
+// sockets — Hello handshake, Expand/Expand level-0 gather, Compute — and
+// demands bitwise-equal logits against the in-process fleet at 1, 2 and
+// 4 remote shards.
+func TestTCPForwardMatchesInProcess(t *testing.T) {
+	n := newTestNode(t, 100, 600, 6)
+	seeds := []int32{0, 13, 50, 99}
+
+	local, err := NewFleet(n.csr, n.feats, n.g.NumTypes, n.model, n.plan, fleetConfig())
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(local.Close)
+	want := forwardData(t, local, seeds)
+
+	for _, shards := range []int{1, 2, 4} {
+		addrs := make([]string, shards)
+		for i := range addrs {
+			addrs[i] = startDaemon(t, n, n.model)
+		}
+		remote, err := NewRemoteFleet(n.csr, n.feats, n.g.NumTypes, n.model, n.plan, fleetConfig(), addrs)
+		if err != nil {
+			t.Fatalf("NewRemoteFleet(%d): %v", shards, err)
+		}
+		if !remote.Remote() {
+			t.Fatal("remote fleet does not report Remote()")
+		}
+		got := forwardData(t, remote, seeds)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d logits[%d] = %v over TCP, want %v in-process", shards, i, got[i], want[i])
+			}
+		}
+		// Byte accounting must reflect real encoded traffic on the wire.
+		for i, st := range remote.Stats() {
+			if st.RPCs > 0 && (st.BytesIn == 0 || st.BytesOut == 0) {
+				t.Fatalf("shard %d: %d RPCs but bytesIn=%d bytesOut=%d", i, st.RPCs, st.BytesIn, st.BytesOut)
+			}
+		}
+		remote.Close()
+	}
+}
+
+// TestTCPHelloRejection pins the handshake validation: a daemon with a
+// different checkpoint (parameter hash), a claimed range the placement
+// does not derive, or an unknown protocol version must be refused at
+// connect time with a descriptive error.
+func TestTCPHelloRejection(t *testing.T) {
+	n := newTestNode(t, 100, 600, 6)
+
+	otherModel, err := nn.NewModel(nn.Config{
+		Kind: nn.SAGE, InDim: 8, Hidden: 8, OutDim: 3,
+		Layers: 2, NumTypes: 1, Seed: 8, // different init seed → different params
+	})
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	addr := startDaemon(t, n, otherModel)
+	if _, err := NewRemoteFleet(n.csr, n.feats, n.g.NumTypes, n.model, n.plan, fleetConfig(), []string{addr}); err == nil {
+		t.Fatal("fleet built against a daemon holding different parameters")
+	} else if !strings.Contains(err.Error(), "hello rejected") || !strings.Contains(err.Error(), "different checkpoint") {
+		t.Fatalf("wrong error for parameter mismatch: %v", err)
+	}
+
+	addr = startDaemon(t, n, n.model)
+	bad := &wire.Hello{Proto: wire.ProtoVersion + 41}
+	if _, err := newTCPConn(addr, bad, time.Second); err == nil {
+		t.Fatal("unknown protocol version accepted")
+	} else if !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("wrong error for protocol mismatch: %v", err)
+	}
+
+	planBytes, err := n.plan.MarshalPlan()
+	if err != nil {
+		t.Fatalf("MarshalPlan: %v", err)
+	}
+	wrongRange := &wire.Hello{
+		Proto: wire.ProtoVersion, ShardID: 0, Shards: 2,
+		Lo: 1, Hi: 99, // not what edge placement derives
+		NumVertices: int64(len(n.csr.RowPtr) - 1), NumEdges: int64(len(n.csr.Col)),
+		NumTypes: 1, InDim: 8, Hidden: 8, OutDim: 3, Layers: 2,
+		Fanouts: []int32{4, 4}, Seed: 3, ParamSum: ParamSum(n.model),
+		Kind: "SAGE", Placement: "edge", Plan: planBytes,
+	}
+	if _, err := newTCPConn(addr, wrongRange, time.Second); err == nil {
+		t.Fatal("bogus owned range accepted")
+	} else if !strings.Contains(err.Error(), "placement derives") {
+		t.Fatalf("wrong error for range mismatch: %v", err)
+	}
+}
+
+// TestTCPReconnect breaks every pooled connection under the router and
+// demands the next Forward heal transparently: the broken writes surface
+// as TransportErrors, the ladder retries, the conn redials and
+// re-handshakes, and the logits still come back bitwise-identical.
+func TestTCPReconnect(t *testing.T) {
+	n := newTestNode(t, 100, 600, 6)
+	seeds := []int32{0, 13, 50, 99}
+	addr := startDaemon(t, n, n.model)
+	remote, err := NewRemoteFleet(n.csr, n.feats, n.g.NumTypes, n.model, n.plan, fleetConfig(), []string{addr})
+	if err != nil {
+		t.Fatalf("NewRemoteFleet: %v", err)
+	}
+	t.Cleanup(remote.Close)
+	want := forwardData(t, remote, seeds)
+
+	// Sever every idle connection client-side but leave them pooled, so
+	// the next calls pop dead conns and must recover.
+	tc := remote.conns[0].(*tcpConn)
+	tc.mu.Lock()
+	for _, nc := range tc.idle {
+		nc.Close()
+	}
+	tc.mu.Unlock()
+
+	got := forwardData(t, remote, seeds)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logits[%d] changed across reconnect: %v != %v", i, got[i], want[i])
+		}
+	}
+	retries, _, _, failures := remote.Resilience()
+	if retries == 0 {
+		t.Fatal("no retries recorded: the broken connections were never exercised")
+	}
+	if failures != 0 {
+		t.Fatalf("%d permanent failures across reconnect", failures)
+	}
+}
+
+// TestTCPApplicationErrorNotRetried pins the transport/application error
+// split: a deterministic shard-side rejection (vertex outside the owned
+// range) must come back as a plain error on the first attempt — one RPC,
+// no retries burned, connection still healthy.
+func TestTCPApplicationErrorNotRetried(t *testing.T) {
+	n := newTestNode(t, 100, 600, 6)
+	addr := startDaemon(t, n, n.model)
+	remote, err := NewRemoteFleet(n.csr, n.feats, n.g.NumTypes, n.model, n.plan, fleetConfig(), []string{addr})
+	if err != nil {
+		t.Fatalf("NewRemoteFleet: %v", err)
+	}
+	t.Cleanup(remote.Close)
+
+	conn := remote.conns[0]
+	if _, err := conn.Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{-1}}); err == nil {
+		t.Fatal("out-of-range vertex accepted over the wire")
+	} else if !strings.Contains(err.Error(), "outside owned range") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if _, err := conn.Expand(&ExpandArgs{Level: 0, Dim: 5, Verts: []int32{1}}); err == nil {
+		t.Fatal("wrong Dim accepted over the wire")
+	} else if !strings.Contains(err.Error(), "request claims 5") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	// The connection survived both rejections: a valid call still works.
+	if _, err := conn.Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{1}}); err != nil {
+		t.Fatalf("healthy call after rejections: %v", err)
+	}
+}
+
+// TestDispatchCloseRace is the regression for the send-on-closed-channel
+// panic: hedged or straggling dispatches racing Fleet.Close used to
+// select `reqCh <- c` after `close(reqCh)` and bring the process down.
+// Shutdown now signals through the closed channel only; a straggler gets
+// a draining error, never a panic. 100 iterations under -race.
+func TestDispatchCloseRace(t *testing.T) {
+	n := newTestNode(t, 40, 200, 2)
+	for i := 0; i < 100; i++ {
+		s, err := NewShard(0, 0, int32(n.g.NumVertices), n.csr, n.feats, n.g.NumTypes, n.model, n.plan,
+			NodeConfig{Workers: 2, Fanouts: []int{4, 4}, Seed: 3})
+		if err != nil {
+			t.Fatalf("NewShard: %v", err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for k := 0; k < 25; k++ {
+					v := int32((w*25 + k) % n.g.NumVertices)
+					// Draining errors are expected once Close lands; the
+					// invariant under test is no panic and no lost reply.
+					s.Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{v}})
+				}
+			}(w)
+		}
+		close(start)
+		s.Close() // races the dispatchers above
+		wg.Wait()
+		if got := s.InFlight(); got != 0 {
+			t.Fatalf("iteration %d: %d RPCs still in flight after Close+drain", i, got)
+		}
+	}
+}

@@ -1,0 +1,581 @@
+// Package wire is the sharded tier's network protocol: a length-prefixed
+// binary codec for the router↔shard RPC messages plus the fleet-join
+// handshake. Everything on the wire is flat little-endian int32/float32
+// payloads encoded by hand — no reflection, no per-field allocation on
+// the encode path — so encoded sizes are exact, cheap to compute without
+// encoding (the router's byte accounting uses the Size functions), and
+// float rows round-trip bit-for-bit, which is what keeps cross-process
+// logits bitwise-identical to single-node serving.
+//
+// Framing: every message is [u32 length][u8 type][payload], where length
+// covers the type byte plus the payload. Frames above MaxFrame are
+// rejected before any allocation, and every decoder is strict — lengths
+// must match the remaining bytes exactly, booleans must be 0 or 1, and
+// trailing bytes are an error — so any accepted payload re-encodes to
+// the same bytes (the fuzz harness pins this canonical-form property).
+//
+// Versioning rides in the Hello handshake, not per frame: the router
+// opens every connection with a Hello carrying ProtoVersion plus the
+// full fleet configuration (bounds, sampler seed, engine, plan, a hash
+// of the model parameters), and the shard rejects anything it cannot
+// serve bitwise-identically. After a HelloOK the stream is a strict
+// request/reply alternation, so no per-frame version tag is needed.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ProtoVersion is bumped on any incompatible codec or handshake change;
+// a shard rejects a Hello whose version it does not speak.
+const ProtoVersion = 1
+
+// MaxFrame bounds one frame (type byte + payload). A length prefix past
+// it is a protocol violation, rejected before allocating anything.
+const MaxFrame = 1 << 28
+
+// headerLen is the frame overhead: u32 length + u8 type.
+const headerLen = 5
+
+// MsgType tags one frame.
+type MsgType byte
+
+const (
+	// MsgHello is the router→shard fleet-join handshake; it must be the
+	// first frame on every connection.
+	MsgHello MsgType = 1 + iota
+	// MsgHelloOK accepts a Hello (empty payload).
+	MsgHelloOK
+	// MsgError carries a shard-side error string, both for a rejected
+	// Hello and for a failed Expand/Compute.
+	MsgError
+	// MsgExpand / MsgExpandReply carry one Expand RPC.
+	MsgExpand
+	MsgExpandReply
+	// MsgCompute / MsgComputeReply carry one Compute RPC.
+	MsgCompute
+	MsgComputeReply
+)
+
+// String names the message type for protocol errors.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgHelloOK:
+		return "HelloOK"
+	case MsgError:
+		return "Error"
+	case MsgExpand:
+		return "Expand"
+	case MsgExpandReply:
+		return "ExpandReply"
+	case MsgCompute:
+		return "Compute"
+	case MsgComputeReply:
+		return "ComputeReply"
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// Decode errors. Transport code treats them as protocol violations (the
+// peer is broken, not slow), distinct from I/O errors.
+var (
+	ErrTruncated = errors.New("wire: truncated payload")
+	ErrTrailing  = errors.New("wire: trailing bytes after payload")
+	ErrOversize  = errors.New("wire: frame exceeds MaxFrame")
+)
+
+// ExpandArgs asks a shard to resolve one level's owned vertex span:
+// which rows are cached (returned inline), and what the deterministic
+// sampler's in-frontier is for the rest.
+type ExpandArgs struct {
+	Batch uint64 // trace id, threads obs spans through shard compute
+	Ver   uint64 // model version the caller's batch is coherent at
+	Level int    // 0 = input features, L = logits
+	Dim   int    // row width at this level
+	Verts []int32
+}
+
+// ExpandReply carries, per requested vertex: a hit flag plus the cached
+// row, or (levels ≥ 1) the sampled source ids of the miss. Rows is flat
+// [len(Verts)×Dim]; only hit rows are meaningful — except at level 0,
+// where the shard gathers its owned feature rows so misses come back
+// filled too and no second round trip is needed.
+type ExpandReply struct {
+	Hit  []bool
+	Rows []float32
+	Srcs [][]int32
+}
+
+// ComputeArgs asks a shard to run layer Level-1 for its owned miss
+// targets. In is the ascending deduplicated level-(Level-1) vertex set
+// the targets' blocks read (each target plus its sampled sources), and
+// Rows their rows, flat [len(In)×InDim]. The shard re-derives each
+// target's sampled slots with the same deterministic sampler the
+// expansion used, so edge types and canonical per-target edge order come
+// from its own CSR slice rather than riding the wire.
+type ComputeArgs struct {
+	Batch  uint64
+	Ver    uint64
+	Level  int
+	InDim  int
+	OutDim int
+	Verts  []int32
+	In     []int32
+	Rows   []float32
+}
+
+// ComputeReply returns the computed rows, flat [len(Verts)×OutDim], with
+// the between-layer activation already applied (ReLU below the top
+// level), exactly as the single-node forward splices them.
+type ComputeReply struct {
+	Rows []float32
+}
+
+// Hello is the fleet-join handshake: everything a shard daemon must agree
+// on before it can serve bitwise-identical rows — its identity and owned
+// range in the fleet, the frozen graph/model shape, the deterministic
+// sampler parameters, the execution engine, the tuned plan, and a hash of
+// the router's model parameters (same checkpoint or no deal).
+type Hello struct {
+	Proto       uint32
+	ShardID     int32
+	Shards      int32
+	Lo, Hi      int32 // owned vertex range [Lo, Hi)
+	NumVertices int64
+	NumEdges    int64
+	NumTypes    int32
+	InDim       int32
+	Hidden      int32
+	OutDim      int32
+	Layers      int32
+	Fanouts     []int32
+	Seed        uint64
+	ParamSum    uint64 // FNV-1a over the model's parameter bits
+	Kind        string // model kind, e.g. "RGCN"
+	Engine      string // execution engine name ("" = blocked)
+	Placement   string // boundary policy the router derived Lo/Hi with
+	Plan        []byte // marshaled joint plan (joint.MarshalPlan JSON)
+}
+
+// ---------------------------------------------------------------------
+// Encoding. Append* functions append one complete frame (header + type +
+// payload) to dst and return the extended slice; Size* return exactly the
+// number of bytes the matching Append* would add.
+
+func appendHeader(dst []byte, t MsgType, payloadLen int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen+1))
+	return append(dst, byte(t))
+}
+
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+
+func appendI32s(dst []byte, v []int32) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	for _, x := range v {
+		dst = appendU32(dst, uint32(x))
+	}
+	return dst
+}
+
+func appendF32s(dst []byte, v []float32) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	for _, x := range v {
+		dst = appendU32(dst, math.Float32bits(x))
+	}
+	return dst
+}
+
+func appendBools(dst []byte, v []bool) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	for _, x := range v {
+		if x {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func appendBytes(dst []byte, v []byte) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
+
+func appendString(dst []byte, v string) []byte {
+	dst = appendU32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
+
+// SizeExpandArgs is the exact frame size AppendExpandArgs produces.
+func SizeExpandArgs(a *ExpandArgs) int {
+	return headerLen + 8 + 8 + 4 + 4 + 4 + 4*len(a.Verts)
+}
+
+// AppendExpandArgs appends one Expand request frame.
+func AppendExpandArgs(dst []byte, a *ExpandArgs) []byte {
+	dst = appendHeader(dst, MsgExpand, SizeExpandArgs(a)-headerLen)
+	dst = appendU64(dst, a.Batch)
+	dst = appendU64(dst, a.Ver)
+	dst = appendU32(dst, uint32(int32(a.Level)))
+	dst = appendU32(dst, uint32(int32(a.Dim)))
+	return appendI32s(dst, a.Verts)
+}
+
+// SizeExpandReply is the exact frame size AppendExpandReply produces.
+func SizeExpandReply(r *ExpandReply) int {
+	n := headerLen + 4 + len(r.Hit) + 4 + 4*len(r.Rows) + 4
+	for _, s := range r.Srcs {
+		n += 4 + 4*len(s)
+	}
+	return n
+}
+
+// AppendExpandReply appends one Expand reply frame.
+func AppendExpandReply(dst []byte, r *ExpandReply) []byte {
+	dst = appendHeader(dst, MsgExpandReply, SizeExpandReply(r)-headerLen)
+	dst = appendBools(dst, r.Hit)
+	dst = appendF32s(dst, r.Rows)
+	dst = appendU32(dst, uint32(len(r.Srcs)))
+	for _, s := range r.Srcs {
+		dst = appendI32s(dst, s)
+	}
+	return dst
+}
+
+// SizeComputeArgs is the exact frame size AppendComputeArgs produces.
+func SizeComputeArgs(a *ComputeArgs) int {
+	return headerLen + 8 + 8 + 4 + 4 + 4 +
+		4 + 4*len(a.Verts) + 4 + 4*len(a.In) + 4 + 4*len(a.Rows)
+}
+
+// AppendComputeArgs appends one Compute request frame.
+func AppendComputeArgs(dst []byte, a *ComputeArgs) []byte {
+	dst = appendHeader(dst, MsgCompute, SizeComputeArgs(a)-headerLen)
+	dst = appendU64(dst, a.Batch)
+	dst = appendU64(dst, a.Ver)
+	dst = appendU32(dst, uint32(int32(a.Level)))
+	dst = appendU32(dst, uint32(int32(a.InDim)))
+	dst = appendU32(dst, uint32(int32(a.OutDim)))
+	dst = appendI32s(dst, a.Verts)
+	dst = appendI32s(dst, a.In)
+	return appendF32s(dst, a.Rows)
+}
+
+// SizeComputeReply is the exact frame size AppendComputeReply produces.
+func SizeComputeReply(r *ComputeReply) int {
+	return headerLen + 4 + 4*len(r.Rows)
+}
+
+// AppendComputeReply appends one Compute reply frame.
+func AppendComputeReply(dst []byte, r *ComputeReply) []byte {
+	dst = appendHeader(dst, MsgComputeReply, SizeComputeReply(r)-headerLen)
+	return appendF32s(dst, r.Rows)
+}
+
+// AppendHello appends one handshake frame.
+func AppendHello(dst []byte, h *Hello) []byte {
+	// 10 u32 fields + 4 u64 fields + 4 length-prefixed variable fields.
+	n := 4*10 + 8*4 + 4 + 4*len(h.Fanouts) +
+		4 + len(h.Kind) + 4 + len(h.Engine) + 4 + len(h.Placement) + 4 + len(h.Plan)
+	dst = appendHeader(dst, MsgHello, n)
+	dst = appendU32(dst, h.Proto)
+	dst = appendU32(dst, uint32(h.ShardID))
+	dst = appendU32(dst, uint32(h.Shards))
+	dst = appendU32(dst, uint32(h.Lo))
+	dst = appendU32(dst, uint32(h.Hi))
+	dst = appendU64(dst, uint64(h.NumVertices))
+	dst = appendU64(dst, uint64(h.NumEdges))
+	dst = appendU32(dst, uint32(h.NumTypes))
+	dst = appendU32(dst, uint32(h.InDim))
+	dst = appendU32(dst, uint32(h.Hidden))
+	dst = appendU32(dst, uint32(h.OutDim))
+	dst = appendU32(dst, uint32(h.Layers))
+	dst = appendI32s(dst, h.Fanouts)
+	dst = appendU64(dst, h.Seed)
+	dst = appendU64(dst, h.ParamSum)
+	dst = appendString(dst, h.Kind)
+	dst = appendString(dst, h.Engine)
+	dst = appendString(dst, h.Placement)
+	return appendBytes(dst, h.Plan)
+}
+
+// AppendHelloOK appends the empty handshake acceptance frame.
+func AppendHelloOK(dst []byte) []byte { return appendHeader(dst, MsgHelloOK, 0) }
+
+// AppendError appends one error frame carrying msg.
+func AppendError(dst []byte, msg string) []byte {
+	dst = appendHeader(dst, MsgError, 4+len(msg))
+	return appendString(dst, msg)
+}
+
+// ---------------------------------------------------------------------
+// Decoding. Every decoder is strict: exact lengths, 0/1 booleans, no
+// trailing bytes — a deserialized request is validated shape-first so a
+// malformed peer surfaces as a protocol error, never a panic.
+
+type reader struct {
+	p   []byte
+	err error
+}
+
+func (r *reader) fail() bool { return r.err != nil }
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.p) < n {
+		r.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.p)
+	r.p = r.p[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.p)
+	r.p = r.p[8:]
+	return v
+}
+
+// i32 decodes a sign-preserving 32-bit int (negative values survive the
+// round trip so range validation can reject them descriptively).
+func (r *reader) i32() int { return int(int32(r.u32())) }
+
+func (r *reader) i32s() []int32 {
+	n := int(r.u32())
+	if r.fail() || !r.need(4*n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.p[4*i:]))
+	}
+	r.p = r.p[4*n:]
+	return out
+}
+
+func (r *reader) f32s() []float32 {
+	n := int(r.u32())
+	if r.fail() || !r.need(4*n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.p[4*i:]))
+	}
+	r.p = r.p[4*n:]
+	return out
+}
+
+func (r *reader) bools() []bool {
+	n := int(r.u32())
+	if r.fail() || !r.need(n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		switch r.p[i] {
+		case 0:
+		case 1:
+			out[i] = true
+		default:
+			r.err = fmt.Errorf("wire: bool byte %d at %d", r.p[i], i)
+			return nil
+		}
+	}
+	r.p = r.p[n:]
+	return out
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.fail() || !r.need(n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.p)
+	r.p = r.p[n:]
+	return out
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.fail() || !r.need(n) {
+		return ""
+	}
+	s := string(r.p[:n])
+	r.p = r.p[n:]
+	return s
+}
+
+// done rejects trailing bytes — strict framing keeps every accepted
+// payload canonical.
+func (r *reader) done() error {
+	if r.err == nil && len(r.p) > 0 {
+		r.err = ErrTrailing
+	}
+	return r.err
+}
+
+// DecodeExpandArgs decodes one Expand request payload.
+func DecodeExpandArgs(p []byte) (*ExpandArgs, error) {
+	r := reader{p: p}
+	a := &ExpandArgs{
+		Batch: r.u64(),
+		Ver:   r.u64(),
+		Level: r.i32(),
+		Dim:   r.i32(),
+		Verts: r.i32s(),
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DecodeExpandReply decodes one Expand reply payload.
+func DecodeExpandReply(p []byte) (*ExpandReply, error) {
+	r := reader{p: p}
+	rep := &ExpandReply{Hit: r.bools(), Rows: r.f32s()}
+	n := int(r.u32())
+	if !r.fail() && n > 0 {
+		// Each entry needs at least its own length prefix.
+		if !r.need(4 * n) {
+			return nil, r.err
+		}
+		rep.Srcs = make([][]int32, n)
+		for i := range rep.Srcs {
+			rep.Srcs[i] = r.i32s()
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// DecodeComputeArgs decodes one Compute request payload.
+func DecodeComputeArgs(p []byte) (*ComputeArgs, error) {
+	r := reader{p: p}
+	a := &ComputeArgs{
+		Batch:  r.u64(),
+		Ver:    r.u64(),
+		Level:  r.i32(),
+		InDim:  r.i32(),
+		OutDim: r.i32(),
+		Verts:  r.i32s(),
+		In:     r.i32s(),
+		Rows:   r.f32s(),
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DecodeComputeReply decodes one Compute reply payload.
+func DecodeComputeReply(p []byte) (*ComputeReply, error) {
+	r := reader{p: p}
+	rep := &ComputeReply{Rows: r.f32s()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// DecodeHello decodes one handshake payload.
+func DecodeHello(p []byte) (*Hello, error) {
+	r := reader{p: p}
+	h := &Hello{
+		Proto:       r.u32(),
+		ShardID:     int32(r.u32()),
+		Shards:      int32(r.u32()),
+		Lo:          int32(r.u32()),
+		Hi:          int32(r.u32()),
+		NumVertices: int64(r.u64()),
+		NumEdges:    int64(r.u64()),
+		NumTypes:    int32(r.u32()),
+		InDim:       int32(r.u32()),
+		Hidden:      int32(r.u32()),
+		OutDim:      int32(r.u32()),
+		Layers:      int32(r.u32()),
+		Fanouts:     r.i32s(),
+		Seed:        r.u64(),
+		ParamSum:    r.u64(),
+		Kind:        r.str(),
+		Engine:      r.str(),
+		Placement:   r.str(),
+		Plan:        r.bytes(),
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// DecodeError decodes one error payload (best effort: a malformed error
+// frame still yields a string describing that).
+func DecodeError(p []byte) string {
+	r := reader{p: p}
+	s := r.str()
+	if r.done() != nil {
+		return fmt.Sprintf("malformed error frame (%d bytes)", len(p))
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+
+// ReadFrame reads one complete frame, returning its type and payload.
+// Oversize length prefixes are rejected before any allocation.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: empty frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(buf[0]), buf[1:], nil
+}

@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// The codec battery: every message round-trips exactly (including
+// zero-length and typed-edge payloads), Size* predicts encoded sizes to
+// the byte, and every accepted payload is canonical — decode∘encode is
+// the identity on it (the fuzz harness pins that for hostile inputs).
+
+func frame(t *testing.T, b []byte) (MsgType, []byte) {
+	t.Helper()
+	mt, payload, err := ReadFrame(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return mt, payload
+}
+
+func expandArgsCases() []*ExpandArgs {
+	return []*ExpandArgs{
+		{},
+		{Batch: 7, Ver: 3, Level: 0, Dim: 12, Verts: []int32{0, 5, 9}},
+		{Batch: ^uint64(0), Ver: 1, Level: 2, Dim: 1, Verts: []int32{2147483647, -1}},
+		{Level: -3, Dim: -7}, // negatives must survive so validation can reject them
+	}
+}
+
+func TestExpandArgsRoundTrip(t *testing.T) {
+	for _, a := range expandArgsCases() {
+		b := AppendExpandArgs(nil, a)
+		if len(b) != SizeExpandArgs(a) {
+			t.Fatalf("SizeExpandArgs=%d, encoded %d", SizeExpandArgs(a), len(b))
+		}
+		mt, payload := frame(t, b)
+		if mt != MsgExpand {
+			t.Fatalf("type %v", mt)
+		}
+		got, err := DecodeExpandArgs(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("round trip %+v != %+v", got, a)
+		}
+	}
+}
+
+func expandReplyCases() []*ExpandReply {
+	return []*ExpandReply{
+		{},
+		{Hit: []bool{true, false}, Rows: []float32{1, -2.5, float32(math.Inf(1)), 0}},
+		{
+			Hit:  []bool{false, false, true},
+			Rows: []float32{math.Float32frombits(0x7fc00001)}, // NaN payload bits must survive
+			Srcs: [][]int32{{1, 2}, nil, {9}},
+		},
+	}
+}
+
+func TestExpandReplyRoundTrip(t *testing.T) {
+	for _, r := range expandReplyCases() {
+		b := AppendExpandReply(nil, r)
+		if len(b) != SizeExpandReply(r) {
+			t.Fatalf("SizeExpandReply=%d, encoded %d", SizeExpandReply(r), len(b))
+		}
+		mt, payload := frame(t, b)
+		if mt != MsgExpandReply {
+			t.Fatalf("type %v", mt)
+		}
+		got, err := DecodeExpandReply(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		// Compare bitwise: NaN != NaN under DeepEqual's float semantics is
+		// fine (DeepEqual on float32 NaN returns false), so compare bits.
+		if len(got.Rows) != len(r.Rows) {
+			t.Fatalf("rows %d != %d", len(got.Rows), len(r.Rows))
+		}
+		for i := range got.Rows {
+			if math.Float32bits(got.Rows[i]) != math.Float32bits(r.Rows[i]) {
+				t.Fatalf("row bits %d: %08x != %08x", i, math.Float32bits(got.Rows[i]), math.Float32bits(r.Rows[i]))
+			}
+		}
+		if !reflect.DeepEqual(got.Hit, r.Hit) || !reflect.DeepEqual(got.Srcs, r.Srcs) {
+			t.Fatalf("round trip %+v != %+v", got, r)
+		}
+	}
+}
+
+func TestComputeRoundTrip(t *testing.T) {
+	args := []*ComputeArgs{
+		{},
+		{
+			Batch: 11, Ver: 2, Level: 1, InDim: 8, OutDim: 4,
+			Verts: []int32{3, 7}, In: []int32{1, 3, 7, 9},
+			Rows: []float32{0.5, -1, 2, 3, 4, 5, 6, 7},
+		},
+	}
+	for _, a := range args {
+		b := AppendComputeArgs(nil, a)
+		if len(b) != SizeComputeArgs(a) {
+			t.Fatalf("SizeComputeArgs=%d, encoded %d", SizeComputeArgs(a), len(b))
+		}
+		mt, payload := frame(t, b)
+		if mt != MsgCompute {
+			t.Fatalf("type %v", mt)
+		}
+		got, err := DecodeComputeArgs(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("round trip %+v != %+v", got, a)
+		}
+	}
+	reps := []*ComputeReply{{}, {Rows: []float32{1, 2, -3}}}
+	for _, r := range reps {
+		b := AppendComputeReply(nil, r)
+		if len(b) != SizeComputeReply(r) {
+			t.Fatalf("SizeComputeReply=%d, encoded %d", SizeComputeReply(r), len(b))
+		}
+		mt, payload := frame(t, b)
+		if mt != MsgComputeReply {
+			t.Fatalf("type %v", mt)
+		}
+		got, err := DecodeComputeReply(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("round trip %+v != %+v", got, r)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	hs := []*Hello{
+		{},
+		{
+			Proto: ProtoVersion, ShardID: 1, Shards: 4, Lo: 100, Hi: 250,
+			NumVertices: 423, NumEdges: 5912, NumTypes: 8,
+			InDim: 128, Hidden: 16, OutDim: 40, Layers: 2,
+			Fanouts: []int32{4, 4}, Seed: 9, ParamSum: 0xdeadbeefcafef00d,
+			Kind: "RGCN", Engine: "fused", Placement: "edge",
+			Plan: []byte(`{"version":1}`),
+		},
+	}
+	for _, h := range hs {
+		b := AppendHello(nil, h)
+		mt, payload := frame(t, b)
+		if mt != MsgHello {
+			t.Fatalf("type %v", mt)
+		}
+		got, err := DecodeHello(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, h) {
+			t.Fatalf("round trip %+v != %+v", got, h)
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	for _, msg := range []string{"", "shard 3: vertex 9 outside owned range [0,5)"} {
+		mt, payload := frame(t, AppendError(nil, msg))
+		if mt != MsgError {
+			t.Fatalf("type %v", mt)
+		}
+		if got := DecodeError(payload); got != msg {
+			t.Fatalf("round trip %q != %q", got, msg)
+		}
+	}
+}
+
+func TestStrictDecoding(t *testing.T) {
+	good := AppendExpandArgs(nil, &ExpandArgs{Dim: 4, Verts: []int32{1}})
+	payload := good[5:]
+
+	// Truncation anywhere must fail, never panic or mis-parse.
+	for i := 0; i < len(payload); i++ {
+		if _, err := DecodeExpandArgs(payload[:i]); err == nil {
+			t.Fatalf("truncated to %d bytes decoded", i)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := DecodeExpandArgs(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Non-0/1 bool bytes are rejected (canonical form).
+	rep := AppendExpandReply(nil, &ExpandReply{Hit: []bool{true}})
+	bad := append([]byte(nil), rep[5:]...)
+	bad[4] = 2 // the hit byte after the count prefix
+	if _, err := DecodeExpandReply(bad); err == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+	// A hostile element count cannot drive a huge allocation: the count
+	// is checked against the remaining bytes before any make().
+	hostile := []byte{0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeComputeReply(hostile); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+}
+
+func TestReadFrameRejectsOversizeAndEmpty(t *testing.T) {
+	var hdr []byte
+	hdr = append(hdr, 0xff, 0xff, 0xff, 0xff) // length way past MaxFrame
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+// FuzzDecode pins the canonical-form property: any payload a decoder
+// accepts must re-encode to exactly the bytes that were decoded. This
+// rules out silent truncation, non-canonical booleans, and any length/
+// content disagreement an attacker could smuggle through the codec.
+func FuzzDecode(f *testing.F) {
+	f.Add(byte(MsgExpand), AppendExpandArgs(nil, &ExpandArgs{Batch: 1, Dim: 4, Verts: []int32{1, 2}})[5:])
+	f.Add(byte(MsgExpandReply), AppendExpandReply(nil, &ExpandReply{Hit: []bool{true, false}, Rows: []float32{1, 2}, Srcs: [][]int32{{3}, nil}})[5:])
+	f.Add(byte(MsgCompute), AppendComputeArgs(nil, &ComputeArgs{Level: 1, InDim: 2, OutDim: 2, Verts: []int32{0}, In: []int32{0, 1}, Rows: []float32{1, 2, 3, 4}})[5:])
+	f.Add(byte(MsgComputeReply), AppendComputeReply(nil, &ComputeReply{Rows: []float32{5}})[5:])
+	f.Add(byte(MsgHello), AppendHello(nil, &Hello{Proto: 1, Shards: 2, Fanouts: []int32{4}, Kind: "SAGE", Plan: []byte("{}")})[5:])
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		var reencoded []byte
+		switch MsgType(kind) {
+		case MsgExpand:
+			a, err := DecodeExpandArgs(payload)
+			if err != nil {
+				return
+			}
+			reencoded = AppendExpandArgs(nil, a)
+		case MsgExpandReply:
+			r, err := DecodeExpandReply(payload)
+			if err != nil {
+				return
+			}
+			reencoded = AppendExpandReply(nil, r)
+		case MsgCompute:
+			a, err := DecodeComputeArgs(payload)
+			if err != nil {
+				return
+			}
+			reencoded = AppendComputeArgs(nil, a)
+		case MsgComputeReply:
+			r, err := DecodeComputeReply(payload)
+			if err != nil {
+				return
+			}
+			reencoded = AppendComputeReply(nil, r)
+		case MsgHello:
+			h, err := DecodeHello(payload)
+			if err != nil {
+				return
+			}
+			reencoded = AppendHello(nil, h)
+		default:
+			return
+		}
+		if !bytes.Equal(reencoded[5:], payload) {
+			t.Fatalf("accepted payload is not canonical:\n in  %x\n out %x", payload, reencoded[5:])
+		}
+	})
+}

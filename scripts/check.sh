@@ -142,6 +142,10 @@ echo "== fuzz smokes (5s each)"
 go test ./internal/nn/ -run '^$' -fuzz '^FuzzCheckpointLoad$' -fuzztime=5s >/dev/null
 go test ./internal/nn/ -run '^$' -fuzz '^FuzzConfigRoundTrip$' -fuzztime=5s >/dev/null
 go test ./internal/graph/ -run '^$' -fuzz '^FuzzCSRBuild$' -fuzztime=5s >/dev/null
+# The shard wire codec faces the network: any accepted payload must be
+# canonical (decode∘encode is the identity) and no hostile length may
+# panic or allocate unboundedly.
+go test ./internal/shard/wire/ -run '^$' -fuzz '^FuzzDecode$' -fuzztime=5s >/dev/null
 echo "fuzz smokes OK"
 
 # End-to-end serving smoke test: train a tiny checkpoint, serve it over
@@ -239,6 +243,74 @@ awk -v q1="$(qps_of "$SMOKE/shard1.log")" -v q2="$(qps_of "$SMOKE/shard2.log")" 
   if (q4 <= 1.5 * q1) { print "FAIL: 4-shard QPS not >1.5x single-shard under Zipf 1.2"; exit 1 }
 }'
 echo "sharded scaling smoke OK"
+
+# TCP cross-process sharding smoke: two wisegraph-shard daemons serving
+# the trained checkpoint over localhost, a router pointed at them with
+# -shard-addrs, and a single-node reference on the same checkpoint. The
+# logits over the wire must be byte-identical to single-node, and a
+# SIGTERM must drain router and both daemons to in-flight=0.
+echo "== TCP sharded serving smoke (2 daemons + router, logits parity)"
+go build -o "$SMOKE/" ./cmd/wisegraph-shard
+SHARD_PIDS=()
+SHARD_ADDRS=()
+for i in 1 2; do
+  "$SMOKE/wisegraph-shard" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
+    -addr 127.0.0.1:0 >"$SMOKE/tcpshard$i.log" 2>&1 &
+  SHARD_PIDS+=($!)
+done
+for i in 1 2; do
+  A=""
+  for _ in $(seq 1 100); do
+    A="$(sed -n 's/^wisegraph-shard listening on //p' "$SMOKE/tcpshard$i.log")"
+    [ -n "$A" ] && break
+    sleep 0.1
+  done
+  [ -n "$A" ] || { echo "FAIL: shard daemon $i did not start"; cat "$SMOKE/tcpshard$i.log"; exit 1; }
+  SHARD_ADDRS+=("$A")
+done
+"$SMOKE/wisegraph-serve" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
+  -addr 127.0.0.1:0 -shard-addrs "${SHARD_ADDRS[0]},${SHARD_ADDRS[1]}" \
+  >"$SMOKE/tcprouter.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's#.*listening on http://##p' "$SMOKE/tcprouter.log")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: TCP router did not start"; cat "$SMOKE/tcprouter.log"; exit 1; }
+"$SMOKE/wisegraph-serve" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
+  -addr 127.0.0.1:0 >"$SMOKE/tcpref.log" 2>&1 &
+REF_PID=$!
+REF_ADDR=""
+for _ in $(seq 1 100); do
+  REF_ADDR="$(sed -n 's#.*listening on http://##p' "$SMOKE/tcpref.log")"
+  [ -n "$REF_ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$REF_ADDR" ] || { echo "FAIL: reference serve did not start"; cat "$SMOKE/tcpref.log"; exit 1; }
+REQ='{"nodes":[0,7,42,100,311],"logits":true}'
+logits_of() { curl -sf "http://$1/predict" -d "$REQ" | sed -n 's/.*"logits":\(.*\),"latencyMs".*/\1/p'; }
+TCP_LOGITS="$(logits_of "$ADDR")"
+REF_LOGITS="$(logits_of "$REF_ADDR")"
+[ -n "$TCP_LOGITS" ] || { echo "FAIL: TCP router returned no logits"; cat "$SMOKE/tcprouter.log"; exit 1; }
+[ "$TCP_LOGITS" = "$REF_LOGITS" ] \
+  || { echo "FAIL: TCP logits differ from single-node"; echo "tcp: $TCP_LOGITS"; echo "ref: $REF_LOGITS"; exit 1; }
+kill -TERM "$REF_PID" && wait "$REF_PID" \
+  || { echo "FAIL: reference serve exited non-zero"; cat "$SMOKE/tcpref.log"; exit 1; }
+kill -TERM "$SERVE_PID" && wait "$SERVE_PID" \
+  || { echo "FAIL: TCP router exited non-zero"; cat "$SMOKE/tcprouter.log"; exit 1; }
+SERVE_PID=""
+grep -q 'drained: in-flight=0' "$SMOKE/tcprouter.log" \
+  || { echo "FAIL: TCP router drain left requests in flight"; cat "$SMOKE/tcprouter.log"; exit 1; }
+for i in 1 2; do
+  kill -TERM "${SHARD_PIDS[$((i-1))]}"
+  wait "${SHARD_PIDS[$((i-1))]}" \
+    || { echo "FAIL: shard daemon $i exited non-zero"; cat "$SMOKE/tcpshard$i.log"; exit 1; }
+  grep -q 'drained: in-flight=0' "$SMOKE/tcpshard$i.log" \
+    || { echo "FAIL: shard daemon $i drain left RPCs in flight"; cat "$SMOKE/tcpshard$i.log"; exit 1; }
+done
+echo "TCP sharded serving smoke OK"
 
 # Kill/restart resume smoke: a training run with per-epoch
 # auto-checkpoints is killed (-9) mid-run, then restarted with -resume.
