@@ -71,6 +71,7 @@ func main() {
 		placement   = flag.String("placement", "", "shard boundary policy: vertex|edge|cost (default edge)")
 		shardTmo    = flag.Duration("shard-timeout", 250*time.Millisecond, "per-shard-RPC deadline (modeled stragglers at/past it are retried)")
 		shardAddrs  = flag.String("shard-addrs", "", "comma-separated wisegraph-shard daemon addresses: serve through remote TCP shards, one per address (overrides -shards; daemons must be started with the same dataset/checkpoint flags)")
+		replicas    = flag.Int("replicas", 1, "replicas per shard span: reads fail over and hedge across them (with -shard-addrs, the list groups into R-way replica sets, all replicas of span 0 first)")
 	)
 	flag.Parse()
 	if *faultSpec != "" {
@@ -119,6 +120,7 @@ func main() {
 		CacheShards:    *cacheShards,
 		CacheWarm:      *cacheWarm,
 		Shards:         *shards,
+		Replicas:       *replicas,
 		ShardPlacement: *placement,
 		ShardTimeout:   *shardTmo,
 	}
@@ -164,8 +166,8 @@ func main() {
 			*cacheBudget, scope, m.Cfg.Layers+1)
 	}
 	if fl := engine.Fleet(); fl != nil {
-		fmt.Printf("sharded tier: %d shards (%s placement), bounds %v, rpc timeout %v\n",
-			fl.Size(), fl.Placement(), fl.Bounds(), *shardTmo)
+		fmt.Printf("sharded tier: %d shards x %d replicas (%s placement), bounds %v, rpc timeout %v\n",
+			fl.Size(), fl.Replicas(), fl.Placement(), fl.Bounds(), *shardTmo)
 	}
 	if *cacheWarm > 0 {
 		st := engine.Stats()

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -49,6 +50,7 @@ func main() {
 		hidden      = flag.Int("hidden", 64, "hidden dim for v1 checkpoints or untrained serving")
 		layers      = flag.Int("layers", 3, "layer count for v1 checkpoints or untrained serving")
 		addr        = flag.String("addr", "127.0.0.1:0", "listen address (use :0 for an ephemeral port)")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty disables)")
 		workers     = flag.Int("workers", 2, "RPC worker pool size (this node's compute budget)")
 		cacheBudget = flag.String("cache-budget", "0", "this node's hot-vertex cache budget, e.g. 64MiB (0 disables)")
 		cacheShards = flag.Int("cache-shards", 0, "cache lock-stripe count (default 8)")
@@ -88,6 +90,16 @@ func main() {
 	}
 	fmt.Printf("wisegraph-shard listening on %s\n", ln.Addr())
 
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-metrics-addr: %w", err))
+		}
+		fmt.Printf("wisegraph-shard metrics on %s\n", mln.Addr())
+		go http.Serve(mln, sv.MetricsHandler())
+		defer mln.Close()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- sv.Serve(ln) }()
 
@@ -111,6 +123,9 @@ func main() {
 		lo, hi := s.Bounds()
 		line += fmt.Sprintf(" shard=%d range=[%d,%d) cache-hits=%d cache-misses=%d cache-bytes=%d",
 			s.ID(), lo, hi, cs.Hits, cs.Misses, cs.Bytes)
+		if h := sv.Ident(); h != nil {
+			line += fmt.Sprintf(" replica=%d/%d", h.Replica, h.Replicas)
+		}
 	}
 	fmt.Println(line)
 }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that r holds syntactically valid Prometheus
+// text exposition (format version 0.0.4): every line is a comment, a
+// well-formed `# TYPE family type` declaration, a blank, or a sample
+// `name{labels} value`; every sample's value parses as a float; and
+// every sampled family was TYPE-declared before its first sample (the
+// contract PromWriter maintains and scrapers rely on). Tests and the CI
+// smoke run curl'd /metrics bodies through it so a malformed label
+// escape or a stray printf can never ship as "metrics that look fine in
+// less".
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	typed := map[string]string{}
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 || !nameRe.MatchString(fields[2]) {
+				return fmt.Errorf("expfmt line %d: malformed TYPE declaration %q", n, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("expfmt line %d: unknown metric type %q", n, fields[3])
+			}
+			if _, dup := typed[fields[2]]; dup {
+				return fmt.Errorf("expfmt line %d: duplicate TYPE for %s", n, fields[2])
+			}
+			typed[fields[2]] = fields[3]
+		case strings.HasPrefix(line, "#"):
+			continue // HELP or free comment
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("expfmt line %d: malformed sample %q", n, line)
+			}
+			name, val := m[1], m[3]
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("expfmt line %d: bad value %q: %v", n, val, err)
+			}
+			if familyTyped(typed, name) == "" {
+				return fmt.Errorf("expfmt line %d: sample %s has no preceding TYPE declaration", n, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("expfmt: %w", err)
+	}
+	if n == 0 {
+		return fmt.Errorf("expfmt: empty exposition")
+	}
+	return nil
+}
+
+var (
+	nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// name, optional {label="value",...} block, value, optional timestamp.
+	sampleRe = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)` +
+			`(\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})?` +
+			` (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)` +
+			`( -?[0-9]+)?$`)
+)
+
+// familyTyped resolves a sample name to its declared family type,
+// stripping the histogram/summary series suffixes.
+func familyTyped(typed map[string]string, name string) string {
+	if t, ok := typed[name]; ok {
+		return t
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := typed[base]; t == "histogram" || t == "summary" {
+				return t
+			}
+		}
+	}
+	return ""
+}

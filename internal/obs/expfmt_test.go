@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateExpositionAcceptsPromWriter: everything PromWriter can
+// emit — counters, gauges, labeled series, histograms with elided
+// buckets, stage families — must pass the validator. The two are the two
+// halves of one contract.
+func TestValidateExpositionAcceptsPromWriter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("wisegraph_rpcs_total", "", 42)
+	p.Counter("wisegraph_rpcs_total", `type="expand"`, 41)
+	p.Gauge("wisegraph_in_flight", `shard="0",replica="1"`, 3)
+	p.Gauge("wisegraph_weird_values", "", -0.25e-9)
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Second)
+	p.Histogram("wisegraph_rpc_duration_seconds", `type="expand"`, &h)
+	p.HistogramFromBuckets("wisegraph_batch_size", "", []float64{1, 8, 64}, []uint64{2, 0, 1}, 73)
+	p.StageHistograms("wisegraph_stage_duration_seconds")
+	if err := p.Err(); err != nil {
+		t.Fatalf("PromWriter: %v", err)
+	}
+	if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("validator rejected PromWriter output: %v\n%s", err, buf.String())
+	}
+}
+
+// TestValidateExpositionRejects: each malformation a stray printf could
+// introduce must be caught, with the offending line in the error.
+func TestValidateExpositionRejects(t *testing.T) {
+	for name, tc := range map[string]struct {
+		in   string
+		want string
+	}{
+		"empty":            {"", "empty exposition"},
+		"untypedSample":    {"wisegraph_x 1\n", "no preceding TYPE"},
+		"badValue":         {"# TYPE wisegraph_x gauge\nwisegraph_x 1.2.3\n", "malformed sample"},
+		"unquotedLabel":    {"# TYPE wisegraph_x gauge\nwisegraph_x{shard=0} 1\n", "malformed sample"},
+		"missingValue":     {"# TYPE wisegraph_x gauge\nwisegraph_x{shard=\"0\"}\n", "malformed sample"},
+		"badName":          {"# TYPE wisegraph_x gauge\n9graph 1\n", "malformed sample"},
+		"unknownType":      {"# TYPE wisegraph_x flotilla\nwisegraph_x 1\n", "unknown metric type"},
+		"truncatedType":    {"# TYPE wisegraph_x\n", "malformed TYPE"},
+		"duplicateType":    {"# TYPE wisegraph_x gauge\n# TYPE wisegraph_x counter\n", "duplicate TYPE"},
+		"bucketNoFamily":   {"# TYPE wisegraph_x gauge\nwisegraph_y_bucket{le=\"+Inf\"} 3\n", "no preceding TYPE"},
+		"bucketWrongKind":  {"# TYPE wisegraph_x gauge\nwisegraph_x_bucket{le=\"+Inf\"} 3\n", "no preceding TYPE"},
+		"plainTextLeakage": {"panic: runtime error\n", "malformed sample"},
+	} {
+		err := ValidateExposition(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted %q", name, tc.in)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateExpositionHistogramSuffixes: _bucket/_sum/_count resolve
+// through a histogram TYPE; comments, blanks and timestamps are legal.
+func TestValidateExpositionHistogramSuffixes(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP wisegraph_lat request latency",
+		"# TYPE wisegraph_lat histogram",
+		`wisegraph_lat_bucket{le="0.1"} 1`,
+		`wisegraph_lat_bucket{le="+Inf"} 2`,
+		"wisegraph_lat_sum 0.5",
+		"wisegraph_lat_count 2",
+		"",
+		"# TYPE wisegraph_up gauge",
+		"wisegraph_up 1 1712000000000",
+		"wisegraph_up_nan NaN",
+	}, "\n") + "\n"
+	// The NaN sample has no TYPE — split the check in two.
+	if err := ValidateExposition(strings.NewReader(strings.Replace(in, "wisegraph_up_nan", "wisegraph_up", 1))); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if err := ValidateExposition(strings.NewReader(in)); err == nil {
+		t.Fatal("undeclared wisegraph_up_nan accepted")
+	}
+}

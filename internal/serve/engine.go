@@ -106,6 +106,13 @@ type Options struct {
 	// CacheBudget becomes a PER-SHARD budget (each simulated node brings
 	// its own RAM). Logits stay bitwise-identical to single-node serving.
 	Shards int
+	// Replicas serves each shard span with R interchangeable nodes
+	// (default 1 = unreplicated): the router fails over and hedges reads
+	// across a span's replicas, first answer wins. Both RPC kinds are
+	// pure functions of (request, model version), so any replica's answer
+	// is bitwise the answer. With ShardAddrs, the flat address list must
+	// group into R-way replica sets (all replicas of span 0 first).
+	Replicas int
 	// ShardPlacement picks the shard boundary policy: "vertex", "edge"
 	// (default) or "cost" — see internal/shard.ParsePlacement.
 	ShardPlacement string
@@ -150,6 +157,8 @@ func (o Options) Validate(layers int) error {
 		return fmt.Errorf("serve: negative cache warm-up count %d", o.CacheWarm)
 	case o.Shards < 0:
 		return fmt.Errorf("serve: negative shard count %d", o.Shards)
+	case o.Replicas < 0:
+		return fmt.Errorf("serve: negative replica count %d", o.Replicas)
 	case o.ShardTimeout < 0:
 		return fmt.Errorf("serve: negative shard timeout %v", o.ShardTimeout)
 	case o.CacheWarm > 0 && o.CacheBudget <= 0 && len(o.ShardAddrs) == 0:
@@ -157,8 +166,15 @@ func (o Options) Validate(layers int) error {
 		// flags the router never sees, so warm-up is meaningful there
 		// even with no router-side budget.
 		return fmt.Errorf("serve: cache warm-up %d requested with caching disabled", o.CacheWarm)
-	case o.Shards > 1 && len(o.ShardAddrs) > 0 && o.Shards != len(o.ShardAddrs):
-		return fmt.Errorf("serve: %d shards requested but %d shard addresses given", o.Shards, len(o.ShardAddrs))
+	}
+	if r := max(o.Replicas, 1); len(o.ShardAddrs) > 0 {
+		if len(o.ShardAddrs)%r != 0 {
+			return fmt.Errorf("serve: %d shard addresses cannot form %d-way replica groups", len(o.ShardAddrs), r)
+		}
+		if o.Shards > 1 && o.Shards != len(o.ShardAddrs)/r {
+			return fmt.Errorf("serve: %d shards requested but %d shard addresses at %d replicas give %d",
+				o.Shards, len(o.ShardAddrs), r, len(o.ShardAddrs)/r)
+		}
 	}
 	if _, err := shard.ParsePlacement(o.ShardPlacement); err != nil {
 		return err
@@ -206,8 +222,11 @@ func (o Options) withDefaults(layers int) Options {
 		spec := device.A100()
 		o.Spec = &spec
 	}
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
 	if len(o.ShardAddrs) > 0 {
-		o.Shards = len(o.ShardAddrs)
+		o.Shards = len(o.ShardAddrs) / o.Replicas
 	}
 	if o.Shards < 1 {
 		o.Shards = 1
@@ -315,7 +334,7 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		stats:   newStats(opts.BatchCap),
 		drained: make(chan struct{}),
 	}
-	sharded := opts.Shards > 1 || len(opts.ShardAddrs) > 0
+	sharded := opts.Shards > 1 || opts.Replicas > 1 || len(opts.ShardAddrs) > 0
 	if !sharded {
 		e.cache = hotcache.New(hotcache.Config{Budget: opts.CacheBudget, Shards: opts.CacheShards})
 	}
@@ -338,6 +357,7 @@ func NewEngine(ds *dataset.Dataset, model *nn.Model, opts Options) (*Engine, err
 		}
 		cfg := shard.Config{
 			Shards:      opts.Shards,
+			Replicas:    opts.Replicas,
 			Placement:   pl,
 			Workers:     opts.Workers,
 			Fanouts:     opts.Fanouts,
@@ -783,6 +803,7 @@ func (e *Engine) Stats() Snapshot {
 	}
 	if e.fleet != nil {
 		snap.Shards = e.fleet.Size()
+		snap.ShardReplicas = e.fleet.Replicas()
 		snap.ShardPlacement = e.fleet.Placement().String()
 		snap.PerShard = e.fleet.Stats()
 		snap.ShardRetries, snap.ShardHedges, snap.ShardTimeouts, snap.ShardFailures = e.fleet.Resilience()

@@ -175,6 +175,7 @@ type Snapshot struct {
 	// PerShard carries the per-shard breakdown including each shard's
 	// router-side RPC QPS and latency quantiles.
 	Shards         int           `json:"shards,omitempty"`
+	ShardReplicas  int           `json:"shardReplicas,omitempty"`
 	ShardPlacement string        `json:"shardPlacement,omitempty"`
 	ShardRetries   uint64        `json:"shardRetries,omitempty"`
 	ShardHedges    uint64        `json:"shardHedges,omitempty"`
@@ -285,6 +286,12 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			p.Counter("wisegraph_shard_cache_hits_total", l, float64(ss.CacheHits))
 			p.Counter("wisegraph_shard_cache_misses_total", l, float64(ss.CacheMisses))
 			p.Gauge("wisegraph_shard_cache_bytes_resident", l, float64(ss.CacheBytes))
+			for _, rs := range ss.Replicas {
+				rl := l + `,replica="` + strconv.Itoa(rs.Replica) + `"`
+				p.Gauge("wisegraph_shard_replica_health", rl, rs.Health)
+				p.Counter("wisegraph_shard_replica_wins_total", rl, float64(rs.Wins))
+				p.Counter("wisegraph_shard_replica_fails_total", rl, float64(rs.Fails))
+			}
 		}
 	}
 

@@ -34,9 +34,11 @@ func predictLogits(t *testing.T, e *Engine, nodes []int32) [][]float32 {
 
 // TestShardedParityMatrix is the tentpole guarantee: logits from the
 // sharded tier are bitwise-identical to single-node serving across
-// 1/2/4 shards × all three engines × 1/8 workers. Every shard rebuilds
-// its blocks with the same deterministic sampler and canonical edge
-// order, so not one float may differ.
+// 1/2/4 shards × 1/2 replicas × all three engines × 1/8 workers. Every
+// shard rebuilds its blocks with the same deterministic sampler and
+// canonical edge order, and every replica of a span is the same pure
+// function of (request, model version), so not one float may differ —
+// whichever replica the rotation or a hedge hands the call to.
 func TestShardedParityMatrix(t *testing.T) {
 	const v = 60
 	ds := testDataset(t, v, 300, 12, 5, 2, 11)
@@ -54,29 +56,34 @@ func TestShardedParityMatrix(t *testing.T) {
 	}
 
 	for _, shards := range []int{1, 2, 4} {
-		for _, engine := range kernels.EngineNames() {
-			for _, workers := range []int{1, 8} {
-				name := fmt.Sprintf("shards=%d/%s/workers=%d", shards, engine, workers)
-				t.Run(name, func(t *testing.T) {
-					e := testEngine(t, ds, m, Options{
-						Shards: shards, Workers: workers, Engine: engine,
-						Seed: 9, Plan: ref.Plan(),
-					})
-					if shards > 1 && e.Fleet() == nil {
-						t.Fatal("sharded options built no fleet")
-					}
-					for i, nodes := range requests {
-						got := predictLogits(t, e, nodes)
-						for j := range got {
-							for k := range got[j] {
-								if got[j][k] != want[i][j][k] {
-									t.Fatalf("request %d node %d logit %d: %v != single-node %v",
-										i, j, k, got[j][k], want[i][j][k])
+		for _, replicas := range []int{1, 2} {
+			for _, engine := range kernels.EngineNames() {
+				for _, workers := range []int{1, 8} {
+					name := fmt.Sprintf("shards=%d/r=%d/%s/workers=%d", shards, replicas, engine, workers)
+					t.Run(name, func(t *testing.T) {
+						e := testEngine(t, ds, m, Options{
+							Shards: shards, Replicas: replicas, Workers: workers, Engine: engine,
+							Seed: 9, Plan: ref.Plan(),
+						})
+						if (shards > 1 || replicas > 1) && e.Fleet() == nil {
+							t.Fatal("sharded options built no fleet")
+						}
+						if fl := e.Fleet(); fl != nil && fl.Replicas() != replicas {
+							t.Fatalf("fleet has %d replicas, want %d", fl.Replicas(), replicas)
+						}
+						for i, nodes := range requests {
+							got := predictLogits(t, e, nodes)
+							for j := range got {
+								for k := range got[j] {
+									if got[j][k] != want[i][j][k] {
+										t.Fatalf("request %d node %d logit %d: %v != single-node %v",
+											i, j, k, got[j][k], want[i][j][k])
+									}
 								}
 							}
 						}
-					}
-				})
+					})
+				}
 			}
 		}
 	}

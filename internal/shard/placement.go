@@ -113,6 +113,27 @@ func edgeBounds(csr *graph.CSR, n int) []int32 {
 	return b
 }
 
+// AssignReplicas groups a flat daemon address list into the per-span
+// replica sets of an R-way replicated placement: addrs[s*r : s*r+r] are
+// the r interchangeable owners of span s, so out[s][j] is replica j of
+// span s. This is the replica half of a placement — Boundaries picks
+// where the spans fall, AssignReplicas says who serves each one. The
+// flat order (all replicas of span 0, then span 1, ...) is the order
+// -shard-addrs flags and Hello handshakes use everywhere.
+func AssignReplicas(addrs []string, r int) ([][]string, error) {
+	if r < 1 {
+		r = 1
+	}
+	if len(addrs) == 0 || len(addrs)%r != 0 {
+		return nil, fmt.Errorf("shard: %d addresses cannot form %d-way replica groups", len(addrs), r)
+	}
+	out := make([][]string, len(addrs)/r)
+	for s := range out {
+		out[s] = addrs[s*r : (s+1)*r : (s+1)*r]
+	}
+	return out, nil
+}
+
 // FleetPrice prices one candidate split with the α+β link model: per
 // shard, the bandwidth-bound aggregation compute over its owned in-edges
 // plus one collective that ships every remote source row it references

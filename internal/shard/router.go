@@ -1,8 +1,10 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -22,8 +24,15 @@ import (
 // Config sizes a fleet. The serve engine fills it from its own resolved
 // options so sharded and single-node serving share every knob.
 type Config struct {
-	// Shards is the node count (min 1).
+	// Shards is the span count — how many contiguous vertex ranges the
+	// graph splits into (min 1).
 	Shards int
+	// Replicas is how many interchangeable nodes serve each span (min 1;
+	// 1 = unreplicated). Every replica of a span holds the same graph
+	// slice, plan and parameters, so reads fail over and hedge freely —
+	// both RPC kinds are pure functions of (request, model version), so
+	// any replica's answer is bitwise the answer.
+	Replicas int
 	// Placement picks the boundary policy (see Boundaries).
 	Placement Placement
 	// Workers is the per-shard RPC worker pool size.
@@ -43,13 +52,17 @@ type Config struct {
 	CacheBudget int64
 	CacheShards int
 	// Timeout is the per-RPC deadline: a modeled straggle at or beyond it
-	// counts as a timeout and takes the retry path (default 250ms).
+	// counts as a timeout and takes the retry path (default 250ms). The
+	// replica hedge delay derives from it (Timeout/4).
 	Timeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.Shards < 1 {
 		c.Shards = 1
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
 	}
 	if c.Workers < 1 {
 		c.Workers = 1
@@ -71,14 +84,72 @@ func (c Config) withDefaults() Config {
 // re-issue (safe: both RPCs are idempotent pure functions of the request
 // and model version). A straggle at or past the configured Timeout is a
 // timeout — counted separately and retried.
+//
+// With replicas the ladder gains a layer underneath: each attempt is a
+// hedged issue across the span's replica set (healthiest first, a real
+// wall-clock hedge after Timeout/4, immediate failover on error), so the
+// outer retries only fire when EVERY replica of a span failed.
 const (
 	rpcAttempts    = 5
 	rpcBackoffBase = 100 * time.Microsecond
 	rpcHedgeAfter  = time.Millisecond
 )
 
-// shardStats is the router-side accounting for one shard.
+// Per-replica health scoring: a score in (healthFloor, 1], recovered
+// multiplicatively toward 1 on success and halved on transport failure.
+// Replica order quantizes the score to eighths so healthy replicas stay
+// interchangeable (rotation spreads load) while a flapping daemon sinks
+// below the pack after one failure and climbs back only by answering.
+const (
+	healthRecover = 0.25
+	healthDecay   = 0.5
+	healthFloor   = 1.0 / 1024
+)
+
+// replicaHealth is one replica's routing score plus win/fail counters.
+type replicaHealth struct {
+	bits  atomic.Uint64 // math.Float64bits of the score
+	wins  atomic.Uint64
+	fails atomic.Uint64
+}
+
+func newReplicaHealth() *replicaHealth {
+	h := &replicaHealth{}
+	h.bits.Store(math.Float64bits(1))
+	return h
+}
+
+func (h *replicaHealth) score() float64 { return math.Float64frombits(h.bits.Load()) }
+
+func (h *replicaHealth) good() {
+	h.wins.Add(1)
+	for {
+		old := h.bits.Load()
+		s := math.Float64frombits(old)
+		s += (1 - s) * healthRecover
+		if h.bits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+func (h *replicaHealth) bad() {
+	h.fails.Add(1)
+	for {
+		old := h.bits.Load()
+		s := math.Float64frombits(old) * healthDecay
+		if s < healthFloor {
+			s = healthFloor
+		}
+		if h.bits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// shardStats is the router-side accounting for one span.
 type shardStats struct {
+	rot      atomic.Uint64 // rotation spreading load across equal-health replicas
 	rpcs     atomic.Uint64
 	computes atomic.Uint64
 	retries  atomic.Uint64
@@ -90,9 +161,19 @@ type shardStats struct {
 	lat      obs.Histogram
 }
 
-// Stats is one shard's externally visible snapshot: ownership range,
-// router-side RPC traffic and resilience counters, and the shard's cache
-// accounting. wgserve-bench records one per shard in its -json output.
+// ReplicaStats is one replica's routing view: its health score and how
+// often it won (answered a call the router used) or failed.
+type ReplicaStats struct {
+	Replica int     `json:"replica"`
+	Health  float64 `json:"health"`
+	Wins    uint64  `json:"wins"`
+	Fails   uint64  `json:"fails"`
+}
+
+// Stats is one span's externally visible snapshot: ownership range,
+// router-side RPC traffic and resilience counters, the shard's cache
+// accounting, and the per-replica health scores. wgserve-bench records
+// one per span in its -json output.
 type Stats struct {
 	ID       int     `json:"id"`
 	Lo       int32   `json:"lo"`
@@ -114,6 +195,8 @@ type Stats struct {
 	CacheMisses  uint64 `json:"cacheMisses"`
 	CacheBytes   int64  `json:"cacheBytes"`
 	CacheEntries int    `json:"cacheEntries"`
+
+	Replicas []ReplicaStats `json:"replicas,omitempty"`
 }
 
 // Fleet is the router front-end plus its shards: it partitions the vertex
@@ -127,6 +210,11 @@ type Stats struct {
 // the shards themselves) or remote (NewRemoteFleet: shards live in
 // wisegraph-shard daemons, conns are tcpConns). All routing flows through
 // Conn, so Forward and the parity guarantee are transport-blind.
+//
+// Everything replica-shaped is indexed [span][replica]: conns[s][r] is
+// replica r of span s, health[s][r] its routing score. Unreplicated
+// fleets are the R=1 degenerate case — no hedge timers, no failover, the
+// exact pre-replication behavior.
 type Fleet struct {
 	cfg    Config
 	csr    *graph.CSR
@@ -136,16 +224,17 @@ type Fleet struct {
 	plan   *joint.Result
 
 	bounds []int32
-	shards []*Shard // nil for a remote fleet
-	conns  []Conn
+	shards [][]*Shard // nil for a remote fleet
+	conns  [][]Conn
+	health [][]*replicaHealth
 	stats  []*shardStats
 	start  time.Time
 }
 
-// NewFleet splits csr's vertex space across cfg.Shards nodes and starts
-// every shard's worker pool. ntypes is the parent graph's edge-type count
-// (shard-rebuilt blocks must declare it exactly as the single-node
-// forward does).
+// NewFleet splits csr's vertex space across cfg.Shards spans, each served
+// by cfg.Replicas in-process shard nodes, and starts every shard's worker
+// pool. ntypes is the parent graph's edge-type count (shard-rebuilt
+// blocks must declare it exactly as the single-node forward does).
 func NewFleet(csr *graph.CSR, feats *tensor.Tensor, ntypes int, src *nn.Model, plan *joint.Result, cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Fanouts) != src.Cfg.Layers {
@@ -157,30 +246,46 @@ func NewFleet(csr *graph.CSR, feats *tensor.Tensor, ntypes int, src *nn.Model, p
 		start:  time.Now(),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s, err := newShard(i, f.bounds[i], f.bounds[i+1], f)
-		if err != nil {
-			f.Close()
-			return nil, err
+		var group []*Shard
+		var conns []Conn
+		var hs []*replicaHealth
+		for r := 0; r < cfg.Replicas; r++ {
+			s, err := newShard(i, f.bounds[i], f.bounds[i+1], f)
+			if err != nil {
+				f.shards = append(f.shards, group)
+				f.Close()
+				return nil, err
+			}
+			group = append(group, s)
+			conns = append(conns, s)
+			hs = append(hs, newReplicaHealth())
 		}
-		f.shards = append(f.shards, s)
-		f.conns = append(f.conns, s)
+		f.shards = append(f.shards, group)
+		f.conns = append(f.conns, conns)
+		f.health = append(f.health, hs)
 		f.stats = append(f.stats, &shardStats{})
 	}
 	return f, nil
 }
 
-// NewRemoteFleet builds a router over wisegraph-shard daemons, one per
-// address. The router derives the same boundaries the daemons will
-// recompute, then dials each daemon with a Hello carrying the full fleet
-// configuration (identity, bounds, graph/model shape, sampler seed,
+// NewRemoteFleet builds a router over wisegraph-shard daemons. The flat
+// address list groups into cfg.Replicas-way replica sets per span
+// (AssignReplicas order: all replicas of span 0, then span 1, ...). The
+// router derives the same boundaries the daemons will recompute, then
+// dials each daemon with a Hello carrying the full fleet configuration
+// (identity incl. replica id, bounds, graph/model shape, sampler seed,
 // engine, marshaled plan, parameter hash) — any daemon that cannot serve
 // bitwise-identically rejects it and construction fails.
 func NewRemoteFleet(csr *graph.CSR, feats *tensor.Tensor, ntypes int, src *nn.Model, plan *joint.Result, cfg Config, addrs []string) (*Fleet, error) {
-	cfg.Shards = len(addrs)
-	cfg = cfg.withDefaults()
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("shard: no shard addresses")
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
 	}
+	groups, err := AssignReplicas(addrs, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Shards = len(groups)
+	cfg = cfg.withDefaults()
 	if len(cfg.Fanouts) != src.Cfg.Layers {
 		return nil, fmt.Errorf("shard: %d fan-outs for a %d-layer model", len(cfg.Fanouts), src.Cfg.Layers)
 	}
@@ -198,34 +303,44 @@ func NewRemoteFleet(csr *graph.CSR, feats *tensor.Tensor, ntypes int, src *nn.Mo
 		fanouts[i] = int32(fo)
 	}
 	sum := ParamSum(src)
-	for i, addr := range addrs {
-		h := &wire.Hello{
-			Proto:       wire.ProtoVersion,
-			ShardID:     int32(i),
-			Shards:      int32(cfg.Shards),
-			Lo:          f.bounds[i],
-			Hi:          f.bounds[i+1],
-			NumVertices: int64(len(csr.RowPtr) - 1),
-			NumEdges:    int64(len(csr.Col)),
-			NumTypes:    int32(ntypes),
-			InDim:       int32(src.Cfg.InDim),
-			Hidden:      int32(src.Cfg.Hidden),
-			OutDim:      int32(src.Cfg.OutDim),
-			Layers:      int32(src.Cfg.Layers),
-			Fanouts:     fanouts,
-			Seed:        cfg.Seed,
-			ParamSum:    sum,
-			Kind:        src.Cfg.Kind.String(),
-			Engine:      cfg.Engine,
-			Placement:   cfg.Placement.String(),
-			Plan:        planBytes,
+	for i, group := range groups {
+		var conns []Conn
+		var hs []*replicaHealth
+		for r, addr := range group {
+			h := &wire.Hello{
+				Proto:       wire.ProtoVersion,
+				ShardID:     int32(i),
+				Shards:      int32(cfg.Shards),
+				Replica:     int32(r),
+				Replicas:    int32(cfg.Replicas),
+				Lo:          f.bounds[i],
+				Hi:          f.bounds[i+1],
+				NumVertices: int64(len(csr.RowPtr) - 1),
+				NumEdges:    int64(len(csr.Col)),
+				NumTypes:    int32(ntypes),
+				InDim:       int32(src.Cfg.InDim),
+				Hidden:      int32(src.Cfg.Hidden),
+				OutDim:      int32(src.Cfg.OutDim),
+				Layers:      int32(src.Cfg.Layers),
+				Fanouts:     fanouts,
+				Seed:        cfg.Seed,
+				ParamSum:    sum,
+				Kind:        src.Cfg.Kind.String(),
+				Engine:      cfg.Engine,
+				Placement:   cfg.Placement.String(),
+				Plan:        planBytes,
+			}
+			c, err := newTCPConn(addr, h, cfg.Timeout)
+			if err != nil {
+				f.conns = append(f.conns, conns)
+				f.Close()
+				return nil, err
+			}
+			conns = append(conns, c)
+			hs = append(hs, newReplicaHealth())
 		}
-		c, err := newTCPConn(addr, h, cfg.Timeout)
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		f.conns = append(f.conns, c)
+		f.conns = append(f.conns, conns)
+		f.health = append(f.health, hs)
 		f.stats = append(f.stats, &shardStats{})
 	}
 	return f, nil
@@ -238,18 +353,25 @@ func (f *Fleet) Remote() bool { return len(f.shards) == 0 && len(f.conns) > 0 }
 // remote connection. Callers must guarantee no Forward is in flight or
 // will be issued again.
 func (f *Fleet) Close() {
-	for _, s := range f.shards {
-		s.Close()
+	for _, group := range f.shards {
+		for _, s := range group {
+			s.Close()
+		}
 	}
-	for _, c := range f.conns {
-		if tc, ok := c.(*tcpConn); ok {
-			tc.close()
+	for _, group := range f.conns {
+		for _, c := range group {
+			if tc, ok := c.(*tcpConn); ok {
+				tc.close()
+			}
 		}
 	}
 }
 
-// Size returns the shard count.
+// Size returns the span count.
 func (f *Fleet) Size() int { return len(f.conns) }
+
+// Replicas returns the per-span replica count.
+func (f *Fleet) Replicas() int { return f.cfg.Replicas }
 
 // Bounds returns the contiguous ownership boundaries (len Size()+1).
 func (f *Fleet) Bounds() []int32 { return f.bounds }
@@ -262,8 +384,10 @@ func (f *Fleet) Placement() Placement { return f.cfg.Placement }
 // serve engine's own in-flight count).
 func (f *Fleet) InFlight() int64 {
 	var n int64
-	for _, s := range f.shards {
-		n += s.InFlight()
+	for _, group := range f.shards {
+		for _, s := range group {
+			n += s.InFlight()
+		}
 	}
 	return n
 }
@@ -274,26 +398,31 @@ func (f *Fleet) InFlight() int64 {
 // their checkpoints, so reload (and with it this sweep) is rejected one
 // layer up for remote fleets; here it is simply a no-op.
 func (f *Fleet) InvalidateTo(ver uint64) {
-	for _, s := range f.shards {
-		s.cache.InvalidateTo(ver)
+	for _, group := range f.shards {
+		for _, s := range group {
+			s.cache.InvalidateTo(ver)
+		}
 	}
 }
 
 // CacheStats aggregates the per-shard caches into one fleet-wide view
-// (capacity sums too: each shard brings its own budget).
+// (capacity sums too: each shard — every replica — brings its own
+// budget).
 func (f *Fleet) CacheStats() hotcache.Stats {
 	var t hotcache.Stats
-	for _, s := range f.shards {
-		cs := s.cache.Snapshot()
-		t.Hits += cs.Hits
-		t.Misses += cs.Misses
-		t.Admitted += cs.Admitted
-		t.Evicted += cs.Evicted
-		t.Rejected += cs.Rejected
-		t.Flushes += cs.Flushes
-		t.Bytes += cs.Bytes
-		t.Entries += cs.Entries
-		t.Capacity += cs.Capacity
+	for _, group := range f.shards {
+		for _, s := range group {
+			cs := s.cache.Snapshot()
+			t.Hits += cs.Hits
+			t.Misses += cs.Misses
+			t.Admitted += cs.Admitted
+			t.Evicted += cs.Evicted
+			t.Rejected += cs.Rejected
+			t.Flushes += cs.Flushes
+			t.Bytes += cs.Bytes
+			t.Entries += cs.Entries
+			t.Capacity += cs.Capacity
+		}
 	}
 	return t
 }
@@ -302,17 +431,23 @@ func (f *Fleet) CacheStats() hotcache.Stats {
 // metrics can aggregate fleet compute exactly like worker compute.
 func (f *Fleet) Devices() []*device.Device {
 	var out []*device.Device
-	for _, s := range f.shards {
-		out = append(out, s.devs...)
+	for _, group := range f.shards {
+		for _, s := range group {
+			out = append(out, s.devs...)
+		}
 	}
 	return out
 }
 
-// Stats snapshots every shard. For a remote fleet the shard-side fields
-// (in-flight, cache) stay zero — those live in the daemons, which report
-// them on their own stderr; the router-side traffic and resilience
-// counters are exact either way (byte counts are real encoded frame
-// sizes on both transports).
+// Health returns replica r of span s's current routing score (tests and
+// metrics read it; routing itself goes through replicaOrder).
+func (f *Fleet) Health(s, r int) float64 { return f.health[s][r].score() }
+
+// Stats snapshots every span. For a remote fleet the shard-side fields
+// (in-flight, cache) stay zero — those live in the daemons, which serve
+// them on their own /metrics endpoint; the router-side traffic and
+// resilience counters are exact either way (byte counts are real encoded
+// frame sizes on both transports, booked once per winning attempt).
 func (f *Fleet) Stats() []Stats {
 	up := time.Since(f.start).Seconds()
 	out := make([]Stats, len(f.stats))
@@ -330,14 +465,23 @@ func (f *Fleet) Stats() []Stats {
 			BytesIn:  st.bytesIn.Load(),
 			BytesOut: st.bytesOut.Load(),
 		}
+		for r, h := range f.health[i] {
+			o.Replicas = append(o.Replicas, ReplicaStats{
+				Replica: r,
+				Health:  h.score(),
+				Wins:    h.wins.Load(),
+				Fails:   h.fails.Load(),
+			})
+		}
 		if i < len(f.shards) {
-			s := f.shards[i]
-			cs := s.cache.Snapshot()
-			o.InFlight = s.InFlight()
-			o.CacheHits = cs.Hits
-			o.CacheMisses = cs.Misses
-			o.CacheBytes = cs.Bytes
-			o.CacheEntries = cs.Entries
+			for _, s := range f.shards[i] {
+				cs := s.cache.Snapshot()
+				o.InFlight += s.InFlight()
+				o.CacheHits += cs.Hits
+				o.CacheMisses += cs.Misses
+				o.CacheBytes += cs.Bytes
+				o.CacheEntries += cs.Entries
+			}
 		}
 		if up > 0 {
 			o.QPS = float64(o.RPCs) / up
@@ -347,7 +491,7 @@ func (f *Fleet) Stats() []Stats {
 	return out
 }
 
-// Resilience sums the router-side resilience counters across shards.
+// Resilience sums the router-side resilience counters across spans.
 func (f *Fleet) Resilience() (retries, hedges, timeouts, failures uint64) {
 	for _, st := range f.stats {
 		retries += st.retries.Load()
@@ -358,15 +502,153 @@ func (f *Fleet) Resilience() (retries, hedges, timeouts, failures uint64) {
 	return
 }
 
+// replicaOrder ranks span s's replicas for the next issue: healthiest
+// first with scores quantized to eighths, so equally healthy replicas
+// stay interchangeable and the rotation counter spreads load across them
+// instead of hammering replica 0. The counter is PER SPAN: spans issue
+// their calls in near-lockstep (one goroutine per owned span, every
+// level), so a fleet-global counter would hand every span the same
+// parity forever and one replica of each span would never see traffic.
+func (f *Fleet) replicaOrder(s int) []int {
+	n := len(f.conns[s])
+	if n == 1 {
+		return []int{0}
+	}
+	rot := int(f.stats[s].rot.Add(1))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = (rot + i) % n
+	}
+	q := func(r int) int { return int(f.health[s][r].score() * 8) }
+	sort.SliceStable(order, func(a, b int) bool { return q(order[a]) > q(order[b]) })
+	return order
+}
+
+// observe feeds one attempt's outcome into the replica's health score.
+// Only transport errors demote: an application error from the shard
+// (ownership or protocol violation) is a deterministic property of the
+// request — every replica would answer it identically, so it says
+// nothing about this replica's availability.
+func (f *Fleet) observe(s, r int, err error) {
+	h := f.health[s][r]
+	if err == nil {
+		h.good()
+		return
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		h.bad()
+	}
+}
+
+// issue runs one RPC attempt against span s's replica set: the healthiest
+// replica fires first; a real wall-clock hedge (Timeout/4) launches the
+// next-ranked replica if the leader stalls, and an error from any
+// launched replica fails over to the next immediately. First success
+// wins — the shared context is canceled so losers stop waiting (the TCP
+// transport frees the window slot and later drops the stale reply by
+// reqid; the in-process transport abandons the reply wait). Only when
+// every replica has failed does an error surface to the retry ladder
+// above. With one replica this collapses to a plain call — no timer, no
+// extra goroutine handoff cost beyond one.
+//
+// issue returns only the winning attempt's value: byte accounting and
+// row splicing upstream see exactly one reply per successful call, never
+// a loser's — that is the fix for the double-booked Expand bytes the
+// old shared-reply capture allowed under timeout retries.
+func (f *Fleet) issue(s int, do func(context.Context, Conn) (any, error)) (any, error) {
+	order := f.replicaOrder(s)
+	conns := f.conns[s]
+	if len(order) == 1 {
+		v, err := do(context.Background(), conns[order[0]])
+		f.observe(s, order[0], err)
+		if err != nil {
+			f.noteTimeout(s, err)
+		}
+		return v, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		r   int
+		v   any
+		err error
+	}
+	ch := make(chan result, len(order))
+	launched, pending := 0, 0
+	launch := func() {
+		r := order[launched]
+		launched++
+		pending++
+		go func() {
+			v, err := do(ctx, conns[r])
+			ch <- result{r: r, v: v, err: err}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(f.cfg.Timeout / 4)
+	defer hedge.Stop()
+
+	var appErr, transErr error
+	for {
+		select {
+		case <-hedge.C:
+			if launched < len(order) {
+				f.stats[s].hedges.Add(1)
+				launch()
+				hedge.Reset(f.cfg.Timeout / 4)
+			}
+		case res := <-ch:
+			pending--
+			f.observe(s, res.r, res.err)
+			if res.err == nil {
+				return res.v, nil
+			}
+			f.noteTimeout(s, res.err)
+			var te *TransportError
+			if errors.As(res.err, &te) {
+				transErr = res.err
+			} else if appErr == nil {
+				appErr = res.err
+			}
+			if launched < len(order) {
+				// Failover: don't wait for the hedge timer once a replica
+				// has definitively failed.
+				f.stats[s].retries.Add(1)
+				launch()
+			} else if pending == 0 {
+				// All replicas answered with errors. A deterministic
+				// application error beats a transport error: it tells the
+				// caller the request itself is wrong, and retrying won't
+				// change it.
+				if appErr != nil {
+					return nil, appErr
+				}
+				return nil, transErr
+			}
+		}
+	}
+}
+
+// noteTimeout books a transport timeout against the span's counter.
+func (f *Fleet) noteTimeout(s int, err error) {
+	var te *TransportError
+	if errors.As(err, &te) && te.Timeout {
+		f.stats[s].timeouts.Add(1)
+	}
+}
+
 // call runs one RPC through the shard.rpc fault site and the retry/hedge/
-// timeout ladder. do must be idempotent (both RPC kinds are). Two error
-// classes come back from a conn: a TransportError (dial failure, broken
-// stream, deadline on the TCP transport) is retryable — the conn redials
-// and the RPC re-issues under the same ladder that absorbs injected
-// faults — while an application error from the shard is deterministic
-// (ownership or protocol violation) and surfaces immediately instead of
-// burning retries.
-func (f *Fleet) call(s int, do func(Conn) error) error {
+// timeout ladder, returning the winning attempt's reply. do must be
+// idempotent (both RPC kinds are). Two error classes come back from an
+// issue: a TransportError (dial failure, broken stream, deadline on the
+// TCP transport) is retryable — the conn redials and the RPC re-issues
+// under the same ladder that absorbs injected faults — while an
+// application error from the shard is deterministic (ownership or
+// protocol violation) and surfaces immediately instead of burning
+// retries.
+func (f *Fleet) call(s int, do func(context.Context, Conn) (any, error)) (any, error) {
 	st := f.stats[s]
 	st.rpcs.Add(1)
 	t0 := time.Now()
@@ -399,22 +681,19 @@ func (f *Fleet) call(s int, do func(Conn) error) error {
 			flt = &fault.Fault{Site: flt.Site, Kind: fault.KindError, Seq: flt.Seq}
 		}
 		if flt == nil {
-			err := do(f.conns[s])
+			v, err := f.issue(s, do)
 			if err == nil {
-				return nil
+				return v, nil
 			}
 			var te *TransportError
 			if errors.As(err, &te) && attempt < rpcAttempts-1 {
-				if te.Timeout {
-					st.timeouts.Add(1)
-				}
 				st.retries.Add(1)
 				time.Sleep(backoff)
 				backoff *= 2
 				continue
 			}
 			st.failures.Add(1)
-			return err
+			return nil, err
 		}
 		// Injected error, corruption, or timeout: back off and retry.
 		if attempt < rpcAttempts-1 {
@@ -424,11 +703,37 @@ func (f *Fleet) call(s int, do func(Conn) error) error {
 			backoff *= 2
 		} else {
 			st.failures.Add(1)
-			return fmt.Errorf("shard: rpc to shard %d failed after %d attempts: %w",
+			return nil, fmt.Errorf("shard: rpc to shard %d failed after %d attempts: %w",
 				s, rpcAttempts, flt.Err())
 		}
 	}
-	return nil
+	return nil, nil
+}
+
+// callExpand runs one Expand through the full ladder and returns ONLY the
+// winning attempt's reply — concurrent hedged losers never leak a reply
+// out, so the caller books request/reply bytes exactly once per call.
+func (f *Fleet) callExpand(s int, args *ExpandArgs) (*ExpandReply, error) {
+	v, err := f.call(s, func(ctx context.Context, c Conn) (any, error) {
+		rep, err := c.Expand(ctx, args)
+		return rep, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ExpandReply), nil
+}
+
+// callCompute is callExpand's Compute twin.
+func (f *Fleet) callCompute(s int, args *ComputeArgs) (*ComputeReply, error) {
+	v, err := f.call(s, func(ctx context.Context, c Conn) (any, error) {
+		rep, err := c.Compute(ctx, args)
+		return rep, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ComputeReply), nil
 }
 
 // ownerSpan is one shard's contiguous slice of a sorted vertex list.
@@ -443,7 +748,7 @@ type ownerSpan struct {
 func (f *Fleet) spansOf(verts []int32) []ownerSpan {
 	var out []ownerSpan
 	i := 0
-	for s := 0; s < len(f.conns) && i < len(verts); s++ {
+	for s := 0; s+1 < len(f.bounds) && i < len(verts); s++ {
 		hi := f.bounds[s+1]
 		j := i
 		for j < len(verts) && verts[j] < hi {
@@ -491,7 +796,8 @@ func newRLevel(verts []int32, dim int) *rlevel {
 // → row map, exactly like serve's forwardLeveled — rows are bitwise-
 // identical to single-node serving because every shard rebuilds its
 // blocks with the same deterministic sampler, canonical edge order,
-// frozen plan and engine accumulators.
+// frozen plan and engine accumulators (and every replica of a span is
+// the same pure function, so failover never changes a bit).
 //
 // sp is the caller's already-open sample-stage span; it stays open across
 // the whole top-down phase (shard-side cache and exec spans record under
@@ -573,19 +879,16 @@ func (f *Fleet) expandLevel(batchID, ver uint64, level, dim int, rl *rlevel) err
 				Batch: batchID, Ver: ver, Level: level, Dim: dim,
 				Verts: rl.verts[os.lo:os.hi],
 			}
-			var rep *ExpandReply
-			err := f.call(os.shard, func(c Conn) error {
-				var err error
-				rep, err = c.Expand(args)
-				return err
-			})
+			rep, err := f.callExpand(os.shard, args)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			st := f.stats[os.shard]
 			// Exact encoded frame sizes, whatever the transport — the TCP
-			// path puts exactly these bytes on the wire.
+			// path puts exactly these bytes on the wire. Booked once per
+			// call from the winning reply: hedged or retried losers never
+			// reach this line.
 			st.bytesOut.Add(uint64(wire.SizeExpandArgs(args)))
 			st.bytesIn.Add(uint64(wire.SizeExpandReply(rep)))
 			copy(rl.rows[os.lo*dim:os.hi*dim], rep.Rows)
@@ -665,12 +968,7 @@ func (f *Fleet) computeLevel(batchID, ver uint64, level, inDim, outDim int, rl, 
 				InDim: inDim, OutDim: outDim,
 				Verts: targets, In: in, Rows: rows,
 			}
-			var rep *ComputeReply
-			err := f.call(os.shard, func(c Conn) error {
-				var err error
-				rep, err = c.Compute(args)
-				return err
-			})
+			rep, err := f.callCompute(os.shard, args)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"wisegraph/internal/shard/wire"
@@ -35,26 +36,31 @@ type (
 	ComputeReply = wire.ComputeReply
 )
 
-// Conn is one shard's RPC endpoint as the router sees it.
+// Conn is one shard's RPC endpoint as the router sees it. The context
+// carries hedged-read cancellation: when another replica answers first,
+// the router cancels the losers, and a transport may use that to stop
+// waiting (the in-process transport abandons the wait; the TCP transport
+// additionally frees its in-flight window slot — the late reply is
+// dropped by the demux).
 type Conn interface {
 	// Expand probes the shard's per-layer cache for the given owned
 	// vertices and samples the in-frontier of the misses.
-	Expand(args *ExpandArgs) (*ExpandReply, error)
+	Expand(ctx context.Context, args *ExpandArgs) (*ExpandReply, error)
 	// Compute runs one model layer for the given owned target vertices
 	// over shipped lower-level input rows.
-	Compute(args *ComputeArgs) (*ComputeReply, error)
+	Compute(ctx context.Context, args *ComputeArgs) (*ComputeReply, error)
 }
 
 // Expand implements Conn in-process: the request crosses a channel into
 // the shard's worker pool and the reply comes back on a per-call channel.
-func (s *Shard) Expand(args *ExpandArgs) (*ExpandReply, error) {
-	rep, err := s.dispatch(call{expand: args})
+func (s *Shard) Expand(ctx context.Context, args *ExpandArgs) (*ExpandReply, error) {
+	rep, err := s.dispatch(ctx, call{expand: args})
 	return rep.expand, err
 }
 
 // Compute implements Conn in-process.
-func (s *Shard) Compute(args *ComputeArgs) (*ComputeReply, error) {
-	rep, err := s.dispatch(call{compute: args})
+func (s *Shard) Compute(ctx context.Context, args *ComputeArgs) (*ComputeReply, error) {
+	rep, err := s.dispatch(ctx, call{compute: args})
 	return rep.compute, err
 }
 
@@ -85,7 +91,10 @@ type reply struct {
 // the call up may still complete it — the result lands in the buffered
 // reply channel and is discarded, which is safe because both RPC kinds
 // are idempotent and side-effect-free beyond the shard's own cache).
-func (s *Shard) dispatch(c call) (reply, error) {
+// A canceled context (a hedged read lost to a faster replica) abandons
+// the call at either select; a worker that already picked it up still
+// completes it into the buffered reply channel, which is discarded.
+func (s *Shard) dispatch(ctx context.Context, c call) (reply, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	c.reply = make(chan reply, 1)
@@ -93,11 +102,15 @@ func (s *Shard) dispatch(c call) (reply, error) {
 	case s.reqCh <- c:
 	case <-s.closed:
 		return reply{}, fmt.Errorf("shard %d: draining", s.id)
+	case <-ctx.Done():
+		return reply{}, ctx.Err()
 	}
 	select {
 	case r := <-c.reply:
 		return r, r.err
 	case <-s.closed:
 		return reply{}, fmt.Errorf("shard %d: draining", s.id)
+	case <-ctx.Done():
+		return reply{}, ctx.Err()
 	}
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -119,11 +120,11 @@ func TestBoundariesProperties(t *testing.T) {
 func TestOwnershipValidation(t *testing.T) {
 	f := testFleet(t, testGraph(t, 100, 600, 2), 4, 1, 0)
 	foreign := f.bounds[1] // owned by shard 1, not shard 0
-	_, err := f.conns[0].Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{foreign}})
+	_, err := f.conns[0][0].Expand(context.Background(), &ExpandArgs{Level: 0, Dim: 8, Verts: []int32{foreign}})
 	if err == nil || !strings.Contains(err.Error(), "outside owned range") {
 		t.Fatalf("foreign Expand error = %v, want ownership rejection", err)
 	}
-	_, err = f.conns[0].Compute(&ComputeArgs{
+	_, err = f.conns[0][0].Compute(context.Background(), &ComputeArgs{
 		Level: 1, InDim: 8, OutDim: 8,
 		Verts: []int32{foreign}, In: []int32{foreign}, Rows: make([]float32, 8),
 	})
@@ -165,7 +166,10 @@ func TestCallLadderExhaustion(t *testing.T) {
 		Seed:  1,
 		Sites: map[string]fault.SiteConfig{fault.SiteShardRPC: {ErrorRate: 1}},
 	}, func() {
-		err := f.call(0, func(Conn) error { t.Fatal("do ran despite 100% error rate"); return nil })
+		_, err := f.call(0, func(context.Context, Conn) (any, error) {
+			t.Fatal("do ran despite 100% error rate")
+			return nil, nil
+		})
 		if err == nil || !fault.IsInjected(err) {
 			t.Fatalf("exhausted call error = %v, want injected", err)
 		}
@@ -190,7 +194,7 @@ func TestCallLadderHedge(t *testing.T) {
 	}, func() {
 		ran := false
 		start := time.Now()
-		if err := f.call(0, func(Conn) error { ran = true; return nil }); err != nil {
+		if _, err := f.call(0, func(context.Context, Conn) (any, error) { ran = true; return nil, nil }); err != nil {
 			t.Fatalf("hedged call failed: %v", err)
 		}
 		// Both the first draw and the hedge's re-draw straggle ([10,30)ms
@@ -223,7 +227,7 @@ func TestCallLadderTimeout(t *testing.T) {
 	}, func() {
 		start := time.Now()
 		for i := 0; i < 20; i++ {
-			if err := f.call(0, func(Conn) error { return nil }); err != nil {
+			if _, err := f.call(0, func(context.Context, Conn) (any, error) { return nil, nil }); err != nil {
 				t.Fatalf("call %d failed: %v", i, err)
 			}
 		}

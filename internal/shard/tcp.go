@@ -2,16 +2,19 @@ package shard
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wisegraph/internal/graph"
 	"wisegraph/internal/joint"
 	"wisegraph/internal/nn"
+	"wisegraph/internal/obs"
 	"wisegraph/internal/shard/wire"
 	"wisegraph/internal/tensor"
 )
@@ -21,10 +24,31 @@ import (
 // side, feeding decoded frames into the Shard worker pool. Each
 // connection opens with a Hello carrying the full fleet configuration;
 // the daemon is passive and interchangeable — it learns its shard
-// identity, owned range, sampler seed, engine and tuned plan from the
-// first Hello it accepts, and validates everything it can recompute
-// (boundaries, model shape, parameter hash) so a misconfigured fleet
-// fails at connect time instead of serving subtly different logits.
+// identity (including its replica id), owned range, sampler seed, engine
+// and tuned plan from the first Hello it accepts, and validates
+// everything it can recompute (boundaries, model shape, parameter hash)
+// so a misconfigured fleet fails at connect time instead of serving
+// subtly different logits.
+//
+// The transport is PIPELINED: one live connection per endpoint carries
+// many concurrent RPCs, each tagged with a request id the reply echoes.
+// A per-connection demux goroutine matches reply frames to waiting
+// callers; a bounded window caps in-flight requests per connection. A
+// per-call timer — not a socket deadline — enforces the RPC timeout, so
+// one slow call never poisons the shared stream: the caller gives up,
+// the stream stays healthy, and the late reply is dropped by the demux
+// when its reqid no longer has a waiter.
+
+// connWindow bounds in-flight RPCs per pipelined connection: enough to
+// keep a deep fan-out's expand/compute spans streaming without a
+// round-trip between them, small enough that a stalled daemon back-
+// pressures the router instead of buffering unboundedly.
+const connWindow = 32
+
+// serverWindow bounds concurrently executing handlers per accepted
+// connection on the daemon side (requests beyond it queue in the read
+// loop, which stops reading — TCP back-pressure does the rest).
+const serverWindow = 64
 
 // ParamSum hashes a model's parameter bits with FNV-1a. Router and
 // daemon must arrive at the same sum or the handshake fails: bitwise
@@ -66,17 +90,58 @@ func (e *TransportError) Error() string {
 
 func (e *TransportError) Unwrap() error { return e.Err }
 
-// tcpConn is one shard's endpoint over TCP. Connections are reused
-// across calls through a small idle pool, re-handshaken on dial, closed
-// on any error (the stream may be out of sync), and every call runs
-// under a full-call deadline.
+// pipeReply is one demuxed reply frame.
+type pipeReply struct {
+	t       wire.MsgType
+	payload []byte
+}
+
+// pipeConn is one live pipelined connection: a shared write path, a
+// demux goroutine reading reply frames, and the waiter table matching
+// reqids to callers. It fails as a unit — any read/write/framing error
+// closes done, wakes every waiter, and the endpoint redials lazily.
+type pipeConn struct {
+	nc     net.Conn
+	window chan struct{} // in-flight slots
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	waiters map[uint32]chan pipeReply
+
+	failOnce sync.Once
+	err      error
+	done     chan struct{} // closed after err is set
+}
+
+// fail marks the connection dead exactly once: the error is latched,
+// done closes (waking every waiter and the window acquirers), and the
+// socket closes (unblocking the demux read). Waiter channels are never
+// closed and never written by fail — waiters observe done — so no
+// Close/redial/demux interleaving can raise a send on a closed channel.
+func (pc *pipeConn) fail(err error) {
+	pc.failOnce.Do(func() {
+		pc.err = err
+		close(pc.done)
+		pc.nc.Close()
+	})
+}
+
+// tcpConn is one shard replica's endpoint over TCP: at most one live
+// pipelined connection, redialed lazily (under the endpoint lock, so
+// concurrent callers after a failure trigger one dial, not a stampede).
 type tcpConn struct {
 	addr    string
 	timeout time.Duration
 	hello   []byte // encoded Hello frame, replayed on every dial
 
-	mu   sync.Mutex
-	idle []net.Conn
+	nextID   atomic.Uint32
+	inflight atomic.Int64
+	maxIF    atomic.Int64 // high-watermark of concurrently in-flight RPCs
+
+	mu     sync.Mutex
+	live   *pipeConn
+	closed bool
 }
 
 // newTCPConn builds the endpoint and performs one eager dial+handshake
@@ -84,11 +149,9 @@ type tcpConn struct {
 // first request.
 func newTCPConn(addr string, h *wire.Hello, timeout time.Duration) (*tcpConn, error) {
 	c := &tcpConn{addr: addr, timeout: timeout, hello: wire.AppendHello(nil, h)}
-	nc, err := c.dial()
-	if err != nil {
+	if _, err := c.conn(); err != nil {
 		return nil, err
 	}
-	c.put(nc)
 	return c, nil
 }
 
@@ -98,11 +161,39 @@ func (c *tcpConn) terr(err error) error {
 	return &TransportError{Addr: c.addr, Timeout: timeout, Err: err}
 }
 
+// MaxInFlight reports the high-watermark of RPCs that were in flight on
+// this endpoint at once — the pipelining acceptance metric.
+func (c *tcpConn) MaxInFlight() int64 { return c.maxIF.Load() }
+
+// conn returns the live pipelined connection, dialing one if needed.
+func (c *tcpConn) conn() (*pipeConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, &TransportError{Addr: c.addr, Err: errors.New("endpoint closed")}
+	}
+	if pc := c.live; pc != nil {
+		select {
+		case <-pc.done:
+			c.live = nil // fell over since last use; redial below
+		default:
+			return pc, nil
+		}
+	}
+	pc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.live = pc
+	go c.demux(pc)
+	return pc, nil
+}
+
 // dial opens a fresh connection and replays the Hello handshake on it.
 // A rejected Hello is a permanent error (the daemon cannot serve this
 // fleet bitwise-identically); anything network-shaped is a
 // TransportError.
-func (c *tcpConn) dial() (net.Conn, error) {
+func (c *tcpConn) dial() (*pipeConn, error) {
 	nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
 		return nil, c.terr(err)
@@ -112,7 +203,7 @@ func (c *tcpConn) dial() (net.Conn, error) {
 		nc.Close()
 		return nil, c.terr(err)
 	}
-	t, payload, err := wire.ReadFrame(nc)
+	t, _, payload, err := wire.ReadFrame(nc)
 	if err != nil {
 		nc.Close()
 		return nil, c.terr(err)
@@ -120,7 +211,12 @@ func (c *tcpConn) dial() (net.Conn, error) {
 	switch t {
 	case wire.MsgHelloOK:
 		nc.SetDeadline(time.Time{})
-		return nc, nil
+		return &pipeConn{
+			nc:      nc,
+			window:  make(chan struct{}, connWindow),
+			waiters: make(map[uint32]chan pipeReply),
+			done:    make(chan struct{}),
+		}, nil
 	case wire.MsgError:
 		nc.Close()
 		return nil, fmt.Errorf("shard %s: hello rejected: %s", c.addr, wire.DecodeError(payload))
@@ -130,71 +226,157 @@ func (c *tcpConn) dial() (net.Conn, error) {
 	}
 }
 
-func (c *tcpConn) get() (net.Conn, error) {
+// demux is the connection's single reader: it matches every reply frame
+// to its waiter by reqid. A reqid with no waiter is a reply to a call
+// that timed out or was canceled (a hedged loser) — dropped, stream
+// intact. Any read error fails the connection as a unit.
+func (c *tcpConn) demux(pc *pipeConn) {
+	br := bufio.NewReaderSize(pc.nc, 1<<16)
+	for {
+		t, reqid, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			pc.fail(c.terr(err))
+			c.clearLive(pc)
+			return
+		}
+		pc.mu.Lock()
+		w, ok := pc.waiters[reqid]
+		delete(pc.waiters, reqid)
+		pc.mu.Unlock()
+		if ok {
+			w <- pipeReply{t: t, payload: payload} // buffered; never blocks
+		}
+	}
+}
+
+// clearLive forgets pc as the endpoint's live connection (the next call
+// redials). A newer connection installed meanwhile is left alone.
+func (c *tcpConn) clearLive(pc *pipeConn) {
 	c.mu.Lock()
-	if n := len(c.idle); n > 0 {
-		nc := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return nc, nil
+	if c.live == pc {
+		c.live = nil
 	}
 	c.mu.Unlock()
-	return c.dial()
 }
 
-func (c *tcpConn) put(nc net.Conn) {
-	c.mu.Lock()
-	c.idle = append(c.idle, nc)
-	c.mu.Unlock()
-}
-
-// close drops every idle connection (the daemon sees EOF and unwinds).
+// close drops the endpoint permanently (the daemon sees EOF and unwinds).
 func (c *tcpConn) close() {
 	c.mu.Lock()
-	for _, nc := range c.idle {
-		nc.Close()
-	}
-	c.idle = nil
+	c.closed = true
+	pc := c.live
+	c.live = nil
 	c.mu.Unlock()
+	if pc != nil {
+		pc.fail(errors.New("endpoint closed"))
+	}
 }
 
-// roundTrip writes one request frame and reads one reply frame under the
-// per-call deadline. Any I/O or framing failure closes the connection
-// (its stream may hold a half-written frame) and comes back as a
-// retryable TransportError; a MsgError reply leaves the connection
-// healthy and surfaces as a permanent application error.
-func (c *tcpConn) roundTrip(req []byte, want wire.MsgType) ([]byte, error) {
-	nc, err := c.get()
+// reqID returns the next nonzero request id (0 is the handshake tag).
+func (c *tcpConn) reqID() uint32 {
+	for {
+		if id := c.nextID.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// roundTrip sends one tagged request frame down the pipelined stream and
+// waits for its reply, bounded by the in-flight window, the per-call
+// timer, and the hedge-cancellation context. encode must append the
+// complete frame for the given reqid.
+func (c *tcpConn) roundTrip(ctx context.Context, reqid uint32, frame []byte, want wire.MsgType) ([]byte, error) {
+	pc, err := c.conn()
 	if err != nil {
 		return nil, err
 	}
-	nc.SetDeadline(time.Now().Add(c.timeout))
-	if _, err := nc.Write(req); err != nil {
-		nc.Close()
-		return nil, c.terr(err)
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+
+	// A window slot bounds in-flight requests on this stream.
+	select {
+	case pc.window <- struct{}{}:
+	case <-pc.done:
+		c.clearLive(pc)
+		return nil, c.terr(pc.err)
+	case <-timer.C:
+		return nil, &TransportError{Addr: c.addr, Timeout: true, Err: fmt.Errorf("window full for %v", c.timeout)}
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	t, payload, err := wire.ReadFrame(nc)
-	if err != nil {
-		nc.Close()
-		return nil, c.terr(err)
+	n := c.inflight.Add(1)
+	for {
+		old := c.maxIF.Load()
+		if n <= old || c.maxIF.CompareAndSwap(old, n) {
+			break
+		}
 	}
-	nc.SetDeadline(time.Time{})
-	switch t {
-	case want:
-		c.put(nc)
-		return payload, nil
-	case wire.MsgError:
-		c.put(nc)
-		return nil, fmt.Errorf("shard %s: %s", c.addr, wire.DecodeError(payload))
-	default:
-		nc.Close()
-		return nil, c.terr(fmt.Errorf("unexpected %v, want %v", t, want))
+	release := func() {
+		c.inflight.Add(-1)
+		<-pc.window
+	}
+
+	ch := make(chan pipeReply, 1)
+	pc.mu.Lock()
+	pc.waiters[reqid] = ch
+	pc.mu.Unlock()
+	deregister := func() {
+		pc.mu.Lock()
+		delete(pc.waiters, reqid)
+		pc.mu.Unlock()
+	}
+
+	pc.wmu.Lock()
+	pc.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+	_, werr := pc.nc.Write(frame)
+	pc.wmu.Unlock()
+	if werr != nil {
+		deregister()
+		release()
+		pc.fail(c.terr(werr))
+		c.clearLive(pc)
+		return nil, c.terr(werr)
+	}
+
+	select {
+	case r := <-ch:
+		release()
+		switch r.t {
+		case want:
+			return r.payload, nil
+		case wire.MsgError:
+			// Application error: the stream is healthy, only this call is.
+			return nil, fmt.Errorf("shard %s: %s", c.addr, wire.DecodeError(r.payload))
+		default:
+			err := fmt.Errorf("unexpected %v, want %v", r.t, want)
+			pc.fail(c.terr(err))
+			c.clearLive(pc)
+			return nil, c.terr(err)
+		}
+	case <-pc.done:
+		deregister()
+		release()
+		c.clearLive(pc)
+		return nil, c.terr(pc.err)
+	case <-timer.C:
+		// Per-call timeout: give up on THIS call only. The stream stays
+		// live; if the reply ever lands, the demux finds no waiter for
+		// the reqid and drops it.
+		deregister()
+		release()
+		return nil, &TransportError{Addr: c.addr, Timeout: true, Err: fmt.Errorf("no reply within %v", c.timeout)}
+	case <-ctx.Done():
+		// Hedged loser: another replica answered first. Free the slot,
+		// drop the eventual reply at the demux.
+		deregister()
+		release()
+		return nil, ctx.Err()
 	}
 }
 
 // Expand implements Conn over the wire.
-func (c *tcpConn) Expand(args *ExpandArgs) (*ExpandReply, error) {
-	p, err := c.roundTrip(wire.AppendExpandArgs(make([]byte, 0, wire.SizeExpandArgs(args)), args), wire.MsgExpandReply)
+func (c *tcpConn) Expand(ctx context.Context, args *ExpandArgs) (*ExpandReply, error) {
+	reqid := c.reqID()
+	p, err := c.roundTrip(ctx, reqid, wire.AppendExpandArgs(make([]byte, 0, wire.SizeExpandArgs(args)), reqid, args), wire.MsgExpandReply)
 	if err != nil {
 		return nil, err
 	}
@@ -206,8 +388,9 @@ func (c *tcpConn) Expand(args *ExpandArgs) (*ExpandReply, error) {
 }
 
 // Compute implements Conn over the wire.
-func (c *tcpConn) Compute(args *ComputeArgs) (*ComputeReply, error) {
-	p, err := c.roundTrip(wire.AppendComputeArgs(make([]byte, 0, wire.SizeComputeArgs(args)), args), wire.MsgComputeReply)
+func (c *tcpConn) Compute(ctx context.Context, args *ComputeArgs) (*ComputeReply, error) {
+	reqid := c.reqID()
+	p, err := c.roundTrip(ctx, reqid, wire.AppendComputeArgs(make([]byte, 0, wire.SizeComputeArgs(args)), reqid, args), wire.MsgComputeReply)
 	if err != nil {
 		return nil, err
 	}
@@ -218,11 +401,29 @@ func (c *tcpConn) Compute(args *ComputeArgs) (*ComputeReply, error) {
 	return rep, nil
 }
 
+// serverStats is the daemon-side RPC accounting the /metrics endpoint
+// exposes: per-kind counts, error count, exact frame bytes both ways,
+// and per-kind service latency.
+type serverStats struct {
+	expands  atomic.Uint64
+	computes atomic.Uint64
+	errors   atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+	latExp   obs.Histogram
+	latCmp   obs.Histogram
+}
+
 // Server is the daemon side of the wire protocol: it owns the loaded
 // graph/features/model and lazily builds its Shard from the first Hello
-// it accepts — daemons are interchangeable; the router assigns identity.
-// Later connections must present a byte-identical Hello (same fleet,
-// same identity) or are rejected.
+// it accepts — daemons are interchangeable; the router assigns identity
+// (shard id AND replica id). Later connections must present a
+// byte-identical Hello (same fleet, same identity) or are rejected.
+//
+// Each accepted connection is served pipelined: the read loop decodes
+// frames and hands each request to a bounded pool of handler goroutines;
+// replies are written (reqid-tagged) as they finish, so a slow Compute
+// never holds up an Expand that arrived behind it.
 type Server struct {
 	csr    *graph.CSR
 	feats  *tensor.Tensor
@@ -230,8 +431,11 @@ type Server struct {
 	model  *nn.Model
 	cfg    NodeConfig // node-local budget: Workers, Spec, CacheBudget/Shards
 
+	stats serverStats
+
 	mu        sync.Mutex
 	helloRaw  []byte // payload of the accepted Hello
+	ident     *wire.Hello
 	shard     *Shard
 	conns     map[net.Conn]struct{}
 	listening bool
@@ -254,6 +458,13 @@ func (sv *Server) Shard() *Shard {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	return sv.shard
+}
+
+// Ident returns the accepted identity (nil before the first Hello).
+func (sv *Server) Ident() *wire.Hello {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.ident
 }
 
 // InFlight reports admitted-but-unanswered RPCs (0 before the first
@@ -318,80 +529,115 @@ func (sv *Server) dropConn(nc net.Conn) {
 	sv.wg.Done()
 }
 
-// serveConn runs one connection's strict Hello-then-request/reply loop.
+// serveConn runs one connection: the strict Hello handshake, then a
+// pipelined request loop — the reader dispatches each decoded request to
+// a bounded handler goroutine and keeps reading; handlers write their
+// reqid-tagged reply (serialized by a write mutex) the moment they
+// finish, in whatever order that is.
 func (sv *Server) serveConn(nc net.Conn) {
 	defer sv.dropConn(nc)
 	br := bufio.NewReaderSize(nc, 1<<16)
 	bw := bufio.NewWriterSize(nc, 1<<16)
+	var wmu sync.Mutex
 	send := func(frame []byte) bool {
+		wmu.Lock()
+		defer wmu.Unlock()
 		if _, err := bw.Write(frame); err != nil {
 			return false
 		}
-		return bw.Flush() == nil
+		if bw.Flush() != nil {
+			return false
+		}
+		sv.stats.bytesOut.Add(uint64(len(frame)))
+		return true
 	}
 
-	t, payload, err := wire.ReadFrame(br)
+	t, _, payload, err := wire.ReadFrame(br)
 	if err != nil {
 		return
 	}
 	if t != wire.MsgHello {
-		send(wire.AppendError(nil, fmt.Sprintf("first frame is %v, want Hello", t)))
+		send(wire.AppendError(nil, 0, fmt.Sprintf("first frame is %v, want Hello", t)))
 		return
 	}
 	s, err := sv.admit(payload)
 	if err != nil {
-		send(wire.AppendError(nil, err.Error()))
+		send(wire.AppendError(nil, 0, err.Error()))
 		return
 	}
 	if !send(wire.AppendHelloOK(nil)) {
 		return
 	}
 
-	var buf []byte
+	// Handlers in flight on THIS connection; bounded by the window, and
+	// all joined before the connection drops so no handler ever writes to
+	// a closed bufio.Writer.
+	sem := make(chan struct{}, serverWindow)
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
 	for {
-		t, payload, err := wire.ReadFrame(br)
+		t, reqid, payload, err := wire.ReadFrame(br)
 		if err != nil {
 			return // EOF or broken peer; nothing to answer
 		}
-		buf = buf[:0]
+		sv.stats.bytesIn.Add(uint64(len(payload)) + 9)
 		switch t {
-		case wire.MsgExpand:
-			args, err := wire.DecodeExpandArgs(payload)
-			if err != nil {
-				buf = wire.AppendError(buf, fmt.Sprintf("bad ExpandArgs: %v", err))
-				break
-			}
-			rep, err := s.Expand(args)
-			if err != nil {
-				buf = wire.AppendError(buf, err.Error())
-			} else {
-				buf = wire.AppendExpandReply(buf, rep)
-			}
-		case wire.MsgCompute:
-			args, err := wire.DecodeComputeArgs(payload)
-			if err != nil {
-				buf = wire.AppendError(buf, fmt.Sprintf("bad ComputeArgs: %v", err))
-				break
-			}
-			rep, err := s.Compute(args)
-			if err != nil {
-				buf = wire.AppendError(buf, err.Error())
-			} else {
-				buf = wire.AppendComputeReply(buf, rep)
-			}
+		case wire.MsgExpand, wire.MsgCompute:
+			sem <- struct{}{}
+			hwg.Add(1)
+			go func(t wire.MsgType, reqid uint32, payload []byte) {
+				defer hwg.Done()
+				defer func() { <-sem }()
+				send(sv.handle(s, t, reqid, payload))
+			}(t, reqid, payload)
 		default:
-			send(wire.AppendError(nil, fmt.Sprintf("unexpected %v", t)))
-			return
-		}
-		if !send(buf) {
+			send(wire.AppendError(nil, reqid, fmt.Sprintf("unexpected %v", t)))
 			return
 		}
 	}
 }
 
+// handle runs one decoded request on the shard and encodes its reply
+// frame, echoing the request id (on errors too — the router's demux can
+// only route what it can match).
+func (sv *Server) handle(s *Shard, t wire.MsgType, reqid uint32, payload []byte) []byte {
+	t0 := time.Now()
+	switch t {
+	case wire.MsgExpand:
+		args, err := wire.DecodeExpandArgs(payload)
+		if err != nil {
+			sv.stats.errors.Add(1)
+			return wire.AppendError(nil, reqid, fmt.Sprintf("bad ExpandArgs: %v", err))
+		}
+		rep, err := s.Expand(context.Background(), args)
+		sv.stats.expands.Add(1)
+		sv.stats.latExp.Observe(time.Since(t0))
+		if err != nil {
+			sv.stats.errors.Add(1)
+			return wire.AppendError(nil, reqid, err.Error())
+		}
+		return wire.AppendExpandReply(nil, reqid, rep)
+	default: // wire.MsgCompute — serveConn admits nothing else
+		args, err := wire.DecodeComputeArgs(payload)
+		if err != nil {
+			sv.stats.errors.Add(1)
+			return wire.AppendError(nil, reqid, fmt.Sprintf("bad ComputeArgs: %v", err))
+		}
+		rep, err := s.Compute(context.Background(), args)
+		sv.stats.computes.Add(1)
+		sv.stats.latCmp.Observe(time.Since(t0))
+		if err != nil {
+			sv.stats.errors.Add(1)
+			return wire.AppendError(nil, reqid, err.Error())
+		}
+		return wire.AppendComputeReply(nil, reqid, rep)
+	}
+}
+
 // admit validates a Hello payload and returns the node's shard, building
 // it on the first accepted handshake. Identity is sticky: every later
-// Hello must be byte-identical to the first.
+// Hello must be byte-identical to the first (the replica id is part of
+// the payload, so one daemon cannot serve as two replicas).
 func (sv *Server) admit(payload []byte) (*Shard, error) {
 	h, err := wire.DecodeHello(payload)
 	if err != nil {
@@ -401,7 +647,7 @@ func (sv *Server) admit(payload []byte) (*Shard, error) {
 	defer sv.mu.Unlock()
 	if sv.shard != nil {
 		if string(payload) != string(sv.helloRaw) {
-			return nil, fmt.Errorf("hello differs from the fleet this node already joined (shard %d)", sv.shard.id)
+			return nil, fmt.Errorf("hello differs from the fleet this node already joined (shard %d replica %d)", sv.shard.id, sv.ident.Replica)
 		}
 		return sv.shard, nil
 	}
@@ -428,14 +674,16 @@ func (sv *Server) admit(payload []byte) (*Shard, error) {
 		return nil, err
 	}
 	sv.shard = s
+	sv.ident = h
 	sv.helloRaw = append([]byte(nil), payload...)
 	return s, nil
 }
 
 // validate cross-checks everything the node can verify locally: protocol
-// version, graph and model shape, bitwise parameter parity, and that the
-// claimed owned range is exactly what the named placement policy derives
-// on this node's copy of the graph.
+// version, identity ranges (replica id included), graph and model shape,
+// bitwise parameter parity, and that the claimed owned range is exactly
+// what the named placement policy derives on this node's copy of the
+// graph.
 func (sv *Server) validate(h *wire.Hello) error {
 	nv := int64(len(sv.csr.RowPtr) - 1)
 	ne := int64(len(sv.csr.Col))
@@ -445,6 +693,8 @@ func (sv *Server) validate(h *wire.Hello) error {
 		return fmt.Errorf("protocol %d, this node speaks %d", h.Proto, wire.ProtoVersion)
 	case h.Shards < 1 || h.ShardID < 0 || h.ShardID >= h.Shards:
 		return fmt.Errorf("shard id %d of %d", h.ShardID, h.Shards)
+	case h.Replicas < 1 || h.Replica < 0 || h.Replica >= h.Replicas:
+		return fmt.Errorf("replica id %d of %d", h.Replica, h.Replicas)
 	case h.NumVertices != nv || h.NumEdges != ne:
 		return fmt.Errorf("graph is %dv/%de on the router, %dv/%de here — different dataset", h.NumVertices, h.NumEdges, nv, ne)
 	case int(h.NumTypes) != sv.ntypes:

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"net"
 	"strings"
 	"sync"
@@ -164,7 +165,7 @@ func TestTCPHelloRejection(t *testing.T) {
 		t.Fatalf("MarshalPlan: %v", err)
 	}
 	wrongRange := &wire.Hello{
-		Proto: wire.ProtoVersion, ShardID: 0, Shards: 2,
+		Proto: wire.ProtoVersion, ShardID: 0, Shards: 2, Replicas: 1,
 		Lo: 1, Hi: 99, // not what edge placement derives
 		NumVertices: int64(len(n.csr.RowPtr) - 1), NumEdges: int64(len(n.csr.Col)),
 		NumTypes: 1, InDim: 8, Hidden: 8, OutDim: 3, Layers: 2,
@@ -178,10 +179,11 @@ func TestTCPHelloRejection(t *testing.T) {
 	}
 }
 
-// TestTCPReconnect breaks every pooled connection under the router and
-// demands the next Forward heal transparently: the broken writes surface
-// as TransportErrors, the ladder retries, the conn redials and
-// re-handshakes, and the logits still come back bitwise-identical.
+// TestTCPReconnect severs the live pipelined connection under the router
+// and demands the next Forward heal transparently: the demux fails the
+// connection as a unit, a racing write surfaces as a TransportError the
+// ladder absorbs, the endpoint redials and re-handshakes, and the logits
+// still come back bitwise-identical.
 func TestTCPReconnect(t *testing.T) {
 	n := newTestNode(t, 100, 600, 6)
 	seeds := []int32{0, 13, 50, 99}
@@ -193,14 +195,17 @@ func TestTCPReconnect(t *testing.T) {
 	t.Cleanup(remote.Close)
 	want := forwardData(t, remote, seeds)
 
-	// Sever every idle connection client-side but leave them pooled, so
-	// the next calls pop dead conns and must recover.
-	tc := remote.conns[0].(*tcpConn)
+	// Sever the live stream out from under the endpoint; the next calls
+	// must redial (either eagerly, after the demux notices, or through a
+	// TransportError retry if they raced the failure detection).
+	tc := remote.conns[0][0].(*tcpConn)
 	tc.mu.Lock()
-	for _, nc := range tc.idle {
-		nc.Close()
-	}
+	pc := tc.live
 	tc.mu.Unlock()
+	if pc == nil {
+		t.Fatal("no live connection after construction's eager dial")
+	}
+	pc.nc.Close()
 
 	got := forwardData(t, remote, seeds)
 	for i := range want {
@@ -208,12 +213,14 @@ func TestTCPReconnect(t *testing.T) {
 			t.Fatalf("logits[%d] changed across reconnect: %v != %v", i, got[i], want[i])
 		}
 	}
-	retries, _, _, failures := remote.Resilience()
-	if retries == 0 {
-		t.Fatal("no retries recorded: the broken connections were never exercised")
-	}
-	if failures != 0 {
+	if _, _, _, failures := remote.Resilience(); failures != 0 {
 		t.Fatalf("%d permanent failures across reconnect", failures)
+	}
+	tc.mu.Lock()
+	relive := tc.live
+	tc.mu.Unlock()
+	if relive == pc {
+		t.Fatal("severed connection still installed as live")
 	}
 }
 
@@ -230,19 +237,20 @@ func TestTCPApplicationErrorNotRetried(t *testing.T) {
 	}
 	t.Cleanup(remote.Close)
 
-	conn := remote.conns[0]
-	if _, err := conn.Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{-1}}); err == nil {
+	conn := remote.conns[0][0]
+	ctx := context.Background()
+	if _, err := conn.Expand(ctx, &ExpandArgs{Level: 0, Dim: 8, Verts: []int32{-1}}); err == nil {
 		t.Fatal("out-of-range vertex accepted over the wire")
 	} else if !strings.Contains(err.Error(), "outside owned range") {
 		t.Fatalf("wrong error: %v", err)
 	}
-	if _, err := conn.Expand(&ExpandArgs{Level: 0, Dim: 5, Verts: []int32{1}}); err == nil {
+	if _, err := conn.Expand(ctx, &ExpandArgs{Level: 0, Dim: 5, Verts: []int32{1}}); err == nil {
 		t.Fatal("wrong Dim accepted over the wire")
 	} else if !strings.Contains(err.Error(), "request claims 5") {
 		t.Fatalf("wrong error: %v", err)
 	}
 	// The connection survived both rejections: a valid call still works.
-	if _, err := conn.Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{1}}); err != nil {
+	if _, err := conn.Expand(ctx, &ExpandArgs{Level: 0, Dim: 8, Verts: []int32{1}}); err != nil {
 		t.Fatalf("healthy call after rejections: %v", err)
 	}
 }
@@ -271,7 +279,7 @@ func TestDispatchCloseRace(t *testing.T) {
 					v := int32((w*25 + k) % n.g.NumVertices)
 					// Draining errors are expected once Close lands; the
 					// invariant under test is no panic and no lost reply.
-					s.Expand(&ExpandArgs{Level: 0, Dim: 8, Verts: []int32{v}})
+					s.Expand(context.Background(), &ExpandArgs{Level: 0, Dim: 8, Verts: []int32{v}})
 				}
 			}(w)
 		}

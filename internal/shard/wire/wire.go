@@ -7,19 +7,25 @@
 // float rows round-trip bit-for-bit, which is what keeps cross-process
 // logits bitwise-identical to single-node serving.
 //
-// Framing: every message is [u32 length][u8 type][payload], where length
-// covers the type byte plus the payload. Frames above MaxFrame are
-// rejected before any allocation, and every decoder is strict — lengths
-// must match the remaining bytes exactly, booleans must be 0 or 1, and
-// trailing bytes are an error — so any accepted payload re-encodes to
-// the same bytes (the fuzz harness pins this canonical-form property).
+// Framing: every message is [u32 length][u8 type][u32 reqid][payload],
+// where length covers the type byte, the request id and the payload.
+// The reqid tags the frame with the request it belongs to: connections
+// are pipelined (many RPCs in flight per stream), replies may arrive
+// out of order, and a reply echoes the reqid of the request it answers
+// so the client's demux goroutine can match it to the right waiter.
+// Handshake frames use reqid 0. Frames above MaxFrame — or too short to
+// hold the type byte and reqid — are rejected before any allocation,
+// and every decoder is strict — lengths must match the remaining bytes
+// exactly, booleans must be 0 or 1, and trailing bytes are an error —
+// so any accepted payload re-encodes to the same bytes (the fuzz
+// harness pins this canonical-form property).
 //
 // Versioning rides in the Hello handshake, not per frame: the router
 // opens every connection with a Hello carrying ProtoVersion plus the
-// full fleet configuration (bounds, sampler seed, engine, plan, a hash
-// of the model parameters), and the shard rejects anything it cannot
-// serve bitwise-identically. After a HelloOK the stream is a strict
-// request/reply alternation, so no per-frame version tag is needed.
+// full fleet configuration (bounds, replica id, sampler seed, engine,
+// plan, a hash of the model parameters), and the shard rejects anything
+// it cannot serve bitwise-identically. After a HelloOK the stream
+// carries tagged requests and replies in any interleaving.
 package wire
 
 import (
@@ -31,15 +37,23 @@ import (
 )
 
 // ProtoVersion is bumped on any incompatible codec or handshake change;
-// a shard rejects a Hello whose version it does not speak.
-const ProtoVersion = 1
+// a shard rejects a Hello whose version it does not speak. Version 2
+// added the per-frame request id (pipelined connections) and the
+// replica fields in the Hello.
+const ProtoVersion = 2
 
-// MaxFrame bounds one frame (type byte + payload). A length prefix past
-// it is a protocol violation, rejected before allocating anything.
+// MaxFrame bounds one frame (type byte + reqid + payload). A length
+// prefix past it is a protocol violation, rejected before allocating
+// anything.
 const MaxFrame = 1 << 28
 
-// headerLen is the frame overhead: u32 length + u8 type.
-const headerLen = 5
+// headerLen is the frame overhead: u32 length + u8 type + u32 reqid.
+const headerLen = 9
+
+// minFrame is the least a frame's length prefix can claim: the type
+// byte plus the request id. Anything shorter is hostile framing,
+// rejected before any allocation.
+const minFrame = 5
 
 // MsgType tags one frame.
 type MsgType byte
@@ -146,6 +160,8 @@ type Hello struct {
 	Proto       uint32
 	ShardID     int32
 	Shards      int32
+	Replica     int32 // replica index within the shard's replica set
+	Replicas    int32 // replica count per shard (min 1)
 	Lo, Hi      int32 // owned vertex range [Lo, Hi)
 	NumVertices int64
 	NumEdges    int64
@@ -165,12 +181,13 @@ type Hello struct {
 
 // ---------------------------------------------------------------------
 // Encoding. Append* functions append one complete frame (header + type +
-// payload) to dst and return the extended slice; Size* return exactly the
-// number of bytes the matching Append* would add.
+// reqid + payload) to dst and return the extended slice; Size* return
+// exactly the number of bytes the matching Append* would add.
 
-func appendHeader(dst []byte, t MsgType, payloadLen int) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen+1))
-	return append(dst, byte(t))
+func appendHeader(dst []byte, t MsgType, reqid uint32, payloadLen int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen+minFrame))
+	dst = append(dst, byte(t))
+	return binary.LittleEndian.AppendUint32(dst, reqid)
 }
 
 func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
@@ -219,9 +236,9 @@ func SizeExpandArgs(a *ExpandArgs) int {
 	return headerLen + 8 + 8 + 4 + 4 + 4 + 4*len(a.Verts)
 }
 
-// AppendExpandArgs appends one Expand request frame.
-func AppendExpandArgs(dst []byte, a *ExpandArgs) []byte {
-	dst = appendHeader(dst, MsgExpand, SizeExpandArgs(a)-headerLen)
+// AppendExpandArgs appends one Expand request frame tagged with reqid.
+func AppendExpandArgs(dst []byte, reqid uint32, a *ExpandArgs) []byte {
+	dst = appendHeader(dst, MsgExpand, reqid, SizeExpandArgs(a)-headerLen)
 	dst = appendU64(dst, a.Batch)
 	dst = appendU64(dst, a.Ver)
 	dst = appendU32(dst, uint32(int32(a.Level)))
@@ -238,9 +255,9 @@ func SizeExpandReply(r *ExpandReply) int {
 	return n
 }
 
-// AppendExpandReply appends one Expand reply frame.
-func AppendExpandReply(dst []byte, r *ExpandReply) []byte {
-	dst = appendHeader(dst, MsgExpandReply, SizeExpandReply(r)-headerLen)
+// AppendExpandReply appends one Expand reply frame echoing reqid.
+func AppendExpandReply(dst []byte, reqid uint32, r *ExpandReply) []byte {
+	dst = appendHeader(dst, MsgExpandReply, reqid, SizeExpandReply(r)-headerLen)
 	dst = appendBools(dst, r.Hit)
 	dst = appendF32s(dst, r.Rows)
 	dst = appendU32(dst, uint32(len(r.Srcs)))
@@ -256,9 +273,9 @@ func SizeComputeArgs(a *ComputeArgs) int {
 		4 + 4*len(a.Verts) + 4 + 4*len(a.In) + 4 + 4*len(a.Rows)
 }
 
-// AppendComputeArgs appends one Compute request frame.
-func AppendComputeArgs(dst []byte, a *ComputeArgs) []byte {
-	dst = appendHeader(dst, MsgCompute, SizeComputeArgs(a)-headerLen)
+// AppendComputeArgs appends one Compute request frame tagged with reqid.
+func AppendComputeArgs(dst []byte, reqid uint32, a *ComputeArgs) []byte {
+	dst = appendHeader(dst, MsgCompute, reqid, SizeComputeArgs(a)-headerLen)
 	dst = appendU64(dst, a.Batch)
 	dst = appendU64(dst, a.Ver)
 	dst = appendU32(dst, uint32(int32(a.Level)))
@@ -274,21 +291,23 @@ func SizeComputeReply(r *ComputeReply) int {
 	return headerLen + 4 + 4*len(r.Rows)
 }
 
-// AppendComputeReply appends one Compute reply frame.
-func AppendComputeReply(dst []byte, r *ComputeReply) []byte {
-	dst = appendHeader(dst, MsgComputeReply, SizeComputeReply(r)-headerLen)
+// AppendComputeReply appends one Compute reply frame echoing reqid.
+func AppendComputeReply(dst []byte, reqid uint32, r *ComputeReply) []byte {
+	dst = appendHeader(dst, MsgComputeReply, reqid, SizeComputeReply(r)-headerLen)
 	return appendF32s(dst, r.Rows)
 }
 
-// AppendHello appends one handshake frame.
+// AppendHello appends one handshake frame (handshakes use reqid 0).
 func AppendHello(dst []byte, h *Hello) []byte {
-	// 10 u32 fields + 4 u64 fields + 4 length-prefixed variable fields.
-	n := 4*10 + 8*4 + 4 + 4*len(h.Fanouts) +
+	// 12 u32 fields + 4 u64 fields + 4 length-prefixed variable fields.
+	n := 4*12 + 8*4 + 4 + 4*len(h.Fanouts) +
 		4 + len(h.Kind) + 4 + len(h.Engine) + 4 + len(h.Placement) + 4 + len(h.Plan)
-	dst = appendHeader(dst, MsgHello, n)
+	dst = appendHeader(dst, MsgHello, 0, n)
 	dst = appendU32(dst, h.Proto)
 	dst = appendU32(dst, uint32(h.ShardID))
 	dst = appendU32(dst, uint32(h.Shards))
+	dst = appendU32(dst, uint32(h.Replica))
+	dst = appendU32(dst, uint32(h.Replicas))
 	dst = appendU32(dst, uint32(h.Lo))
 	dst = appendU32(dst, uint32(h.Hi))
 	dst = appendU64(dst, uint64(h.NumVertices))
@@ -307,12 +326,13 @@ func AppendHello(dst []byte, h *Hello) []byte {
 	return appendBytes(dst, h.Plan)
 }
 
-// AppendHelloOK appends the empty handshake acceptance frame.
-func AppendHelloOK(dst []byte) []byte { return appendHeader(dst, MsgHelloOK, 0) }
+// AppendHelloOK appends the empty handshake acceptance frame (reqid 0).
+func AppendHelloOK(dst []byte) []byte { return appendHeader(dst, MsgHelloOK, 0, 0) }
 
-// AppendError appends one error frame carrying msg.
-func AppendError(dst []byte, msg string) []byte {
-	dst = appendHeader(dst, MsgError, 4+len(msg))
+// AppendError appends one error frame carrying msg, echoing the reqid of
+// the request it fails (0 for handshake errors).
+func AppendError(dst []byte, reqid uint32, msg string) []byte {
+	dst = appendHeader(dst, MsgError, reqid, 4+len(msg))
 	return appendString(dst, msg)
 }
 
@@ -522,6 +542,8 @@ func DecodeHello(p []byte) (*Hello, error) {
 		Proto:       r.u32(),
 		ShardID:     int32(r.u32()),
 		Shards:      int32(r.u32()),
+		Replica:     int32(r.u32()),
+		Replicas:    int32(r.u32()),
 		Lo:          int32(r.u32()),
 		Hi:          int32(r.u32()),
 		NumVertices: int64(r.u64()),
@@ -559,23 +581,24 @@ func DecodeError(p []byte) string {
 // ---------------------------------------------------------------------
 // Framing.
 
-// ReadFrame reads one complete frame, returning its type and payload.
-// Oversize length prefixes are rejected before any allocation.
-func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+// ReadFrame reads one complete frame, returning its type, request id and
+// payload. Hostile length prefixes — oversize, or too short to hold the
+// type byte and reqid — are rejected before any allocation.
+func ReadFrame(r io.Reader) (MsgType, uint32, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 {
-		return 0, nil, fmt.Errorf("wire: empty frame")
+	if n < minFrame {
+		return 0, 0, nil, fmt.Errorf("wire: short frame (%d bytes, need at least %d)", n, minFrame)
 	}
 	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrOversize, n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return MsgType(buf[0]), buf[1:], nil
+	return MsgType(buf[0]), binary.LittleEndian.Uint32(buf[1:]), buf[5:], nil
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"reflect"
 	"testing"
@@ -9,16 +10,17 @@ import (
 
 // The codec battery: every message round-trips exactly (including
 // zero-length and typed-edge payloads), Size* predicts encoded sizes to
-// the byte, and every accepted payload is canonical — decode∘encode is
-// the identity on it (the fuzz harness pins that for hostile inputs).
+// the byte, request ids echo through framing untouched, and every
+// accepted payload is canonical — decode∘encode is the identity on it
+// (the fuzz harness pins that for hostile inputs).
 
-func frame(t *testing.T, b []byte) (MsgType, []byte) {
+func frame(t *testing.T, b []byte) (MsgType, uint32, []byte) {
 	t.Helper()
-	mt, payload, err := ReadFrame(bytes.NewReader(b))
+	mt, reqid, payload, err := ReadFrame(bytes.NewReader(b))
 	if err != nil {
 		t.Fatalf("ReadFrame: %v", err)
 	}
-	return mt, payload
+	return mt, reqid, payload
 }
 
 func expandArgsCases() []*ExpandArgs {
@@ -31,14 +33,18 @@ func expandArgsCases() []*ExpandArgs {
 }
 
 func TestExpandArgsRoundTrip(t *testing.T) {
-	for _, a := range expandArgsCases() {
-		b := AppendExpandArgs(nil, a)
+	for i, a := range expandArgsCases() {
+		id := uint32(i * 1000003)
+		b := AppendExpandArgs(nil, id, a)
 		if len(b) != SizeExpandArgs(a) {
 			t.Fatalf("SizeExpandArgs=%d, encoded %d", SizeExpandArgs(a), len(b))
 		}
-		mt, payload := frame(t, b)
+		mt, reqid, payload := frame(t, b)
 		if mt != MsgExpand {
 			t.Fatalf("type %v", mt)
+		}
+		if reqid != id {
+			t.Fatalf("reqid %d echoed as %d", id, reqid)
 		}
 		got, err := DecodeExpandArgs(payload)
 		if err != nil {
@@ -64,13 +70,16 @@ func expandReplyCases() []*ExpandReply {
 
 func TestExpandReplyRoundTrip(t *testing.T) {
 	for _, r := range expandReplyCases() {
-		b := AppendExpandReply(nil, r)
+		b := AppendExpandReply(nil, 42, r)
 		if len(b) != SizeExpandReply(r) {
 			t.Fatalf("SizeExpandReply=%d, encoded %d", SizeExpandReply(r), len(b))
 		}
-		mt, payload := frame(t, b)
+		mt, reqid, payload := frame(t, b)
 		if mt != MsgExpandReply {
 			t.Fatalf("type %v", mt)
+		}
+		if reqid != 42 {
+			t.Fatalf("reqid 42 echoed as %d", reqid)
 		}
 		got, err := DecodeExpandReply(payload)
 		if err != nil {
@@ -102,13 +111,16 @@ func TestComputeRoundTrip(t *testing.T) {
 		},
 	}
 	for _, a := range args {
-		b := AppendComputeArgs(nil, a)
+		b := AppendComputeArgs(nil, 7, a)
 		if len(b) != SizeComputeArgs(a) {
 			t.Fatalf("SizeComputeArgs=%d, encoded %d", SizeComputeArgs(a), len(b))
 		}
-		mt, payload := frame(t, b)
+		mt, reqid, payload := frame(t, b)
 		if mt != MsgCompute {
 			t.Fatalf("type %v", mt)
+		}
+		if reqid != 7 {
+			t.Fatalf("reqid 7 echoed as %d", reqid)
 		}
 		got, err := DecodeComputeArgs(payload)
 		if err != nil {
@@ -120,13 +132,16 @@ func TestComputeRoundTrip(t *testing.T) {
 	}
 	reps := []*ComputeReply{{}, {Rows: []float32{1, 2, -3}}}
 	for _, r := range reps {
-		b := AppendComputeReply(nil, r)
+		b := AppendComputeReply(nil, ^uint32(0), r)
 		if len(b) != SizeComputeReply(r) {
 			t.Fatalf("SizeComputeReply=%d, encoded %d", SizeComputeReply(r), len(b))
 		}
-		mt, payload := frame(t, b)
+		mt, reqid, payload := frame(t, b)
 		if mt != MsgComputeReply {
 			t.Fatalf("type %v", mt)
+		}
+		if reqid != ^uint32(0) {
+			t.Fatalf("max reqid echoed as %d", reqid)
 		}
 		got, err := DecodeComputeReply(payload)
 		if err != nil {
@@ -142,7 +157,8 @@ func TestHelloRoundTrip(t *testing.T) {
 	hs := []*Hello{
 		{},
 		{
-			Proto: ProtoVersion, ShardID: 1, Shards: 4, Lo: 100, Hi: 250,
+			Proto: ProtoVersion, ShardID: 1, Shards: 4, Replica: 1, Replicas: 2,
+			Lo: 100, Hi: 250,
 			NumVertices: 423, NumEdges: 5912, NumTypes: 8,
 			InDim: 128, Hidden: 16, OutDim: 40, Layers: 2,
 			Fanouts: []int32{4, 4}, Seed: 9, ParamSum: 0xdeadbeefcafef00d,
@@ -152,9 +168,12 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 	for _, h := range hs {
 		b := AppendHello(nil, h)
-		mt, payload := frame(t, b)
+		mt, reqid, payload := frame(t, b)
 		if mt != MsgHello {
 			t.Fatalf("type %v", mt)
+		}
+		if reqid != 0 {
+			t.Fatalf("handshake frames must use reqid 0, got %d", reqid)
 		}
 		got, err := DecodeHello(payload)
 		if err != nil {
@@ -168,9 +187,12 @@ func TestHelloRoundTrip(t *testing.T) {
 
 func TestErrorRoundTrip(t *testing.T) {
 	for _, msg := range []string{"", "shard 3: vertex 9 outside owned range [0,5)"} {
-		mt, payload := frame(t, AppendError(nil, msg))
+		mt, reqid, payload := frame(t, AppendError(nil, 17, msg))
 		if mt != MsgError {
 			t.Fatalf("type %v", mt)
+		}
+		if reqid != 17 {
+			t.Fatalf("reqid 17 echoed as %d", reqid)
 		}
 		if got := DecodeError(payload); got != msg {
 			t.Fatalf("round trip %q != %q", got, msg)
@@ -179,8 +201,8 @@ func TestErrorRoundTrip(t *testing.T) {
 }
 
 func TestStrictDecoding(t *testing.T) {
-	good := AppendExpandArgs(nil, &ExpandArgs{Dim: 4, Verts: []int32{1}})
-	payload := good[5:]
+	good := AppendExpandArgs(nil, 1, &ExpandArgs{Dim: 4, Verts: []int32{1}})
+	payload := good[headerLen:]
 
 	// Truncation anywhere must fail, never panic or mis-parse.
 	for i := 0; i < len(payload); i++ {
@@ -193,8 +215,8 @@ func TestStrictDecoding(t *testing.T) {
 		t.Fatal("trailing byte accepted")
 	}
 	// Non-0/1 bool bytes are rejected (canonical form).
-	rep := AppendExpandReply(nil, &ExpandReply{Hit: []bool{true}})
-	bad := append([]byte(nil), rep[5:]...)
+	rep := AppendExpandReply(nil, 1, &ExpandReply{Hit: []bool{true}})
+	bad := append([]byte(nil), rep[headerLen:]...)
 	bad[4] = 2 // the hit byte after the count prefix
 	if _, err := DecodeExpandReply(bad); err == nil {
 		t.Fatal("bool byte 2 accepted")
@@ -207,28 +229,69 @@ func TestStrictDecoding(t *testing.T) {
 	}
 }
 
-func TestReadFrameRejectsOversizeAndEmpty(t *testing.T) {
+// TestReadFrameRejectsHostileHeaders pins the pre-allocation checks on
+// the frame header: oversize lengths, and lengths too short to hold the
+// type byte plus request id (0..4), are protocol violations rejected
+// before any payload buffer is made — a hostile reqid/length combination
+// can never drive an allocation or a mis-framed read.
+func TestReadFrameRejectsHostileHeaders(t *testing.T) {
 	var hdr []byte
 	hdr = append(hdr, 0xff, 0xff, 0xff, 0xff) // length way past MaxFrame
-	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+	if _, _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
 		t.Fatal("oversize frame accepted")
 	}
-	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
-		t.Fatal("empty frame accepted")
+	// Every length that cannot hold [u8 type][u32 reqid] is rejected from
+	// the prefix alone.
+	for n := uint32(0); n < 5; n++ {
+		short := binary.LittleEndian.AppendUint32(nil, n)
+		short = append(short, make([]byte, n)...)
+		if _, _, _, err := ReadFrame(bytes.NewReader(short)); err == nil {
+			t.Fatalf("frame with %d-byte body accepted (cannot hold type+reqid)", n)
+		}
+	}
+	// Exactly type+reqid (empty payload) is legal framing.
+	ok := AppendHelloOK(nil)
+	if mt, reqid, payload, err := ReadFrame(bytes.NewReader(ok)); err != nil || mt != MsgHelloOK || reqid != 0 || len(payload) != 0 {
+		t.Fatalf("HelloOK frame: type=%v reqid=%d payload=%d err=%v", mt, reqid, len(payload), err)
 	}
 }
 
-// FuzzDecode pins the canonical-form property: any payload a decoder
-// accepts must re-encode to exactly the bytes that were decoded. This
-// rules out silent truncation, non-canonical booleans, and any length/
-// content disagreement an attacker could smuggle through the codec.
+// TestFrameReqidEcho pins the wire position of the request id: bytes
+// [5,9) of every frame, little-endian, independent of message type — the
+// demux on both ends routes on exactly these bytes.
+func TestFrameReqidEcho(t *testing.T) {
+	frames := [][]byte{
+		AppendExpandArgs(nil, 0xdeadbeef, &ExpandArgs{Dim: 1}),
+		AppendExpandReply(nil, 0xdeadbeef, &ExpandReply{}),
+		AppendComputeArgs(nil, 0xdeadbeef, &ComputeArgs{}),
+		AppendComputeReply(nil, 0xdeadbeef, &ComputeReply{}),
+		AppendError(nil, 0xdeadbeef, "boom"),
+	}
+	for i, b := range frames {
+		if got := binary.LittleEndian.Uint32(b[5:9]); got != 0xdeadbeef {
+			t.Fatalf("frame %d: reqid bytes %08x, want deadbeef", i, got)
+		}
+		_, reqid, _, err := ReadFrame(bytes.NewReader(b))
+		if err != nil || reqid != 0xdeadbeef {
+			t.Fatalf("frame %d: reqid %08x err %v", i, reqid, err)
+		}
+	}
+}
+
+// FuzzDecode pins the canonical-form property on the tagged framing: any
+// payload a decoder accepts must re-encode (under the same reqid) to
+// exactly the frame that was decoded — the reqid echoes untouched and
+// the payload is canonical. This rules out silent truncation,
+// non-canonical booleans, and any length/content disagreement an
+// attacker could smuggle through the codec.
 func FuzzDecode(f *testing.F) {
-	f.Add(byte(MsgExpand), AppendExpandArgs(nil, &ExpandArgs{Batch: 1, Dim: 4, Verts: []int32{1, 2}})[5:])
-	f.Add(byte(MsgExpandReply), AppendExpandReply(nil, &ExpandReply{Hit: []bool{true, false}, Rows: []float32{1, 2}, Srcs: [][]int32{{3}, nil}})[5:])
-	f.Add(byte(MsgCompute), AppendComputeArgs(nil, &ComputeArgs{Level: 1, InDim: 2, OutDim: 2, Verts: []int32{0}, In: []int32{0, 1}, Rows: []float32{1, 2, 3, 4}})[5:])
-	f.Add(byte(MsgComputeReply), AppendComputeReply(nil, &ComputeReply{Rows: []float32{5}})[5:])
-	f.Add(byte(MsgHello), AppendHello(nil, &Hello{Proto: 1, Shards: 2, Fanouts: []int32{4}, Kind: "SAGE", Plan: []byte("{}")})[5:])
-	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+	f.Add(byte(MsgExpand), uint32(1), AppendExpandArgs(nil, 1, &ExpandArgs{Batch: 1, Dim: 4, Verts: []int32{1, 2}})[headerLen:])
+	f.Add(byte(MsgExpandReply), uint32(7), AppendExpandReply(nil, 7, &ExpandReply{Hit: []bool{true, false}, Rows: []float32{1, 2}, Srcs: [][]int32{{3}, nil}})[headerLen:])
+	f.Add(byte(MsgCompute), ^uint32(0), AppendComputeArgs(nil, ^uint32(0), &ComputeArgs{Level: 1, InDim: 2, OutDim: 2, Verts: []int32{0}, In: []int32{0, 1}, Rows: []float32{1, 2, 3, 4}})[headerLen:])
+	f.Add(byte(MsgComputeReply), uint32(0), AppendComputeReply(nil, 0, &ComputeReply{Rows: []float32{5}})[headerLen:])
+	f.Add(byte(MsgHello), uint32(0), AppendHello(nil, &Hello{Proto: 2, Shards: 2, Replicas: 2, Fanouts: []int32{4}, Kind: "SAGE", Plan: []byte("{}")})[headerLen:])
+	f.Add(byte(MsgError), uint32(3), AppendError(nil, 3, "x")[headerLen:])
+	f.Fuzz(func(t *testing.T, kind byte, reqid uint32, payload []byte) {
 		var reencoded []byte
 		switch MsgType(kind) {
 		case MsgExpand:
@@ -236,36 +299,58 @@ func FuzzDecode(f *testing.F) {
 			if err != nil {
 				return
 			}
-			reencoded = AppendExpandArgs(nil, a)
+			reencoded = AppendExpandArgs(nil, reqid, a)
 		case MsgExpandReply:
 			r, err := DecodeExpandReply(payload)
 			if err != nil {
 				return
 			}
-			reencoded = AppendExpandReply(nil, r)
+			reencoded = AppendExpandReply(nil, reqid, r)
 		case MsgCompute:
 			a, err := DecodeComputeArgs(payload)
 			if err != nil {
 				return
 			}
-			reencoded = AppendComputeArgs(nil, a)
+			reencoded = AppendComputeArgs(nil, reqid, a)
 		case MsgComputeReply:
 			r, err := DecodeComputeReply(payload)
 			if err != nil {
 				return
 			}
-			reencoded = AppendComputeReply(nil, r)
+			reencoded = AppendComputeReply(nil, reqid, r)
 		case MsgHello:
 			h, err := DecodeHello(payload)
 			if err != nil {
 				return
 			}
 			reencoded = AppendHello(nil, h)
+		case MsgError:
+			// DecodeError is best-effort by design; only canonical error
+			// payloads participate in the identity check.
+			r := reader{p: payload}
+			s := r.str()
+			if r.done() != nil {
+				return
+			}
+			reencoded = AppendError(nil, reqid, s)
 		default:
 			return
 		}
-		if !bytes.Equal(reencoded[5:], payload) {
-			t.Fatalf("accepted payload is not canonical:\n in  %x\n out %x", payload, reencoded[5:])
+		if !bytes.Equal(reencoded[headerLen:], payload) {
+			t.Fatalf("accepted payload is not canonical:\n in  %x\n out %x", payload, reencoded[headerLen:])
+		}
+		// The frame's reqid bytes must be exactly the reqid passed in —
+		// except handshake frames, which pin reqid 0 by construction.
+		mt, gotID, gotPayload, err := ReadFrame(bytes.NewReader(reencoded))
+		if err != nil {
+			t.Fatalf("re-encoded frame unreadable: %v", err)
+		}
+		wantID := reqid
+		if MsgType(kind) == MsgHello {
+			wantID = 0
+		}
+		if mt != MsgType(kind) || gotID != wantID || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("frame round trip: type %v reqid %d, want type %v reqid %d", mt, gotID, MsgType(kind), wantID)
 		}
 	})
 }

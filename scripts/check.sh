@@ -143,8 +143,9 @@ go test ./internal/nn/ -run '^$' -fuzz '^FuzzCheckpointLoad$' -fuzztime=5s >/dev
 go test ./internal/nn/ -run '^$' -fuzz '^FuzzConfigRoundTrip$' -fuzztime=5s >/dev/null
 go test ./internal/graph/ -run '^$' -fuzz '^FuzzCSRBuild$' -fuzztime=5s >/dev/null
 # The shard wire codec faces the network: any accepted payload must be
-# canonical (decode∘encode is the identity) and no hostile length may
-# panic or allocate unboundedly.
+# canonical (decode∘encode is the identity), every reqid-tagged frame
+# must echo its id on re-encode, and no hostile length/reqid combination
+# may panic or allocate unboundedly.
 go test ./internal/shard/wire/ -run '^$' -fuzz '^FuzzDecode$' -fuzztime=5s >/dev/null
 echo "fuzz smokes OK"
 
@@ -311,6 +312,104 @@ for i in 1 2; do
     || { echo "FAIL: shard daemon $i drain left RPCs in flight"; cat "$SMOKE/tcpshard$i.log"; exit 1; }
 done
 echo "TCP sharded serving smoke OK"
+
+# Replica chaos smoke: 2 spans x 2 replicas of wisegraph-shard daemons,
+# a router with -replicas 2, real bench load, and one replica SIGKILLed
+# mid-run. The bench must finish with zero errors, logits after the kill
+# must equal logits before it, a survivor's /metrics must scrape as text
+# exposition 0.0.4, and router + all three survivors must drain to
+# in-flight=0 (the killed daemon, by definition, drains nothing).
+echo "== replica failover smoke (2x2 daemons, SIGKILL one mid-load)"
+RSHARD_PIDS=()
+RSHARD_ADDRS=()
+for i in 1 2 3 4; do
+  "$SMOKE/wisegraph-shard" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
+    -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 >"$SMOKE/rshard$i.log" 2>&1 &
+  RSHARD_PIDS+=($!)
+done
+for i in 1 2 3 4; do
+  A=""
+  for _ in $(seq 1 100); do
+    A="$(sed -n 's/^wisegraph-shard listening on //p' "$SMOKE/rshard$i.log")"
+    [ -n "$A" ] && break
+    sleep 0.1
+  done
+  [ -n "$A" ] || { echo "FAIL: replica daemon $i did not start"; cat "$SMOKE/rshard$i.log"; exit 1; }
+  RSHARD_ADDRS+=("$A")
+done
+"$SMOKE/wisegraph-serve" -dataset AR -scale 400 -checkpoint "$SMOKE/model.ckpt" \
+  -addr 127.0.0.1:0 -replicas 2 \
+  -shard-addrs "${RSHARD_ADDRS[0]},${RSHARD_ADDRS[1]},${RSHARD_ADDRS[2]},${RSHARD_ADDRS[3]}" \
+  >"$SMOKE/rrouter.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's#.*listening on http://##p' "$SMOKE/rrouter.log")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: replica router did not start"; cat "$SMOKE/rrouter.log"; exit 1; }
+grep -q 'sharded tier: 2 shards x 2 replicas' "$SMOKE/rrouter.log" \
+  || { echo "FAIL: router did not build a 2x2 fleet"; cat "$SMOKE/rrouter.log"; exit 1; }
+PRE_LOGITS="$(logits_of "$ADDR")"
+[ -n "$PRE_LOGITS" ] || { echo "FAIL: replica router returned no logits"; cat "$SMOKE/rrouter.log"; exit 1; }
+"$SMOKE/wgserve-bench" -url "http://$ADDR" -clients 8 -duration 2s -zipf 1.2 \
+  >"$SMOKE/rbench.txt" 2>&1 &
+BENCH_PID=$!
+sleep 0.7
+kill -9 "${RSHARD_PIDS[1]}" 2>/dev/null || true  # span 0, replica 1
+wait "$BENCH_PID" \
+  || { echo "FAIL: bench failed across the replica kill"; cat "$SMOKE/rbench.txt"; exit 1; }
+grep -Eq ' err=0 ' "$SMOKE/rbench.txt" \
+  || { echo "FAIL: requests errored across the replica kill"; cat "$SMOKE/rbench.txt"; exit 1; }
+grep -Eq ' shard-failures=0( |$)' "$SMOKE/rbench.txt" \
+  || { echo "FAIL: replica failover surfaced a shard failure"; cat "$SMOKE/rbench.txt"; exit 1; }
+RQPS="$(sed -n 's/.* qps=\([0-9.]*\).*/\1/p' "$SMOKE/rbench.txt" | head -1)"
+awk -v q="$RQPS" 'BEGIN { exit !(q + 0 > 0) }' \
+  || { echo "FAIL: replica bench reported no throughput"; cat "$SMOKE/rbench.txt"; exit 1; }
+echo "replica bench across SIGKILL: qps=$RQPS"
+POST_LOGITS="$(logits_of "$ADDR")"
+[ "$PRE_LOGITS" = "$POST_LOGITS" ] \
+  || { echo "FAIL: logits changed after replica kill"; echo "pre:  $PRE_LOGITS"; echo "post: $POST_LOGITS"; exit 1; }
+# A survivor's /metrics endpoint: valid exposition content type, the
+# daemon-side RPC counters present, no negative values.
+MADDR="$(sed -n 's/^wisegraph-shard metrics on //p' "$SMOKE/rshard1.log")"
+[ -n "$MADDR" ] || { echo "FAIL: survivor reported no metrics address"; cat "$SMOKE/rshard1.log"; exit 1; }
+curl -sf -D "$SMOKE/rmetrics.hdr" "http://$MADDR/metrics" >"$SMOKE/rmetrics.txt" \
+  || { echo "FAIL: survivor /metrics scrape failed"; exit 1; }
+grep -qi 'content-type: *text/plain; *version=0.0.4' "$SMOKE/rmetrics.hdr" \
+  || { echo "FAIL: /metrics Content-Type is not exposition 0.0.4"; cat "$SMOKE/rmetrics.hdr"; exit 1; }
+for metric in wisegraph_shard_id wisegraph_shard_replica wisegraph_shard_rpcs_total \
+  wisegraph_shard_bytes_in_total wisegraph_shard_in_flight \
+  wisegraph_shard_rpc_duration_seconds_count; do
+  grep -q "^$metric" "$SMOKE/rmetrics.txt" \
+    || { echo "FAIL: shard /metrics missing $metric"; cat "$SMOKE/rmetrics.txt"; exit 1; }
+done
+awk '/^# TYPE /      { typed[$3] = 1; next }
+  /^#/ || NF == 0    { next }
+  { name = $1; sub(/\{.*/, "", name); v = $NF
+    base = name; sub(/_(bucket|sum|count)$/, "", base)
+    if (!(name in typed) && !(base in typed)) { print "sample without TYPE: " $0; bad = 1 }
+    if (v != "+Inf" && v != "NaN" && v + 0 < 0) { print "negative metric: " $0; bad = 1 } }
+  END { exit bad }' "$SMOKE/rmetrics.txt" \
+  || { echo "FAIL: shard /metrics is not valid exposition"; exit 1; }
+curl -sf "http://$MADDR/healthz" | grep -q ok \
+  || { echo "FAIL: survivor /healthz not ok"; exit 1; }
+kill -TERM "$SERVE_PID" && wait "$SERVE_PID" \
+  || { echo "FAIL: replica router exited non-zero"; cat "$SMOKE/rrouter.log"; exit 1; }
+SERVE_PID=""
+grep -q 'drained: in-flight=0' "$SMOKE/rrouter.log" \
+  || { echo "FAIL: replica router drain left requests in flight"; cat "$SMOKE/rrouter.log"; exit 1; }
+for i in 1 3 4; do  # daemon 2 was SIGKILLed
+  kill -TERM "${RSHARD_PIDS[$((i-1))]}"
+  wait "${RSHARD_PIDS[$((i-1))]}" \
+    || { echo "FAIL: replica daemon $i exited non-zero"; cat "$SMOKE/rshard$i.log"; exit 1; }
+  grep -q 'drained: in-flight=0' "$SMOKE/rshard$i.log" \
+    || { echo "FAIL: replica daemon $i drain left RPCs in flight"; cat "$SMOKE/rshard$i.log"; exit 1; }
+  grep -q 'replica=' "$SMOKE/rshard$i.log" \
+    || { echo "FAIL: replica daemon $i drain line has no replica identity"; cat "$SMOKE/rshard$i.log"; exit 1; }
+done
+echo "replica failover smoke OK"
 
 # Kill/restart resume smoke: a training run with per-epoch
 # auto-checkpoints is killed (-9) mid-run, then restarted with -resume.
